@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper via its driver
+in :mod:`repro.experiments`, asserts the qualitative finding, and prints the
+headline rows (paper vs measured) so that ``pytest benchmarks/
+--benchmark-only -s`` doubles as a report generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a small paper-vs-measured table under the benchmark output."""
+    width = max(len(r[0]) for r in rows)
+    print(f"\n--- {title} ---")
+    print(f"{'quantity'.ljust(width)} | paper           | measured")
+    for name, paper, measured in rows:
+        print(f"{name.ljust(width)} | {paper:<15} | {measured}")
+
+
+@pytest.fixture
+def paper_report():
+    """Fixture handing benchmarks the report printer."""
+    return report

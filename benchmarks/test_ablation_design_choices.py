@@ -1,0 +1,197 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These do not correspond to a single figure; they quantify the impact of the
+individual design decisions the paper argues for:
+
+* square-wave vs ideal complex-exponential sub-carrier (harmonic images),
+* single- vs double-sideband modulation (spectral efficiency),
+* guard-interval length vs detection-timing error,
+* Wi-Fi bit-rate choice for retransmission efficiency (§4.2 discussion),
+* two-symbols-per-bit downlink encoding vs a naive one-symbol encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backscatter.detector import PeakDetectorReceiver
+from repro.backscatter.ssb import SingleSidebandModulator
+from repro.backscatter.power import InterscatterPowerModel
+from repro.core.device import InterscatterDevice
+from repro.core.timing import InterscatterTiming
+from repro.utils.spectrum import power_spectral_density
+from repro.wifi.ofdm.constant_ofdm import ConstantOfdmCrafter, symbol_peak_to_average
+from repro.wifi.ofdm.rates import OfdmRate
+
+
+def test_ablation_subcarrier_harmonics(benchmark, paper_report):
+    """Square-wave sub-carrier pays a third-harmonic image ~9.5 dB down."""
+
+    def run() -> tuple[float, float]:
+        tone = np.ones(32768, dtype=complex)
+        results = []
+        for ideal in (False, True):
+            modulator = SingleSidebandModulator(
+                shift_hz=10e6,
+                sample_rate_hz=88e6,
+                ideal_subcarrier=ideal,
+                quantize_to_states=not ideal,
+            )
+            output = modulator.modulate_tone_shift(tone.size).apply_to(tone)
+            spectrum = power_spectral_density(output, 88e6)
+            fundamental = spectrum.band_power(9e6, 11e6)
+            harmonic = spectrum.band_power(-31e6, -29e6)
+            results.append(10.0 * np.log10(fundamental / max(harmonic, 1e-30)))
+        return results[0], results[1]
+
+    square_rejection, ideal_rejection = benchmark(run)
+    assert square_rejection == pytest.approx(9.5, abs=2.0)
+    assert ideal_rejection > square_rejection + 20.0
+    paper_report(
+        "Ablation - sub-carrier fidelity",
+        [
+            ("square wave 3rd-harmonic image", "9.5 dB below fundamental", f"{square_rejection:.1f} dB"),
+            ("ideal exponential image", "absent", f"{ideal_rejection:.1f} dB"),
+        ],
+    )
+
+
+def test_ablation_guard_interval(benchmark, paper_report):
+    """The 4 µs guard absorbs detection jitter; no guard loses packets."""
+
+    def run() -> dict[float, float]:
+        success = {}
+        for guard in (0.0, 2e-6, 4e-6, 8e-6):
+            timing = InterscatterTiming(guard_interval_s=guard)
+            device = InterscatterDevice(
+                timing, detection_jitter_s=1.5e-6, rng=np.random.default_rng(7)
+            )
+            outcomes = [device.service_advertisement().fits_in_window for _ in range(300)]
+            success[guard] = float(np.mean(outcomes))
+        return success
+
+    success = benchmark(run)
+    assert success[4e-6] > 0.95
+    assert success[0.0] < success[4e-6]
+    paper_report(
+        "Ablation - guard interval vs detection jitter (1.5 us sigma)",
+        [
+            (f"guard {guard*1e6:.0f} us", "4 us chosen in §2.2", f"{100*rate:.0f} % of packets fit")
+            for guard, rate in sorted(success.items())
+        ],
+    )
+
+
+def test_ablation_rate_choice_for_retransmissions(benchmark, paper_report):
+    """§4.2: with similar PER, higher rates move more bytes per advertisement."""
+
+    def run() -> dict[float, float]:
+        throughput = {}
+        for rate in (2.0, 5.5, 11.0):
+            timing = InterscatterTiming(wifi_rate_mbps=rate, guard_interval_s=0.0)
+            # Similar PER across rates (Fig. 11), so expected goodput scales
+            # with the bytes that fit in one advertisement.
+            per = 0.1
+            throughput[rate] = timing.max_wifi_psdu_bytes() * 8 * (1 - per) / 20e-3
+        return throughput
+
+    throughput = benchmark(run)
+    assert throughput[11.0] > 4.0 * throughput[2.0]
+    paper_report(
+        "Ablation - Wi-Fi bit-rate choice (per-advertisement goodput, PER 10%)",
+        [
+            (f"{rate:.1f} Mbps", "higher rate moves more bits", f"{bps/1e3:.1f} kbps")
+            for rate, bps in sorted(throughput.items())
+        ],
+    )
+
+
+def test_ablation_power_vs_shift_and_rate(benchmark, paper_report):
+    """Power scales with the sub-carrier shift and only mildly with bit rate."""
+
+    def run() -> tuple[dict[float, float], dict[float, float]]:
+        model = InterscatterPowerModel()
+        by_shift = {shift: model.estimate(shift_hz=shift).total_uw for shift in (12e6, 24e6, 35.75e6, 48e6)}
+        by_rate = {rate: model.estimate(wifi_rate_mbps=rate).total_uw for rate in (2.0, 5.5, 11.0)}
+        return by_shift, by_rate
+
+    by_shift, by_rate = benchmark(run)
+    assert by_shift[48e6] > by_shift[12e6]
+    assert by_rate[11.0] < 1.3 * by_rate[2.0]
+    paper_report(
+        "Ablation - IC power scaling",
+        [
+            *[
+                (f"shift {shift/1e6:.2f} MHz", "synth+modulator scale with shift", f"{power:.1f} uW")
+                for shift, power in sorted(by_shift.items())
+            ],
+            *[
+                (f"rate {rate:.1f} Mbps", "baseband nearly rate-independent", f"{power:.1f} uW")
+                for rate, power in sorted(by_rate.items())
+            ],
+        ],
+    )
+
+
+def test_ablation_downlink_encoding(benchmark, paper_report):
+    """Two OFDM symbols per bit avoid the false peaks of consecutive constants."""
+
+    def run() -> tuple[float, float]:
+        rng = np.random.default_rng(3)
+        crafter = ConstantOfdmCrafter(OfdmRate.RATE_36, rng=rng)
+        detector = PeakDetectorReceiver()
+        message = rng.integers(0, 2, 24).astype(np.uint8)
+
+        # Paper encoding: random+constant per 1, random+random per 0.
+        plan, waveform = crafter.encode_message(message, scrambler_seed=0x44)
+        decoded = detector.decode_bits(
+            waveform.samples,
+            samples_per_symbol=80,
+            num_symbols=waveform.num_data_symbols,
+            start_sample=waveform.data_start_sample,
+        )[: message.size]
+        paper_ber = float(np.mean(decoded != message))
+
+        # Naive encoding: one OFDM symbol per bit (constant = 1, random = 0).
+        # Consecutive constant symbols produce back-to-back low-envelope
+        # regions punctuated by their leading impulses, which the comparator
+        # confuses; emulate by classifying each symbol against the running
+        # median of the previous *random* symbol only when one exists.
+        naive_papr_threshold = 15.0
+        params = crafter.rate.parameters
+        from repro.wifi.scrambler import Ieee80211Scrambler
+
+        keystream = Ieee80211Scrambler(0x44).keystream(params.data_bits_per_symbol * message.size)
+        data_bits = np.empty(params.data_bits_per_symbol * message.size, dtype=np.uint8)
+        for index, bit in enumerate(message):
+            start = index * params.data_bits_per_symbol
+            stop = start + params.data_bits_per_symbol
+            if bit == 1:
+                data_bits[start:stop] = np.bitwise_xor(keystream[start:stop], 1)
+            else:
+                data_bits[start:stop] = rng.integers(0, 2, params.data_bits_per_symbol)
+            if index + 1 < message.size and message[index + 1] == 1:
+                data_bits[stop - 6 : stop] = np.bitwise_xor(keystream[stop - 6 : stop], 1)
+        from repro.wifi.ofdm.transmitter import OfdmTransmitter
+
+        naive_waveform = OfdmTransmitter(crafter.rate).encode_data_bits(data_bits, scrambler_seed=0x44)
+        naive_decoded = np.zeros(message.size, dtype=np.uint8)
+        envelope_metrics = detector.symbol_envelope_metric(
+            naive_waveform.samples, 80, naive_waveform.num_data_symbols, naive_waveform.data_start_sample
+        )
+        reference = np.median(envelope_metrics)
+        naive_decoded = (envelope_metrics[: message.size] < 0.5 * reference).astype(np.uint8)
+        naive_ber = float(np.mean(naive_decoded != message))
+        return paper_ber, naive_ber
+
+    paper_ber, naive_ber = benchmark(run)
+    assert paper_ber == 0.0
+    assert naive_ber >= paper_ber
+    paper_report(
+        "Ablation - downlink symbol encoding",
+        [
+            ("two symbols per bit (Fig. 8)", "robust, 125 kbps", f"BER {paper_ber:.3f}"),
+            ("one symbol per bit (naive)", "false peaks / ambiguity", f"BER {naive_ber:.3f}"),
+        ],
+    )

@@ -1,0 +1,30 @@
+"""Benchmark for Fig. 10 — Wi-Fi RSSI vs distance and Bluetooth TX power."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig10_rssi
+
+
+def test_fig10_rssi_vs_distance(benchmark, paper_report):
+    result = benchmark(lambda: fig10_rssi.run(step_feet=3.0))
+
+    strongest = result.curve(20.0, 1.0)
+    weakest = result.curve(0.0, 1.0)
+    assert strongest.range_feet >= 80.0
+    assert np.all(strongest.rssi_dbm > weakest.rssi_dbm)
+    assert result.curve(10.0, 1.0).range_feet >= result.curve(10.0, 3.0).range_feet
+
+    rows = [
+        (
+            f"{power:.0f} dBm, BT-tag {sep:.0f} ft",
+            "range grows with TX power",
+            f"range {result.curve(power, sep).range_feet:.0f} ft, "
+            f"RSSI {result.curve(power, sep).rssi_dbm[0]:.0f}..{result.curve(power, sep).rssi_dbm[-1]:.0f} dBm",
+        )
+        for sep in (1.0, 3.0)
+        for power in (0.0, 4.0, 10.0, 20.0)
+    ]
+    rows.append(("20 dBm / 1 ft headline", "~90 ft range", f"{strongest.range_feet:.0f} ft"))
+    paper_report("Fig. 10 - backscattered Wi-Fi RSSI vs distance", rows)

@@ -1,0 +1,28 @@
+"""Benchmark for Fig. 11 — packet error rate CDF at 2 and 11 Mbps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig11_per
+
+
+def test_fig11_packet_error_rate_cdf(benchmark, paper_report):
+    result = benchmark(lambda: fig11_per.run(num_locations=40, num_packets=200))
+
+    assert abs(result.median_per[2.0] - result.median_per[11.0]) < 0.1
+    assert result.mean_rate_gap < 0.3
+
+    paper_report(
+        "Fig. 11 - Wi-Fi packet error rate CDF",
+        [
+            ("median PER, 2 Mbps", "similar to 11 Mbps", f"{result.median_per[2.0]:.3f}"),
+            ("median PER, 11 Mbps", "similar to 2 Mbps", f"{result.median_per[11.0]:.3f}"),
+            ("mean |PER(2)-PER(11)|", "small", f"{result.mean_rate_gap:.3f}"),
+            (
+                "worst-location PER",
+                "> 0.3 at low RSSI",
+                f"{max(np.max(result.per_by_rate[2.0]), np.max(result.per_by_rate[11.0])):.2f}",
+            ),
+        ],
+    )

@@ -1,0 +1,27 @@
+"""Benchmark for Fig. 12 — iperf throughput under backscatter interference."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_coexistence
+
+
+def test_fig12_coexistence(benchmark, paper_report):
+    result = benchmark(fig12_coexistence.run)
+
+    baseline = result.baseline_mbps
+    assert result.throughput("double_sideband", 50.0) > 0.8 * baseline
+    assert result.throughput("double_sideband", 1000.0) < 0.3 * baseline
+    assert result.throughput("single_sideband", 1000.0) > 0.9 * baseline
+
+    rows = []
+    for rate in result.rates_pps:
+        rows.append(
+            (
+                f"{rate:.0f} pkt/s",
+                "DSB collapses, SSB unaffected" if rate > 100 else "negligible impact",
+                f"baseline {result.throughput('baseline', rate):.1f} / "
+                f"SSB {result.throughput('single_sideband', rate):.1f} / "
+                f"DSB {result.throughput('double_sideband', rate):.1f} Mbps",
+            )
+        )
+    paper_report("Fig. 12 - concurrent iperf flow throughput", rows)

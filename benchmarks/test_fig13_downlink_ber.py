@@ -1,0 +1,22 @@
+"""Benchmark for Fig. 13 — downlink BER from an 802.11g device to the peak detector."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_downlink_ber
+
+
+def test_fig13_downlink_ber(benchmark, paper_report):
+    result = benchmark(fig13_downlink_ber.run)
+
+    assert 14.0 <= result.range_below_1pct_feet <= 24.0
+    assert result.ber[0] < 0.01
+    assert result.ber[-1] > 0.2
+
+    paper_report(
+        "Fig. 13 - downlink BER vs distance (36 Mbps OFDM -> peak detector)",
+        [
+            ("BER < 1% out to", "~18 ft", f"{result.range_below_1pct_feet:.0f} ft"),
+            ("BER at closest point", "~0", f"{result.ber[0]:.4f}"),
+            ("BER beyond the cliff", "rises sharply", f"{result.ber[-1]:.2f}"),
+        ],
+    )

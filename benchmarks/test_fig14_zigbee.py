@@ -1,0 +1,24 @@
+"""Benchmark for Fig. 14 — ZigBee RSSI CDF for backscatter-generated packets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig14_zigbee_rssi
+
+
+def test_fig14_zigbee_rssi_cdf(benchmark, paper_report):
+    result = benchmark(fig14_zigbee_rssi.run)
+
+    assert result.detectable_fraction > 0.9
+    assert -95.0 < result.median_rssi_dbm < -55.0
+
+    values, _ = result.cdf
+    paper_report(
+        "Fig. 14 - ZigBee RSSI CDF (BLE ch.38 -> ZigBee ch.14)",
+        [
+            ("RSSI span", "-95 .. -55 dBm", f"{values[0]:.0f} .. {values[-1]:.0f} dBm"),
+            ("median RSSI", "(not stated)", f"{result.median_rssi_dbm:.0f} dBm"),
+            ("packets above CC2531 sensitivity", "feasible at all 5 spots", f"{100*result.detectable_fraction:.0f} %"),
+        ],
+    )

@@ -1,0 +1,25 @@
+"""Benchmark for Fig. 15 — smart contact lens RSSI vs distance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig15_contact_lens
+
+
+def test_fig15_contact_lens_rssi(benchmark, paper_report):
+    result = benchmark(fig15_contact_lens.run)
+
+    assert result.range_by_power[20.0] >= 24.0
+    assert result.range_by_power[20.0] >= result.range_by_power[10.0]
+
+    rows = []
+    for power, rssi in result.rssi_by_power.items():
+        rows.append(
+            (
+                f"{power:.0f} dBm Bluetooth",
+                "RSSI -72..-86 dBm, >24 in range",
+                f"RSSI {rssi[0]:.0f}..{rssi[-1]:.0f} dBm, range {result.range_by_power[power]:.0f} in",
+            )
+        )
+    paper_report("Fig. 15 - contact lens antenna in saline", rows)

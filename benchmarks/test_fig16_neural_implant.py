@@ -1,0 +1,24 @@
+"""Benchmark for Fig. 16 — implanted neural recorder RSSI vs distance."""
+
+from __future__ import annotations
+
+from repro.experiments import fig16_neural_implant
+
+
+def test_fig16_neural_implant_rssi(benchmark, paper_report):
+    result = benchmark(fig16_neural_implant.run)
+
+    assert result.range_by_power[10.0] >= 10.0
+    assert result.range_by_power[20.0] >= result.range_by_power[10.0]
+
+    rows = []
+    for power, rssi in result.rssi_by_power.items():
+        rows.append(
+            (
+                f"{power:.0f} dBm Bluetooth",
+                "RSSI -74..-90 dBm through tissue",
+                f"RSSI {rssi[0]:.0f}..{rssi[-1]:.0f} dBm, range {result.range_by_power[power]:.0f} in",
+            )
+        )
+    rows.append(("prior dedicated readers", "1-2 cm range", "tens of inches here"))
+    paper_report("Fig. 16 - neural implant antenna under 0.75 in muscle", rows)

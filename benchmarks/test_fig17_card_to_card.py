@@ -1,0 +1,21 @@
+"""Benchmark for Fig. 17 — card-to-card BER vs separation."""
+
+from __future__ import annotations
+
+from repro.experiments import fig17_card_to_card
+
+
+def test_fig17_card_to_card_ber(benchmark, paper_report):
+    result = benchmark(lambda: fig17_card_to_card.run(messages_per_point=100))
+
+    assert 20.0 <= result.usable_range_inches <= 36.0
+    assert result.measured_ber[0] < 0.05
+
+    paper_report(
+        "Fig. 17 - card-to-card BER (10 dBm phone as RF source)",
+        [
+            ("usable range (BER < 20%)", "~30 inches", f"{result.usable_range_inches:.0f} inches"),
+            ("BER at closest separation", "~0", f"{result.measured_ber[0]:.3f}"),
+            ("BER at farthest separation", "0.3-0.45", f"{result.measured_ber[-1]:.2f}"),
+        ],
+    )

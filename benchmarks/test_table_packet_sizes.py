@@ -1,0 +1,27 @@
+"""Benchmark for the §2.3.3 packet-size table (Wi-Fi bytes per BLE advertisement)."""
+
+from __future__ import annotations
+
+from repro.experiments import table_packet_sizes
+
+
+def test_table_packet_sizes(benchmark, paper_report):
+    result = benchmark(table_packet_sizes.run)
+
+    assert result.max_psdu_bytes == {2.0: 38, 5.5: 104, 11.0: 209}
+    assert not result.one_mbps_fits
+
+    paper_report(
+        "Section 2.3.3 - Wi-Fi payload per 31-byte BLE advertisement",
+        [
+            ("2 Mbps", "38 bytes", f"{result.max_psdu_bytes[2.0]} bytes"),
+            ("5.5 Mbps", "104 bytes", f"{result.max_psdu_bytes[5.5]} bytes"),
+            ("11 Mbps", "209 bytes", f"{result.max_psdu_bytes[11.0]} bytes"),
+            ("1 Mbps packet fits", "no", "yes" if result.one_mbps_fits else "no"),
+            (
+                "goodput at 11 Mbps",
+                "(derived)",
+                f"{result.goodput_bps[11.0]/1e3:.1f} kbps per 20 ms advertisement",
+            ),
+        ],
+    )

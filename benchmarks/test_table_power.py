@@ -1,0 +1,29 @@
+"""Benchmark for the §3 IC power table (28 µW budget)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table_power
+
+
+def test_table_power_budget(benchmark, paper_report):
+    result = benchmark(table_power.run)
+
+    reference = result.reference
+    assert reference.frequency_synthesizer_uw == pytest.approx(9.69, abs=0.01)
+    assert reference.baseband_processor_uw == pytest.approx(8.51, abs=0.01)
+    assert reference.backscatter_modulator_uw == pytest.approx(9.79, abs=0.01)
+    assert reference.total_uw == pytest.approx(28.0, abs=0.1)
+
+    paper_report(
+        "Section 3 - interscatter IC power (2 Mbps Wi-Fi, 35.75 MHz shift)",
+        [
+            ("frequency synthesizer", "9.69 uW", f"{reference.frequency_synthesizer_uw:.2f} uW"),
+            ("baseband processor", "8.51 uW", f"{reference.baseband_processor_uw:.2f} uW"),
+            ("backscatter modulator", "9.79 uW", f"{reference.backscatter_modulator_uw:.2f} uW"),
+            ("total", "~28 uW", f"{reference.total_uw:.2f} uW"),
+            ("vs active ZigBee TX", "tens of mW", f"{result.savings_vs_active['zigbee_active_tx']:.0f}x less"),
+            ("energy per Wi-Fi bit", "(derived) 14 pJ", f"{result.energy_per_bit_nj*1e3:.1f} pJ"),
+        ],
+    )

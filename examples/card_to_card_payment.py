@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Card-to-card communication scenario (paper §5.3, Fig. 2c).
+
+Two passive credit-card devices exchange a short payment authorisation by
+backscattering the single-tone Bluetooth transmissions of the smartphone
+lying next to them.  The script sweeps the card separation, shows the BER
+profile and simulates a simple two-message exchange with retransmissions.
+
+Run with::
+
+    python examples/card_to_card_payment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.card_to_card import BackscatterCard, CardToCardLink
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+
+
+def main() -> None:
+    print("=== Card-to-card money transfer ===\n")
+    link = CardToCardLink(
+        phone_power_dbm=10.0,            # Note 5 / iPhone 6 class
+        phone_to_transmitter_inches=3.0,
+        transmitter=BackscatterCard("payer-card"),
+        receiver=BackscatterCard("payee-card"),
+    )
+
+    print("Bit error rate vs card separation (10 dBm phone as the RF source):")
+    for separation in (5.0, 10.0, 15.0, 20.0, 25.0, 30.0):
+        ber = link.bit_error_rate(separation)
+        print(f"  {separation:5.1f} in -> BER {ber:.3f}")
+    print(f"Usable range (BER < 10 %): {link.max_range_inches():.0f} inches\n")
+
+    # A toy transfer: 2 bytes of amount + 1 byte of checksum, sent with
+    # simple repeat-until-acknowledged retransmissions at 10 in separation.
+    amount_cents = 1250
+    message = amount_cents.to_bytes(2, "little")
+    message += bytes([sum(message) & 0xFF])
+    message_bits = bytes_to_bits(message)
+    print(f"Transferring {amount_cents} cents ({len(message_bits)} bits) at 10 in:")
+
+    rng = np.random.default_rng(2016)
+    attempts = 0
+    while True:
+        attempts += 1
+        result = link.send_message(message_bits, card_separation_inches=10.0, rng=rng)
+        received = bits_to_bytes(result.received_bits)
+        checksum_ok = received[2] == (sum(received[:2]) & 0xFF)
+        print(f"  attempt {attempts}: {result.bit_errors} bit errors, "
+              f"checksum {'ok' if checksum_ok else 'FAILED'}")
+        if checksum_ok:
+            value = int.from_bytes(received[:2], "little")
+            print(f"  payee card accepted the transfer of {value} cents "
+                  f"after {attempts} attempt(s)")
+            break
+        if attempts >= 10:
+            print("  transfer failed after 10 attempts")
+            break
+
+
+if __name__ == "__main__":
+    main()

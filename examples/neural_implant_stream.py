@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Implanted neural recorder scenario (paper §5.2, Fig. 2b).
+
+An implanted ECoG recorder under muscle tissue streams frames of neural
+samples to a nearby Wi-Fi device by backscattering a Bluetooth headset's
+advertisements.  The script sizes the link (how many recording channels the
+uplink sustains), streams a few seconds of frames and reports delivery and
+power, comparing the communication budget against the 2 µW/channel
+recording front end.
+
+Run with::
+
+    python examples/neural_implant_stream.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.neural_implant import NeuralFrame, NeuralImplant
+
+
+def main() -> None:
+    print("=== Implanted neural recording interface ===\n")
+    implant = NeuralImplant(
+        num_channels=8,
+        sample_rate_hz=500.0,
+        bluetooth_power_dbm=10.0,       # phone-class transmitter near the head
+        bluetooth_distance_inches=3.0,
+        wifi_rate_mbps=11.0,            # highest rate -> most bytes per advertisement
+    )
+
+    print("Link sizing:")
+    print(f"  raw recording rate: {implant.recording_data_rate_bps()/1e3:.1f} kbps "
+          f"({implant.num_channels} channels x {implant.sample_rate_hz:.0f} S/s x 16 bit)")
+    print(f"  uplink goodput:     {implant.uplink_goodput_bps()/1e3:.1f} kbps "
+          f"(one advertisement per 20 ms)")
+    print(f"  sustainable channels in real time: {implant.sustainable_channels()}")
+    print(f"  total implant power: {implant.total_power_uw():.1f} µW "
+          f"(recording {implant.num_channels * 2.0:.1f} µW + communication)\n")
+
+    print("RSSI vs Wi-Fi receiver distance (through 0.75 in of muscle tissue):")
+    for distance in (6.0, 12.0, 24.0, 48.0, 72.0):
+        print(f"  {distance:5.1f} in -> {implant.rssi_at(distance):6.1f} dBm")
+
+    print("\nStreaming 2 seconds of frames to a receiver 24 in away:")
+    delivered = 0
+    attempts = 0
+    bytes_delivered = 0
+    for _ in range(100):  # one advertisement every 20 ms for 2 s
+        frame = implant.record_frame(samples_per_channel=4)
+        telemetry = implant.deliver_frame(24.0, frame=frame)
+        attempts += 1
+        if telemetry.delivered:
+            delivered += 1
+            bytes_delivered += telemetry.frame_bytes
+    print(f"  frames delivered: {delivered}/{attempts}")
+    print(f"  goodput achieved: {bytes_delivered * 8 / 2.0 / 1e3:.1f} kbps")
+
+    print("\nFrame round-trip check:")
+    frame = implant.record_frame(samples_per_channel=4)
+    decoded = NeuralFrame.decode(frame.encode())
+    match = np.array_equal(frame.channel_samples, decoded.channel_samples)
+    print(f"  {frame.num_channels}-channel frame decodes identically: {match}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a Wi-Fi packet by backscattering a Bluetooth advertisement.
+
+This walks the full interscatter pipeline at the waveform level:
+
+1. craft a BLE advertising payload that whitens into a single tone,
+2. backscatter it through the single-sideband modulator with an 802.11b
+   baseband, and
+3. decode the resulting packet with a commodity-style Wi-Fi receiver.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import InterscatterLink, InterscatterUplink
+from repro.core.timing import max_wifi_payload_bytes
+from repro.core.tone_source import BluetoothToneSource
+from repro.backscatter.power import InterscatterPowerModel
+
+
+def main() -> None:
+    print("=== Interscatter quickstart ===\n")
+
+    # --- Step 1: a commodity Bluetooth device as a single-tone RF source.
+    source = BluetoothToneSource("ti_cc2650", channel_index=38, tx_power_dbm=10.0)
+    tone = source.tone_parameters()
+    print(f"Bluetooth tone: channel {tone.channel_index} "
+          f"({tone.center_frequency_hz/1e6:.1f} MHz), tone at "
+          f"{tone.tone_frequency_hz/1e6:.3f} MHz for {tone.duration_s*1e6:.0f} µs")
+    payload_bits = source.crafted_payload.on_air_payload_bits()
+    print(f"Crafted payload whitens to a constant bit stream: "
+          f"{np.unique(payload_bits).tolist()} (single tone)\n")
+
+    # --- Step 2+3: waveform-level uplink — backscatter the tone into Wi-Fi.
+    uplink = InterscatterUplink(wifi_rate_mbps=2.0)
+    message = b"hello from an implanted device"
+    result = uplink.simulate_waveform(message, snr_db=25.0)
+    print(f"Synthesized 802.11b packet on Wi-Fi channel 11 "
+          f"({result.output_frequency_mhz:.0f} MHz, shift {result.shift_hz/1e6:.2f} MHz)")
+    print(f"Commodity receiver decoded it: crc_ok={result.crc_ok}, "
+          f"payload={result.payload!r}\n")
+
+    # --- Packet sizes and power, straight from the paper's numbers.
+    sizes = {rate: max_wifi_payload_bytes(rate) for rate in (2.0, 5.5, 11.0)}
+    print(f"Wi-Fi bytes per BLE advertisement: {sizes}")
+    power = InterscatterPowerModel().reference_breakdown()
+    print(f"Tag power while generating 2 Mbps Wi-Fi: {power.total_uw:.1f} µW "
+          f"(synth {power.frequency_synthesizer_uw:.2f}, "
+          f"baseband {power.baseband_processor_uw:.2f}, "
+          f"modulator {power.backscatter_modulator_uw:.2f})\n")
+
+    # --- End-to-end link object with geometry (statistical pipeline).
+    link = InterscatterLink(
+        wifi_rate_mbps=2.0,
+        bluetooth_power_dbm=10.0,
+        bluetooth_to_tag_feet=1.0,
+        tag_to_receiver_feet=20.0,
+    )
+    exchange = link.transmit(b"glucose=5.4", query_bits=np.array([1, 0, 1, 1], dtype=np.uint8))
+    print(f"End-to-end exchange at 20 ft: delivered={exchange.crc_ok}, "
+          f"RSSI={exchange.uplink.rssi_dbm:.1f} dBm, "
+          f"tag energy={exchange.tag_energy_uj:.3f} µJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Interscatter reproduction library.
+
+A waveform-level, pure-Python reproduction of "Inter-Technology Backscatter:
+Towards Internet Connectivity for Implanted Devices" (SIGCOMM 2016).
+
+The package is organised as a set of physical-layer substrates (``ble``,
+``wifi``, ``zigbee``, ``backscatter``, ``channel``) with the paper's primary
+contribution — generating Wi-Fi and ZigBee packets by backscattering
+Bluetooth transmissions — living in :mod:`repro.core`.  The proof-of-concept
+applications from Section 5 of the paper are in :mod:`repro.apps` and every
+table/figure of the evaluation has a corresponding driver in
+:mod:`repro.experiments`.
+
+Quickstart
+----------
+
+>>> from repro.core import InterscatterLink
+>>> link = InterscatterLink(wifi_rate_mbps=2.0)
+>>> result = link.transmit(payload=b"hello from a contact lens!")
+>>> result.crc_ok
+True
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

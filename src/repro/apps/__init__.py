@@ -1,0 +1,25 @@
+"""Proof-of-concept applications from Section 5 of the paper.
+
+* :mod:`repro.apps.contact_lens` — a smart contact lens whose glucose
+  readings reach a phone by backscattering a smart watch's Bluetooth
+  advertisements (Fig. 15).
+* :mod:`repro.apps.neural_implant` — an implanted neural recorder under
+  muscle tissue streaming ECoG frames to a commodity Wi-Fi device (Fig. 16).
+* :mod:`repro.apps.card_to_card` — two passive credit-card devices
+  exchanging data using a smartphone's Bluetooth transmissions as the only
+  RF source (Fig. 17).
+"""
+
+from repro.apps.contact_lens import SmartContactLens, ContactLensReading
+from repro.apps.neural_implant import NeuralImplant, NeuralFrame
+from repro.apps.card_to_card import BackscatterCard, CardToCardLink, CardMessageResult
+
+__all__ = [
+    "SmartContactLens",
+    "ContactLensReading",
+    "NeuralImplant",
+    "NeuralFrame",
+    "BackscatterCard",
+    "CardToCardLink",
+    "CardMessageResult",
+]

@@ -1,0 +1,179 @@
+"""IC power model reproducing the 28 µW budget of paper §3.
+
+The paper implements interscatter in a TSMC 65 nm LP CMOS flow and reports,
+for 2 Mbps 802.11b generation with a 35.75 MHz shift:
+
+==========================  ==========
+Block                        Power
+==========================  ==========
+Frequency synthesizer        9.69 µW
+Baseband processor           8.51 µW
+Backscatter modulator        9.79 µW
+**Total**                    **27.99 µW ≈ 28 µW**
+==========================  ==========
+
+The model here decomposes each block into clocked switching power
+(``P = C_eff · V² · f``) with effective capacitances calibrated so the
+paper's operating point is reproduced exactly, and then *scales* with the
+knobs a designer would turn: Wi-Fi bit rate (baseband clock), sub-carrier
+shift (synthesizer and modulator clocks) and supply voltage.  This supports
+the ablation benches (power vs bit rate / shift frequency) and the
+comparison against active radios the paper motivates the work with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PowerBreakdown", "InterscatterPowerModel", "ACTIVE_RADIO_POWER_UW"]
+
+#: Representative active-radio transmit power draws (µW) for context: the
+#: paper cites ZigBee transmitters consuming tens of milliwatts and Wi-Fi
+#: radios consuming far more.
+ACTIVE_RADIO_POWER_UW = {
+    "wifi_active_tx": 300_000.0,
+    "ble_active_tx": 10_000.0,
+    "zigbee_active_tx": 30_000.0,
+}
+
+#: The paper's reference operating point.
+_REFERENCE_SHIFT_HZ = 35_750_000.0
+_REFERENCE_BASEBAND_HZ = 11_000_000.0
+_REFERENCE_RATE_MBPS = 2.0
+_REFERENCE_SUPPLY_V = 1.0
+
+#: Block powers at the reference operating point (µW).
+_REFERENCE_POWER_UW = {
+    "frequency_synthesizer": 9.69,
+    "baseband_processor": 8.51,
+    "backscatter_modulator": 9.79,
+}
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-block power estimate in microwatts.
+
+    Attributes
+    ----------
+    frequency_synthesizer_uw:
+        PLL + Johnson counter producing the 11 MHz baseband clock and the
+        four phases of the Δf clock.
+    baseband_processor_uw:
+        802.11b scrambling, DSSS/CCK, CRC and DQPSK logic.
+    backscatter_modulator_uw:
+        Multiplexers and CMOS switches mapping I/Q onto impedance states.
+    """
+
+    frequency_synthesizer_uw: float
+    baseband_processor_uw: float
+    backscatter_modulator_uw: float
+
+    @property
+    def total_uw(self) -> float:
+        """Total power in microwatts."""
+        return (
+            self.frequency_synthesizer_uw
+            + self.baseband_processor_uw
+            + self.backscatter_modulator_uw
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Breakdown as a plain dictionary (including the total)."""
+        return {
+            "frequency_synthesizer_uw": self.frequency_synthesizer_uw,
+            "baseband_processor_uw": self.baseband_processor_uw,
+            "backscatter_modulator_uw": self.backscatter_modulator_uw,
+            "total_uw": self.total_uw,
+        }
+
+
+class InterscatterPowerModel:
+    """Analytical power model of the interscatter IC.
+
+    Parameters
+    ----------
+    supply_voltage_v:
+        Core supply; switching power scales with V².
+    technology_scale:
+        Relative effective-capacitance factor (1.0 = the 65 nm reference;
+        smaller values model more advanced nodes, the CMOS-scaling argument
+        of §3).
+    """
+
+    def __init__(self, *, supply_voltage_v: float = 1.0, technology_scale: float = 1.0) -> None:
+        if supply_voltage_v <= 0:
+            raise ConfigurationError("supply_voltage_v must be positive")
+        if technology_scale <= 0:
+            raise ConfigurationError("technology_scale must be positive")
+        self.supply_voltage_v = supply_voltage_v
+        self.technology_scale = technology_scale
+
+    def estimate(
+        self,
+        *,
+        wifi_rate_mbps: float = _REFERENCE_RATE_MBPS,
+        shift_hz: float = _REFERENCE_SHIFT_HZ,
+        duty_cycle: float = 1.0,
+    ) -> PowerBreakdown:
+        """Power estimate while actively backscattering.
+
+        Parameters
+        ----------
+        wifi_rate_mbps:
+            Generated 802.11b rate; the baseband clock (11 MHz chip clock)
+            is rate-independent but the switching activity of the CCK
+            encoder grows mildly with rate.
+        shift_hz:
+            Sub-carrier shift Δf; the synthesizer's VCO runs at 4·Δf and the
+            modulator toggles at the same rate.
+        duty_cycle:
+            Fraction of time the tag is actively backscattering (idle power
+            is assumed negligible, as in the paper's duty-cycling argument).
+        """
+        if wifi_rate_mbps <= 0:
+            raise ConfigurationError("wifi_rate_mbps must be positive")
+        if shift_hz <= 0:
+            raise ConfigurationError("shift_hz must be positive")
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in [0, 1]")
+
+        voltage_scale = (self.supply_voltage_v / _REFERENCE_SUPPLY_V) ** 2
+        scale = voltage_scale * self.technology_scale
+
+        # Synthesizer: dominated by the 4·Δf ring oscillator / divider chain.
+        synthesizer = _REFERENCE_POWER_UW["frequency_synthesizer"] * (
+            shift_hz / _REFERENCE_SHIFT_HZ
+        )
+        # Baseband: 11 MHz chip-clock logic; CCK adds activity at higher rates.
+        rate_activity = 1.0 + 0.05 * (wifi_rate_mbps - _REFERENCE_RATE_MBPS) / _REFERENCE_RATE_MBPS
+        baseband = _REFERENCE_POWER_UW["baseband_processor"] * rate_activity
+        # Modulator: switch drivers toggling at 4·Δf.
+        modulator = _REFERENCE_POWER_UW["backscatter_modulator"] * (
+            shift_hz / _REFERENCE_SHIFT_HZ
+        )
+
+        return PowerBreakdown(
+            frequency_synthesizer_uw=synthesizer * scale * duty_cycle,
+            baseband_processor_uw=baseband * scale * duty_cycle,
+            backscatter_modulator_uw=modulator * scale * duty_cycle,
+        )
+
+    def reference_breakdown(self) -> PowerBreakdown:
+        """The paper's reported operating point (2 Mbps, 35.75 MHz shift)."""
+        return self.estimate()
+
+    def energy_per_bit_nj(self, wifi_rate_mbps: float = _REFERENCE_RATE_MBPS) -> float:
+        """Energy per generated Wi-Fi bit in nanojoules."""
+        breakdown = self.estimate(wifi_rate_mbps=wifi_rate_mbps)
+        return breakdown.total_uw * 1e-6 / (wifi_rate_mbps * 1e6) * 1e9
+
+    def savings_versus_active(self, radio: str = "zigbee_active_tx") -> float:
+        """Power-saving factor compared with an active radio transmitter."""
+        if radio not in ACTIVE_RADIO_POWER_UW:
+            raise ConfigurationError(
+                f"unknown radio {radio!r}; choose from {sorted(ACTIVE_RADIO_POWER_UW)}"
+            )
+        return ACTIVE_RADIO_POWER_UW[radio] / self.reference_breakdown().total_uw

@@ -1,0 +1,245 @@
+"""BLE data-channel packets as an interscatter RF source (paper §7).
+
+The paper's evaluation uses *advertising* packets because they are easy to
+control on commodity devices, but its discussion section points out that
+Bluetooth **data** packets — sent on the 37 data channels once a connection
+exists — last up to ~2 ms and would therefore enable 1 Mbps Wi-Fi packets
+and much higher overall throughput.  The Bluetooth 4.2 length extension
+raises the data PDU payload to 251 bytes (2120 µs of payload at 1 Mbps).
+
+This module implements that extension: the data-channel PDU format, its
+CRC (whose initial value is negotiated per connection), whitening seeded by
+the data channel index, and the single-tone payload construction for data
+packets.  :mod:`repro.core.timing` consumes it through
+:class:`DataPacketTiming`-style helpers to quantify the throughput gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, CrcError, PacketFormatError
+from repro.utils.bits import bits_to_bytes, bits_to_int, bytes_to_bits, int_to_bits
+from repro.utils.crc import CrcEngine
+from repro.ble.channels import DATA_CHANNELS
+from repro.ble.packet import BLE_BIT_RATE_BPS, PREAMBLE_BYTE
+from repro.ble.whitening import whitening_sequence, whiten
+
+__all__ = [
+    "MAX_DATA_PAYLOAD_BYTES_LEGACY",
+    "MAX_DATA_PAYLOAD_BYTES_EXTENDED",
+    "DataChannelPacket",
+    "craft_data_channel_single_tone",
+    "DataChannelSingleTone",
+]
+
+#: Maximum data PDU payload before the Bluetooth 4.2 length extension.
+MAX_DATA_PAYLOAD_BYTES_LEGACY = 27
+
+#: Maximum data PDU payload with the 4.2 length extension (§7: "the latest
+#: Bluetooth standard increases the maximum length for these data packets").
+MAX_DATA_PAYLOAD_BYTES_EXTENDED = 251
+
+
+def _data_crc(crc_init: int) -> CrcEngine:
+    """CRC-24 engine with the connection-negotiated initial value."""
+    return CrcEngine(width=24, polynomial=0x00065B, init=crc_init, reflect=True)
+
+
+@dataclass
+class DataChannelPacket:
+    """A BLE data-channel packet.
+
+    Parameters
+    ----------
+    payload:
+        LL data payload (up to 251 bytes with the length extension).
+    access_address:
+        Connection access address (negotiated in CONNECT_REQ; any value
+        other than the advertising access address).
+    channel_index:
+        Data channel (0-36) the packet is sent on; seeds the whitening.
+    crc_init:
+        Connection-specific CRC initial value.
+    llid:
+        Link-layer identifier bits (2 = start of an L2CAP message).
+    extended_length:
+        Whether the 4.2 length extension is in force.
+    """
+
+    payload: bytes = b""
+    access_address: int = 0x50_65_AA_17
+    channel_index: int = 11
+    crc_init: int = 0x123456
+    llid: int = 2
+    extended_length: bool = True
+
+    def __post_init__(self) -> None:
+        limit = (
+            MAX_DATA_PAYLOAD_BYTES_EXTENDED
+            if self.extended_length
+            else MAX_DATA_PAYLOAD_BYTES_LEGACY
+        )
+        if len(self.payload) > limit:
+            raise PacketFormatError(
+                f"data payload limited to {limit} bytes, got {len(self.payload)}"
+            )
+        if self.channel_index not in DATA_CHANNELS:
+            raise ConfigurationError(
+                f"channel {self.channel_index} is not a BLE data channel (0-36)"
+            )
+        if not 0 <= self.crc_init < 2**24:
+            raise ConfigurationError("crc_init must be a 24-bit value")
+        if not 0 <= self.llid <= 3:
+            raise ConfigurationError("llid must fit in two bits")
+
+    # ------------------------------------------------------------------ PDU
+    def header_bytes(self) -> bytes:
+        """Two-byte data PDU header (LLID, NESN/SN/MD zeroed, length)."""
+        return bytes([self.llid & 0x03, len(self.payload) & 0xFF])
+
+    def pdu_bytes(self) -> bytes:
+        """Header + payload (the whitened, CRC-protected portion)."""
+        return self.header_bytes() + self.payload
+
+    def crc(self) -> int:
+        """CRC-24 over the PDU with the connection's initial value."""
+        return _data_crc(self.crc_init).compute(bytes_to_bits(self.pdu_bytes()))
+
+    # ------------------------------------------------------------ air frames
+    def air_bits(self) -> np.ndarray:
+        """Over-the-air bits: preamble + access address + whitened PDU/CRC."""
+        prefix = bytes([PREAMBLE_BYTE]) + self.access_address.to_bytes(4, "little")
+        prefix_bits = bytes_to_bits(prefix)
+        pdu_bits = bytes_to_bits(self.pdu_bytes())
+        crc_bits = int_to_bits(self.crc(), 24)
+        whitened = whiten(np.concatenate([pdu_bits, crc_bits]), self.channel_index)
+        return np.concatenate([prefix_bits, whitened])
+
+    def payload_air_bits(self) -> np.ndarray:
+        """The whitened payload bits only (the backscatter tone window)."""
+        pdu_bits = bytes_to_bits(self.pdu_bytes())
+        crc_bits = int_to_bits(self.crc(), 24)
+        whitened = whiten(np.concatenate([pdu_bits, crc_bits]), self.channel_index)
+        return whitened[16 : 16 + len(self.payload) * 8]
+
+    # ------------------------------------------------------------ durations
+    @property
+    def payload_duration_s(self) -> float:
+        """Duration of the payload window at 1 Mbps."""
+        return len(self.payload) * 8 / BLE_BIT_RATE_BPS
+
+    @property
+    def duration_s(self) -> float:
+        """Total on-air duration of the packet."""
+        return self.air_bits().size / BLE_BIT_RATE_BPS
+
+    # -------------------------------------------------------------- parsing
+    @classmethod
+    def from_air_bits(
+        cls,
+        bits: np.ndarray,
+        *,
+        channel_index: int,
+        access_address: int,
+        crc_init: int,
+    ) -> "DataChannelPacket":
+        """Parse a data-channel packet from over-the-air bits, checking the CRC."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        prefix_bits = (1 + 4) * 8
+        if bits.size < prefix_bits + 16 + 24:
+            raise PacketFormatError("bit stream too short for a data packet")
+        received_aa = bits_to_int(bits[8:40])
+        if received_aa != access_address:
+            raise PacketFormatError(
+                f"unexpected access address 0x{received_aa:08X}"
+            )
+        dewhitened = whiten(bits[prefix_bits:], channel_index)
+        header = bits_to_bytes(dewhitened[:16])
+        length = header[1]
+        pdu_bits_len = (2 + length) * 8
+        if dewhitened.size < pdu_bits_len + 24:
+            raise PacketFormatError("bit stream truncated before CRC")
+        pdu_bits = dewhitened[:pdu_bits_len]
+        crc_received = bits_to_int(dewhitened[pdu_bits_len : pdu_bits_len + 24])
+        crc_computed = _data_crc(crc_init).compute(pdu_bits)
+        if crc_received != crc_computed:
+            raise CrcError("BLE data packet CRC mismatch")
+        pdu = bits_to_bytes(pdu_bits)
+        return cls(
+            payload=pdu[2:],
+            access_address=access_address,
+            channel_index=channel_index,
+            crc_init=crc_init,
+            llid=pdu[0] & 0x03,
+        )
+
+
+@dataclass(frozen=True)
+class DataChannelSingleTone:
+    """Result of crafting a single-tone payload for a data-channel packet.
+
+    Attributes
+    ----------
+    packet:
+        The assembled data packet.
+    tone_bit:
+        Constant on-air bit value during the payload window.
+    tone_duration_s:
+        Duration of the usable tone (the payload window).
+    """
+
+    packet: DataChannelPacket
+    tone_bit: int
+    tone_duration_s: float
+
+    def on_air_payload_bits(self) -> np.ndarray:
+        """The whitened payload bits — all equal to :attr:`tone_bit`."""
+        return self.packet.payload_air_bits()
+
+
+def craft_data_channel_single_tone(
+    channel_index: int = 11,
+    *,
+    tone_bit: int = 1,
+    payload_length: int = MAX_DATA_PAYLOAD_BYTES_EXTENDED,
+    access_address: int = 0x50_65_AA_17,
+    crc_init: int = 0x123456,
+    extended_length: bool = True,
+) -> DataChannelSingleTone:
+    """Craft a data-channel payload that whitens into a constant bit stream.
+
+    Identical in spirit to the advertising-channel construction of §2.2,
+    but with the whitening seed of a *data* channel and a payload window of
+    up to 251 bytes (2008 µs) — enough for 1 Mbps Wi-Fi packets and a large
+    multiple of the per-advertisement throughput (paper §7).
+    """
+    if tone_bit not in (0, 1):
+        raise ConfigurationError("tone_bit must be 0 or 1")
+    limit = MAX_DATA_PAYLOAD_BYTES_EXTENDED if extended_length else MAX_DATA_PAYLOAD_BYTES_LEGACY
+    if not 0 < payload_length <= limit:
+        raise ConfigurationError(f"payload_length must be 1-{limit}")
+    if channel_index not in DATA_CHANNELS:
+        raise ConfigurationError(f"channel {channel_index} is not a BLE data channel")
+
+    header_bits = 16
+    payload_bits = payload_length * 8
+    keystream = whitening_sequence(channel_index, header_bits + payload_bits)
+    payload_keystream = keystream.bits[header_bits:]
+    desired = np.full(payload_bits, tone_bit, dtype=np.uint8)
+    data_bits = np.bitwise_xor(payload_keystream, desired)
+    payload = bits_to_bytes(data_bits)
+    packet = DataChannelPacket(
+        payload=payload,
+        access_address=access_address,
+        channel_index=channel_index,
+        crc_init=crc_init,
+        extended_length=extended_length,
+    )
+    return DataChannelSingleTone(
+        packet=packet,
+        tone_bit=tone_bit,
+        tone_duration_s=packet.payload_duration_s,
+    )

@@ -1,0 +1,96 @@
+"""Profiles of the commodity Bluetooth devices used in the paper's evaluation.
+
+The paper evaluates single-tone generation on a TI CC2650 development kit, a
+Samsung Galaxy S5 smartphone and a Moto 360 (2nd gen) smart watch (Fig. 9),
+and sweeps Bluetooth transmit powers of 0, 4, 10 and 20 dBm for the range
+experiments (Fig. 10), citing phones that support each level.  These
+profiles capture transmit power and small hardware impairments (carrier
+frequency offset, modulation-index error, phase noise) so the simulated
+spectra differ slightly per device, as the measured ones do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BleDeviceProfile", "DEVICE_PROFILES", "TX_POWER_LEVELS_DBM"]
+
+#: Transmit power levels swept in Fig. 10 and the devices the paper associates
+#: with them (0 dBm typical, 4 dBm Galaxy S6/OnePlus 2, 10 dBm Note 5/iPhone 6,
+#: 20 dBm class-1 devices).
+TX_POWER_LEVELS_DBM = (0.0, 4.0, 10.0, 20.0)
+
+
+@dataclass(frozen=True)
+class BleDeviceProfile:
+    """Transmit-side characteristics of a commodity BLE device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    tx_power_dbm:
+        Default advertising transmit power.
+    carrier_offset_hz:
+        Static carrier frequency offset from the nominal channel centre
+        (crystal tolerance).
+    modulation_index_error:
+        Relative error on the nominal 0.5 modulation index.
+    phase_noise_std_rad:
+        Standard deviation of per-sample phase noise.
+    advertising_interval_s:
+        Interval between advertising events.
+    inter_channel_gap_s:
+        Gap ΔT between the copies of an advertisement on channels 37/38/39
+        (≈400 µs for TI chipsets, §2.3.3).
+    """
+
+    name: str
+    tx_power_dbm: float
+    carrier_offset_hz: float = 0.0
+    modulation_index_error: float = 0.0
+    phase_noise_std_rad: float = 0.0
+    advertising_interval_s: float = 0.02
+    inter_channel_gap_s: float = 400e-6
+
+    @property
+    def frequency_deviation_hz(self) -> float:
+        """Actual frequency deviation after the modulation-index error."""
+        return 250_000.0 * (1.0 + self.modulation_index_error)
+
+
+#: The three devices evaluated in Fig. 9, plus a class-1 reference transmitter.
+DEVICE_PROFILES: dict[str, BleDeviceProfile] = {
+    "ti_cc2650": BleDeviceProfile(
+        name="TI CC2650",
+        tx_power_dbm=0.0,
+        carrier_offset_hz=2_000.0,
+        modulation_index_error=0.01,
+        phase_noise_std_rad=0.002,
+        advertising_interval_s=0.04,
+    ),
+    "galaxy_s5": BleDeviceProfile(
+        name="Samsung Galaxy S5",
+        tx_power_dbm=0.0,
+        carrier_offset_hz=-8_000.0,
+        modulation_index_error=0.04,
+        phase_noise_std_rad=0.006,
+        advertising_interval_s=0.02,
+    ),
+    "moto360": BleDeviceProfile(
+        name="Moto 360 (2nd gen)",
+        tx_power_dbm=0.0,
+        carrier_offset_hz=12_000.0,
+        modulation_index_error=0.06,
+        phase_noise_std_rad=0.008,
+        advertising_interval_s=0.02,
+    ),
+    "class1_reference": BleDeviceProfile(
+        name="Class 1 reference transmitter",
+        tx_power_dbm=20.0,
+        carrier_offset_hz=0.0,
+        modulation_index_error=0.0,
+        phase_noise_std_rad=0.001,
+        advertising_interval_s=0.02,
+    ),
+}

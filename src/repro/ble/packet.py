@@ -1,0 +1,208 @@
+"""BLE advertising packet structure (paper Fig. 5).
+
+An advertising-channel packet consists of::
+
+    preamble (1 byte, 0xAA) | access address (4 bytes, 0x8E89BED6)
+    | PDU header (2 bytes)  | AdvA (6 bytes) | AdvData (0-31 bytes)
+    | CRC (3 bytes)
+
+Only the PDU (header onward) is whitened and CRC-protected.  The paper
+exploits the fact that only the AdvData payload is application-controlled
+(and, through the Android API, only 24 of its 31 bytes) — the preamble,
+access address and header instead serve as the wake-up/timing reference for
+the backscatter tag's envelope detector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import CrcError, PacketFormatError
+from repro.utils.bits import bits_to_bytes, bits_to_int, bytes_to_bits, int_to_bits
+from repro.utils.crc import crc24_ble
+from repro.ble.whitening import whiten
+
+__all__ = [
+    "ADVERTISING_ACCESS_ADDRESS",
+    "PREAMBLE_BYTE",
+    "MAX_ADV_DATA_BYTES",
+    "ANDROID_CONTROLLABLE_PAYLOAD_BYTES",
+    "AdvertisingPduType",
+    "AdvertisingPacket",
+]
+
+#: Fixed access address used on all three advertising channels.
+ADVERTISING_ACCESS_ADDRESS = 0x8E89BED6
+
+#: Advertising packets use a 0xAA preamble (alternating 0/1, LSB first since
+#: the access address LSB is 0).
+PREAMBLE_BYTE = 0xAA
+
+#: Maximum AdvData length in bytes (legacy advertising).
+MAX_ADV_DATA_BYTES = 31
+
+#: The Android advertising API only exposes 24 of the 31 payload bytes
+#: (paper §2.2 footnote 3).
+ANDROID_CONTROLLABLE_PAYLOAD_BYTES = 24
+
+#: Bit rate of the LE 1M PHY.
+BLE_BIT_RATE_BPS = 1_000_000
+
+
+class AdvertisingPduType(enum.IntEnum):
+    """Advertising PDU types (header bits 0-3)."""
+
+    ADV_IND = 0x0
+    ADV_DIRECT_IND = 0x1
+    ADV_NONCONN_IND = 0x2
+    SCAN_REQ = 0x3
+    SCAN_RSP = 0x4
+    CONNECT_REQ = 0x5
+    ADV_SCAN_IND = 0x6
+
+
+@dataclass
+class AdvertisingPacket:
+    """A BLE advertising packet.
+
+    Parameters
+    ----------
+    advertiser_address:
+        Six-byte advertiser (MAC) address.
+    payload:
+        AdvData payload, up to 31 bytes.
+    pdu_type:
+        Advertising PDU type; the paper uses non-connectable advertisements.
+    channel_index:
+        Advertising channel (37, 38 or 39) the packet is destined for; used
+        for whitening when building the air bits.
+    """
+
+    advertiser_address: bytes = b"\xc0\xff\xee\xc0\xff\xee"
+    payload: bytes = b""
+    pdu_type: AdvertisingPduType = AdvertisingPduType.ADV_NONCONN_IND
+    channel_index: int = 38
+
+    def __post_init__(self) -> None:
+        if len(self.advertiser_address) != 6:
+            raise PacketFormatError("advertiser address must be exactly 6 bytes")
+        if len(self.payload) > MAX_ADV_DATA_BYTES:
+            raise PacketFormatError(
+                f"AdvData payload limited to {MAX_ADV_DATA_BYTES} bytes, got {len(self.payload)}"
+            )
+
+    # ------------------------------------------------------------------ PDU
+    def header_bytes(self) -> bytes:
+        """Two-byte PDU header: type, TxAdd/RxAdd flags and payload length."""
+        pdu_payload_length = 6 + len(self.payload)
+        header0 = int(self.pdu_type) & 0x0F
+        header1 = pdu_payload_length & 0x3F
+        return bytes([header0, header1])
+
+    def pdu_bytes(self) -> bytes:
+        """Header + AdvA + AdvData (the CRC-protected, whitened portion)."""
+        return self.header_bytes() + self.advertiser_address + self.payload
+
+    def crc(self) -> int:
+        """CRC-24 over the PDU, as transmitted on advertising channels."""
+        return crc24_ble.compute(bytes_to_bits(self.pdu_bytes()))
+
+    # ------------------------------------------------------------ air frames
+    def unwhitened_bits(self) -> np.ndarray:
+        """All packet bits before whitening (preamble → CRC), LSB first."""
+        preamble_and_aa = bytes([PREAMBLE_BYTE]) + ADVERTISING_ACCESS_ADDRESS.to_bytes(4, "little")
+        prefix_bits = bytes_to_bits(preamble_and_aa)
+        pdu_bits = bytes_to_bits(self.pdu_bytes())
+        crc_bits = int_to_bits(self.crc(), 24)
+        return np.concatenate([prefix_bits, pdu_bits, crc_bits])
+
+    def air_bits(self) -> np.ndarray:
+        """Over-the-air bits: PDU and CRC whitened, preamble/AA untouched."""
+        preamble_and_aa = bytes([PREAMBLE_BYTE]) + ADVERTISING_ACCESS_ADDRESS.to_bytes(4, "little")
+        prefix_bits = bytes_to_bits(preamble_and_aa)
+        pdu_bits = bytes_to_bits(self.pdu_bytes())
+        crc_bits = int_to_bits(self.crc(), 24)
+        whitened = whiten(np.concatenate([pdu_bits, crc_bits]), self.channel_index)
+        return np.concatenate([prefix_bits, whitened])
+
+    def payload_air_bits(self) -> np.ndarray:
+        """Only the whitened AdvData payload bits as they appear on the air.
+
+        This is the portion of the packet the interscatter tag backscatters
+        over (paper §2.2): the preamble/AA/header serve as the wake-up
+        trigger and the CRC trails the synthesized Wi-Fi packet.
+        """
+        pdu_bits = bytes_to_bits(self.pdu_bytes())
+        crc_bits = int_to_bits(self.crc(), 24)
+        whitened = whiten(np.concatenate([pdu_bits, crc_bits]), self.channel_index)
+        header_and_adva_bits = (2 + 6) * 8
+        payload_bits = len(self.payload) * 8
+        return whitened[header_and_adva_bits : header_and_adva_bits + payload_bits]
+
+    # ------------------------------------------------------------ durations
+    @property
+    def duration_s(self) -> float:
+        """On-air duration of the whole packet at 1 Mbps."""
+        return self.unwhitened_bits().size / BLE_BIT_RATE_BPS
+
+    @property
+    def preamble_header_duration_s(self) -> float:
+        """Duration of preamble + access address + header + AdvA (the 56 µs + AdvA window)."""
+        bits = (1 + 4 + 2 + 6) * 8
+        return bits / BLE_BIT_RATE_BPS
+
+    @property
+    def payload_duration_s(self) -> float:
+        """Duration of the AdvData payload — the backscatter window."""
+        return len(self.payload) * 8 / BLE_BIT_RATE_BPS
+
+    # -------------------------------------------------------------- parsing
+    @classmethod
+    def from_air_bits(cls, bits: np.ndarray, channel_index: int) -> "AdvertisingPacket":
+        """Parse a packet from over-the-air bits, verifying the CRC.
+
+        Raises
+        ------
+        PacketFormatError
+            If the bit stream is too short or the access address is wrong.
+        CrcError
+            If the CRC-24 check fails after de-whitening.
+        """
+        prefix_bits = (1 + 4) * 8
+        min_bits = prefix_bits + (2 + 6) * 8 + 24
+        if bits.size < min_bits:
+            raise PacketFormatError(f"need at least {min_bits} bits, got {bits.size}")
+        access_address = bits_to_int(bits[8:40])
+        if access_address != ADVERTISING_ACCESS_ADDRESS:
+            raise PacketFormatError(
+                f"unexpected access address 0x{access_address:08X}"
+            )
+        dewhitened = whiten(bits[prefix_bits:], channel_index)
+        header = bits_to_bytes(dewhitened[:16])
+        try:
+            pdu_type = AdvertisingPduType(header[0] & 0x0F)
+        except ValueError as exc:
+            raise PacketFormatError(f"invalid PDU type 0x{header[0] & 0x0F:X}") from exc
+        pdu_length = header[1] & 0x3F
+        if pdu_length < 6:
+            raise PacketFormatError(f"PDU length {pdu_length} shorter than AdvA")
+        pdu_bits_len = (2 + pdu_length) * 8
+        if dewhitened.size < pdu_bits_len + 24:
+            raise PacketFormatError("bit stream truncated before CRC")
+        pdu_bits = dewhitened[:pdu_bits_len]
+        crc_received = bits_to_int(dewhitened[pdu_bits_len : pdu_bits_len + 24])
+        crc_computed = crc24_ble.compute(pdu_bits)
+        if crc_received != crc_computed:
+            raise CrcError(
+                f"BLE CRC mismatch: received 0x{crc_received:06X}, computed 0x{crc_computed:06X}"
+            )
+        pdu = bits_to_bytes(pdu_bits)
+        return cls(
+            advertiser_address=pdu[2:8],
+            payload=pdu[8 : 2 + pdu_length],
+            pdu_type=pdu_type,
+            channel_index=channel_index,
+        )

@@ -1,0 +1,177 @@
+"""BLE transmitter model producing complete advertising waveforms.
+
+Combines packet assembly, whitening, GFSK modulation and device impairments
+into one object so the core interscatter pipeline and the experiments can
+say "give me the waveform a Galaxy S5 would emit for this payload on
+channel 38 at 10 dBm".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.dsp import dbm_to_watts
+from repro.ble.channels import advertising_channel
+from repro.ble.devices import BleDeviceProfile, DEVICE_PROFILES
+from repro.ble.gfsk import GfskModulator, GfskWaveform
+from repro.ble.packet import AdvertisingPacket
+from repro.ble.single_tone import SingleTonePayload, craft_single_tone_payload
+
+__all__ = ["BleTransmission", "BleTransmitter"]
+
+
+@dataclass(frozen=True)
+class BleTransmission:
+    """A transmitted advertising packet and its waveform.
+
+    Attributes
+    ----------
+    packet:
+        The advertising packet that was sent.
+    waveform:
+        Complex baseband waveform (amplitude scaled so that
+        ``|s|^2`` equals the transmit power in watts).
+    payload_start_sample / payload_end_sample:
+        Sample indices delimiting the AdvData payload region — the window in
+        which a crafted payload is a pure tone and backscattering happens.
+    tx_power_dbm:
+        Transmit power used.
+    """
+
+    packet: AdvertisingPacket
+    waveform: GfskWaveform
+    payload_start_sample: int
+    payload_end_sample: int
+    tx_power_dbm: float
+
+    @property
+    def payload_waveform(self) -> np.ndarray:
+        """Samples covering only the payload (single-tone) window."""
+        return self.waveform.samples[self.payload_start_sample : self.payload_end_sample]
+
+
+class BleTransmitter:
+    """A commodity BLE device transmitting advertising packets.
+
+    Parameters
+    ----------
+    profile:
+        Device profile (name from :data:`repro.ble.devices.DEVICE_PROFILES`
+        or a :class:`BleDeviceProfile` instance).
+    samples_per_symbol:
+        Oversampling factor for the generated waveform.
+    tx_power_dbm:
+        Override of the profile's transmit power.
+    rng:
+        Random generator for phase noise; pass a seeded generator for
+        reproducible waveforms.
+    """
+
+    def __init__(
+        self,
+        profile: str | BleDeviceProfile = "ti_cc2650",
+        *,
+        samples_per_symbol: int = 8,
+        tx_power_dbm: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if isinstance(profile, str):
+            try:
+                profile = DEVICE_PROFILES[profile]
+            except KeyError as exc:
+                raise KeyError(
+                    f"unknown device profile {profile!r}; available: {sorted(DEVICE_PROFILES)}"
+                ) from exc
+        self.profile = profile
+        self.samples_per_symbol = samples_per_symbol
+        self.tx_power_dbm = profile.tx_power_dbm if tx_power_dbm is None else tx_power_dbm
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._modulator = GfskModulator(
+            samples_per_symbol,
+            frequency_deviation_hz=profile.frequency_deviation_hz,
+        )
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Sample rate of emitted waveforms."""
+        return self._modulator.sample_rate_hz
+
+    def transmit(self, packet: AdvertisingPacket) -> BleTransmission:
+        """Emit the waveform for an advertising packet with device impairments."""
+        channel = advertising_channel(packet.channel_index)
+        air_bits = packet.air_bits()
+        waveform = self._modulator.modulate(
+            air_bits, center_frequency_hz=channel.frequency_hz
+        )
+        samples = waveform.samples
+
+        # Device impairments: carrier offset and phase noise.
+        if self.profile.carrier_offset_hz:
+            n = np.arange(samples.size)
+            samples = samples * np.exp(
+                2j * np.pi * self.profile.carrier_offset_hz * n / waveform.sample_rate_hz
+            )
+        if self.profile.phase_noise_std_rad > 0:
+            phase_noise = np.cumsum(
+                self._rng.normal(0.0, self.profile.phase_noise_std_rad, samples.size)
+            )
+            # Keep the random walk bounded so long payloads do not drift away.
+            phase_noise -= np.linspace(0, phase_noise[-1], samples.size)
+            samples = samples * np.exp(1j * phase_noise)
+
+        amplitude = np.sqrt(dbm_to_watts(self.tx_power_dbm))
+        samples = samples * amplitude
+
+        sps = self.samples_per_symbol
+        prefix_bits = (1 + 4 + 2 + 6) * 8
+        payload_bits = len(packet.payload) * 8
+        return BleTransmission(
+            packet=packet,
+            waveform=GfskWaveform(
+                samples=samples,
+                sample_rate_hz=waveform.sample_rate_hz,
+                center_frequency_hz=channel.frequency_hz,
+            ),
+            payload_start_sample=prefix_bits * sps,
+            payload_end_sample=(prefix_bits + payload_bits) * sps,
+            tx_power_dbm=self.tx_power_dbm,
+        )
+
+    def transmit_single_tone(
+        self,
+        channel_index: int = 38,
+        *,
+        tone_bit: int = 1,
+        payload_length: int = 31,
+        android_constraint: bool = False,
+    ) -> tuple[SingleTonePayload, BleTransmission]:
+        """Craft a single-tone payload and transmit it.
+
+        Returns the crafted payload description and the transmission.
+        """
+        crafted = craft_single_tone_payload(
+            channel_index,
+            tone_bit=tone_bit,
+            payload_length=payload_length,
+            android_constraint=android_constraint,
+        )
+        return crafted, self.transmit(crafted.packet)
+
+    def transmit_random_payload(
+        self,
+        channel_index: int = 38,
+        *,
+        payload_length: int = 31,
+        rng: np.random.Generator | None = None,
+    ) -> BleTransmission:
+        """Transmit an advertisement with random application data.
+
+        Used as the comparison case in Fig. 9 (random BLE transmission vs
+        interscatter single-tone transmission).
+        """
+        generator = rng if rng is not None else self._rng
+        payload = bytes(int(b) for b in generator.integers(0, 256, payload_length))
+        packet = AdvertisingPacket(payload=payload, channel_index=channel_index)
+        return self.transmit(packet)

@@ -1,0 +1,146 @@
+"""Crafting BLE payloads that put a single tone on the air (paper §2.2).
+
+The trick: BLE whitens the PDU with a keystream that is a deterministic
+function of the advertising channel.  If the application payload bits are
+set *equal to* the keystream bits covering the payload region, the whitened
+(on-air) payload bits are all zeros — and GFSK then emits a constant
+-250 kHz tone for the duration of the payload.  Setting the payload to the
+keystream's complement yields all ones and a +250 kHz tone.
+
+Only the AdvData payload is controllable (and on Android only 24 of its 31
+bytes), so the tone exists only during the payload window; the preamble,
+access address, header, AdvA and CRC still carry ordinary modulation.  The
+backscatter tag therefore uses the packet prefix for wake-up/timing and
+finishes its Wi-Fi transmission before the CRC starts (§2.2, §2.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+from repro.ble.packet import (
+    ANDROID_CONTROLLABLE_PAYLOAD_BYTES,
+    MAX_ADV_DATA_BYTES,
+    AdvertisingPacket,
+)
+from repro.ble.whitening import whitening_sequence
+
+__all__ = ["SingleTonePayload", "craft_single_tone_payload", "tone_offset_hz"]
+
+
+@dataclass(frozen=True)
+class SingleTonePayload:
+    """Result of the single-tone payload construction.
+
+    Attributes
+    ----------
+    channel_index:
+        Advertising channel the payload was crafted for.
+    payload:
+        AdvData bytes to hand to the advertising API.
+    tone_bit:
+        The constant on-air bit value the payload produces (0 or 1).
+    packet:
+        A fully assembled advertising packet carrying the payload.
+    controllable_bytes:
+        How many payload bytes were assumed controllable.
+    """
+
+    channel_index: int
+    payload: bytes
+    tone_bit: int
+    packet: AdvertisingPacket
+    controllable_bytes: int
+
+    @property
+    def tone_offset_hz(self) -> float:
+        """Frequency offset of the emitted tone from the channel centre."""
+        return tone_offset_hz(self.tone_bit)
+
+    def on_air_payload_bits(self) -> np.ndarray:
+        """The whitened payload bits — all equal to :attr:`tone_bit`."""
+        return self.packet.payload_air_bits()
+
+
+def tone_offset_hz(tone_bit: int, deviation_hz: float = 250_000.0) -> float:
+    """Frequency offset produced by a constant stream of *tone_bit*."""
+    if tone_bit not in (0, 1):
+        raise ConfigurationError("tone_bit must be 0 or 1")
+    return deviation_hz if tone_bit == 1 else -deviation_hz
+
+
+def craft_single_tone_payload(
+    channel_index: int = 38,
+    *,
+    tone_bit: int = 1,
+    payload_length: int = MAX_ADV_DATA_BYTES,
+    android_constraint: bool = False,
+    advertiser_address: bytes = b"\xc0\xff\xee\xc0\xff\xee",
+) -> SingleTonePayload:
+    """Compute the AdvData payload that whitens to a constant bit stream.
+
+    Parameters
+    ----------
+    channel_index:
+        Advertising channel (37, 38 or 39); determines the whitening seed.
+    tone_bit:
+        Desired constant on-air bit: 1 → +250 kHz tone, 0 → −250 kHz tone.
+    payload_length:
+        Number of AdvData bytes to fill (max 31).
+    android_constraint:
+        When True only the first 24 bytes are treated as controllable
+        (matching the Android API restriction noted in the paper); the
+        remaining bytes are zero-filled and whiten to pseudo-random bits.
+    advertiser_address:
+        Six-byte AdvA, part of the un-controllable prefix.
+
+    Returns
+    -------
+    SingleTonePayload
+        The crafted payload plus the assembled packet for inspection.
+    """
+    if tone_bit not in (0, 1):
+        raise ConfigurationError("tone_bit must be 0 or 1")
+    if not 0 < payload_length <= MAX_ADV_DATA_BYTES:
+        raise ConfigurationError(
+            f"payload_length must be 1-{MAX_ADV_DATA_BYTES}, got {payload_length}"
+        )
+
+    controllable = payload_length
+    if android_constraint:
+        controllable = min(payload_length, ANDROID_CONTROLLABLE_PAYLOAD_BYTES)
+
+    # The whitening keystream starts at the first PDU bit.  The payload
+    # begins after the 2-byte header and 6-byte AdvA.
+    header_and_adva_bits = (2 + 6) * 8
+    payload_bits = payload_length * 8
+    keystream = whitening_sequence(channel_index, header_and_adva_bits + payload_bits)
+    payload_keystream = keystream.bits[header_and_adva_bits:]
+
+    # Data XOR keystream = on-air bits.  To force the on-air bits to
+    # `tone_bit` we set data = keystream XOR tone_bit.
+    desired = np.full(payload_bits, tone_bit, dtype=np.uint8)
+    data_bits = np.bitwise_xor(payload_keystream, desired)
+
+    if android_constraint and controllable < payload_length:
+        # Bytes beyond the controllable region cannot be set; zero them.
+        data_bits = data_bits.copy()
+        data_bits[controllable * 8 :] = 0
+
+    payload = bits_to_bytes(data_bits)
+    packet = AdvertisingPacket(
+        advertiser_address=advertiser_address,
+        payload=payload,
+        channel_index=channel_index,
+    )
+    return SingleTonePayload(
+        channel_index=channel_index,
+        payload=payload,
+        tone_bit=tone_bit,
+        packet=packet,
+        controllable_bytes=controllable,
+    )

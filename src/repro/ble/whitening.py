@@ -1,0 +1,105 @@
+"""BLE data whitening (paper §2.2, Fig. 4).
+
+Bluetooth whitens the PDU (header + payload + CRC) with a 7-bit LFSR using
+the polynomial ``x^7 + x^4 + 1``.  The register is initialised with position
+0 set to one and positions 1–6 set to the channel index (MSB first per the
+Bluetooth Core specification).  Because the whitening sequence is a pure
+function of the channel number, an application can pre-compute it and choose
+payload bits equal to the keystream (or its complement), so the *whitened*
+bits on the air become all zeros (or all ones) — the key trick that turns a
+Bluetooth radio into a single-tone transmitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.bits import as_bit_array
+
+__all__ = ["WhiteningSequence", "whitening_sequence", "whiten", "initial_state_for_channel"]
+
+_REGISTER_BITS = 7
+
+
+def initial_state_for_channel(channel_index: int) -> list[int]:
+    """Whitening register initial state for a BLE channel.
+
+    Position 0 is set to 1 and positions 1..6 carry the channel index with
+    its most significant bit in position 1, per the Bluetooth Core spec
+    (Vol 6, Part B, §3.2).
+    """
+    if not 0 <= channel_index <= 39:
+        raise ConfigurationError(f"BLE channel index must be 0-39, got {channel_index}")
+    state = [1]
+    for bit_position in range(5, -1, -1):
+        state.append((channel_index >> bit_position) & 1)
+    return state
+
+
+def _advance(state: list[int]) -> tuple[int, list[int]]:
+    """One step of the whitening LFSR; returns (output bit, next state).
+
+    The output is taken from position 6 (x^7 stage); the feedback is the
+    output bit, which is shifted into position 0 and XORed into position 4
+    (the x^4 tap).
+    """
+    out = state[6]
+    next_state = [out] + state[0:6]
+    next_state[4] ^= out
+    return out, next_state
+
+
+@dataclass(frozen=True)
+class WhiteningSequence:
+    """A pre-computed whitening keystream for one BLE channel.
+
+    Attributes
+    ----------
+    channel_index:
+        The channel whose seed generated the keystream.
+    bits:
+        The keystream bits, in transmission order, starting at the first PDU
+        bit (whitening does not cover preamble or access address).
+    """
+
+    channel_index: int
+    bits: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.bits.size)
+
+    def apply(self, data_bits: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Whiten (or de-whiten — the operation is its own inverse) bits."""
+        arr = as_bit_array(data_bits)
+        if arr.size > self.bits.size:
+            raise ValueError(
+                f"whitening sequence has {self.bits.size} bits, need {arr.size}"
+            )
+        return np.bitwise_xor(arr, self.bits[: arr.size])
+
+
+def whitening_sequence(channel_index: int, length: int) -> WhiteningSequence:
+    """Generate *length* whitening bits for the given BLE channel."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    state = initial_state_for_channel(channel_index)
+    bits = np.empty(length, dtype=np.uint8)
+    for i in range(length):
+        out, state = _advance(state)
+        bits[i] = out
+    return WhiteningSequence(channel_index=channel_index, bits=bits)
+
+
+def whiten(data_bits: Iterable[int] | np.ndarray, channel_index: int) -> np.ndarray:
+    """Whiten *data_bits* for transmission on *channel_index*.
+
+    The same function de-whitens received bits (XOR with the keystream is an
+    involution).
+    """
+    arr = as_bit_array(data_bits)
+    sequence = whitening_sequence(channel_index, arr.size)
+    return sequence.apply(arr)

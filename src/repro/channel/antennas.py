@@ -1,0 +1,72 @@
+"""Antenna models for the devices in the paper's evaluation.
+
+Three antennas matter:
+
+* the 2 dBi monopole used on the interscatter FPGA prototype and the
+  Bluetooth/Wi-Fi test devices,
+* the 1 cm-diameter loop of the contact-lens prototype (30 AWG wire in
+  PDMS), which is electrically small, poorly matched and lossy, and
+* the 4 cm full-wavelength loop of the neural-implant prototype (16 AWG
+  magnet wire in 2 mm PDMS).
+
+The small antennas are modelled by a gain (negative dBi) plus a complex
+feed-point impedance, which the backscatter switch network must be
+re-optimised for (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AntennaModel", "ANTENNAS"]
+
+
+@dataclass(frozen=True)
+class AntennaModel:
+    """Simple antenna description used by the link budget.
+
+    Attributes
+    ----------
+    name:
+        Human-readable antenna name.
+    gain_dbi:
+        Realised gain including matching/efficiency losses.
+    impedance_ohm:
+        Feed-point impedance at 2.45 GHz.
+    description:
+        Where the antenna appears in the paper.
+    """
+
+    name: str
+    gain_dbi: float
+    impedance_ohm: complex = 50.0 + 0.0j
+    description: str = ""
+
+
+#: Antennas referenced in the paper.
+ANTENNAS: dict[str, AntennaModel] = {
+    "monopole_2dbi": AntennaModel(
+        name="2 dBi monopole",
+        gain_dbi=2.0,
+        impedance_ohm=50.0 + 0.0j,
+        description="FPGA prototype / commodity device antenna (§3, §4)",
+    ),
+    "contact_lens_loop": AntennaModel(
+        name="1 cm contact-lens loop",
+        gain_dbi=-9.0,
+        impedance_ohm=15.0 + 45.0j,
+        description="30 AWG loop in 200 µm PDMS, in saline (§5.1)",
+    ),
+    "neural_implant_loop": AntennaModel(
+        name="4 cm implant loop",
+        gain_dbi=-15.0,
+        impedance_ohm=35.0 + 20.0j,
+        description="16 AWG full-wavelength loop in 2 mm PDMS, detuned by tissue (§5.2)",
+    ),
+    "credit_card_trace": AntennaModel(
+        name="credit-card PCB trace antenna",
+        gain_dbi=0.0,
+        impedance_ohm=50.0 + 0.0j,
+        description="card-to-card prototype antenna (§5.3)",
+    ),
+}

@@ -1,0 +1,61 @@
+"""Receiver noise models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import LinkBudgetError
+
+__all__ = ["BOLTZMANN_CONSTANT", "thermal_noise_dbm", "NoiseModel"]
+
+#: Boltzmann constant (J/K).
+BOLTZMANN_CONSTANT = 1.380649e-23
+
+
+def thermal_noise_dbm(bandwidth_hz: float, *, temperature_k: float = 290.0) -> float:
+    """Thermal noise floor kTB in dBm for the given bandwidth."""
+    if bandwidth_hz <= 0:
+        raise LinkBudgetError("bandwidth must be positive")
+    noise_watts = BOLTZMANN_CONSTANT * temperature_k * bandwidth_hz
+    return float(10.0 * np.log10(noise_watts) + 30.0)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Receiver noise description.
+
+    Attributes
+    ----------
+    bandwidth_hz:
+        Noise bandwidth of the receiver (22 MHz for 802.11b, 2 MHz for
+        802.15.4, 1 MHz for a BLE receiver).
+    noise_figure_db:
+        Receiver noise figure.
+    temperature_k:
+        Physical temperature.
+    interference_dbm:
+        Extra in-band interference power (e.g. residual Bluetooth leakage),
+        added to the noise floor.
+    """
+
+    bandwidth_hz: float = 22e6
+    noise_figure_db: float = 6.0
+    temperature_k: float = 290.0
+    interference_dbm: float | None = None
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        """Total noise + interference power at the demodulator input."""
+        thermal = thermal_noise_dbm(self.bandwidth_hz, temperature_k=self.temperature_k)
+        floor = thermal + self.noise_figure_db
+        if self.interference_dbm is not None:
+            floor = 10.0 * np.log10(
+                10.0 ** (floor / 10.0) + 10.0 ** (self.interference_dbm / 10.0)
+            )
+        return float(floor)
+
+    def snr_db(self, signal_dbm: float) -> float:
+        """SNR for a given received signal power."""
+        return signal_dbm - self.noise_floor_dbm

@@ -1,0 +1,180 @@
+"""High-level façade: an end-to-end interscatter link.
+
+:class:`InterscatterLink` wires the Bluetooth tone source, the tag device,
+the backscatter uplink and the OFDM AM downlink into one object so the
+examples and experiments can express scenarios in a few lines:
+
+>>> link = InterscatterLink(wifi_rate_mbps=2.0)
+>>> result = link.transmit(b"glucose=5.4mmol/L")
+>>> result.crc_ok
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ble.devices import BleDeviceProfile
+from repro.channel.geometry import feet_to_meters
+from repro.channel.link_budget import BackscatterLinkBudget
+from repro.core.device import InterscatterDevice
+from repro.core.downlink import DownlinkResult, InterscatterDownlink
+from repro.core.timing import InterscatterTiming
+from repro.core.tone_source import BluetoothToneSource
+from repro.core.uplink import InterscatterUplink, UplinkResult, UplinkTarget
+
+__all__ = ["EndToEndResult", "InterscatterLink"]
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    """Result of one end-to-end interscatter exchange.
+
+    Attributes
+    ----------
+    uplink:
+        Result of the tag → receiver (backscattered Wi-Fi/ZigBee) direction.
+    downlink:
+        Result of the receiver → tag (OFDM AM) direction, when a query was
+        requested.
+    crc_ok:
+        Convenience mirror of ``uplink.crc_ok``.
+    tag_energy_uj:
+        Energy the tag spent on the exchange.
+    """
+
+    uplink: UplinkResult
+    downlink: DownlinkResult | None
+    crc_ok: bool
+    tag_energy_uj: float
+
+
+class InterscatterLink:
+    """End-to-end interscatter link between commodity devices and a tag.
+
+    Parameters
+    ----------
+    wifi_rate_mbps:
+        802.11b rate the tag synthesizes (2, 5.5 or 11 Mbps).
+    target:
+        ``"wifi"`` (default) or ``"zigbee"``.
+    bluetooth_device:
+        Profile of the Bluetooth RF source (name or instance).
+    bluetooth_power_dbm:
+        Advertising transmit power (0/4/10/20 dBm in the evaluation).
+    bluetooth_to_tag_feet / tag_to_receiver_feet:
+        Link geometry, in feet to match the paper's reporting.
+    tag_antenna:
+        Antenna of the tag (name from :data:`repro.channel.antennas.ANTENNAS`).
+    tissue:
+        Optional tissue preset covering the tag (for implant scenarios).
+    use_waveform_pipeline:
+        When True, :meth:`transmit` runs the full waveform simulation
+        (slower, exact); when False it uses the link-budget + error-model
+        path (fast, statistical).
+    """
+
+    def __init__(
+        self,
+        *,
+        wifi_rate_mbps: float = 2.0,
+        target: str | UplinkTarget = UplinkTarget.WIFI_80211B,
+        bluetooth_device: str | BleDeviceProfile = "ti_cc2650",
+        bluetooth_power_dbm: float = 10.0,
+        bluetooth_to_tag_feet: float = 1.0,
+        tag_to_receiver_feet: float = 10.0,
+        tag_antenna: str = "monopole_2dbi",
+        tissue: str | None = None,
+        use_waveform_pipeline: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(23)
+        self.timing = InterscatterTiming(wifi_rate_mbps=wifi_rate_mbps if target in ("wifi", UplinkTarget.WIFI_80211B) else 2.0)
+        self.tone_source = BluetoothToneSource(
+            bluetooth_device, tx_power_dbm=bluetooth_power_dbm, rng=self._rng
+        )
+        self.device = InterscatterDevice(self.timing, rng=self._rng)
+        budget = BackscatterLinkBudget(
+            source_power_dbm=bluetooth_power_dbm,
+            tag_antenna=tag_antenna,
+            tissue=tissue,
+        )
+        self.uplink = InterscatterUplink(
+            target,
+            wifi_rate_mbps=wifi_rate_mbps,
+            link_budget=budget,
+            rng=self._rng,
+        )
+        self.downlink = InterscatterDownlink(rng=self._rng)
+        self.bluetooth_power_dbm = bluetooth_power_dbm
+        self.bluetooth_to_tag_feet = bluetooth_to_tag_feet
+        self.tag_to_receiver_feet = tag_to_receiver_feet
+        self.use_waveform_pipeline = use_waveform_pipeline
+
+    # ------------------------------------------------------------------ API
+    def transmit(
+        self,
+        payload: bytes = b"interscatter",
+        *,
+        query_bits: np.ndarray | None = None,
+    ) -> EndToEndResult:
+        """Run one exchange: optional downlink query, then the uplink reply."""
+        if not payload:
+            raise ConfigurationError("payload must not be empty")
+        # Minimal frames carry 2 bytes of sequence number and a 4-byte FCS.
+        overhead = 6 if self.uplink.frame_style == "minimal" else 28
+        max_payload = self.timing.max_wifi_payload_bytes(mac_overhead_bytes=overhead)
+        if self.uplink.target is UplinkTarget.WIFI_80211B and len(payload) > max_payload:
+            raise ConfigurationError(
+                f"payload of {len(payload)} bytes does not fit in one advertisement; "
+                f"maximum at {self.timing.wifi_rate_mbps} Mbps is {max_payload} bytes"
+            )
+
+        downlink_result: DownlinkResult | None = None
+        if query_bits is not None:
+            downlink_result = self.downlink.simulate_link(
+                query_bits,
+                feet_to_meters(self.tag_to_receiver_feet),
+                rng=self._rng,
+            )
+
+        opportunity = self.device.service_advertisement()
+        if self.use_waveform_pipeline:
+            uplink_result = self.uplink.simulate_waveform(payload)
+        else:
+            uplink_result = self.uplink.simulate_link(
+                source_power_dbm=self.bluetooth_power_dbm,
+                source_to_tag_m=feet_to_meters(self.bluetooth_to_tag_feet),
+                tag_to_receiver_m=feet_to_meters(self.tag_to_receiver_feet),
+                payload_bytes=len(payload),
+                rng=self._rng,
+            )
+        crc_ok = uplink_result.crc_ok and opportunity.detected and opportunity.fits_in_window
+        return EndToEndResult(
+            uplink=uplink_result,
+            downlink=downlink_result,
+            crc_ok=crc_ok,
+            tag_energy_uj=opportunity.energy_uj,
+        )
+
+    def rssi_at(self, tag_to_receiver_feet: float) -> float:
+        """RSSI of the synthesized packet at a given receiver distance."""
+        result = self.uplink.simulate_link(
+            source_power_dbm=self.bluetooth_power_dbm,
+            source_to_tag_m=feet_to_meters(self.bluetooth_to_tag_feet),
+            tag_to_receiver_m=feet_to_meters(tag_to_receiver_feet),
+        )
+        return result.rssi_dbm
+
+    def packet_error_rate_at(self, tag_to_receiver_feet: float, *, payload_bytes: int = 31) -> float:
+        """Analytic PER at a given receiver distance."""
+        result = self.uplink.simulate_link(
+            source_power_dbm=self.bluetooth_power_dbm,
+            source_to_tag_m=feet_to_meters(self.bluetooth_to_tag_feet),
+            tag_to_receiver_m=feet_to_meters(tag_to_receiver_feet),
+            payload_bytes=payload_bytes,
+        )
+        return result.packet_error_rate if result.packet_error_rate is not None else 1.0

@@ -1,0 +1,285 @@
+"""Query-reply protocol and collision-avoidance optimisations (§2.3.3, §2.5).
+
+Three mechanisms from the paper are modelled:
+
+* **CTS-to-Self reservation** — a device that owns both the Wi-Fi and the
+  Bluetooth radio schedules a CTS_to_Self just before the Bluetooth
+  advertisement, reserving the Wi-Fi channel for the backscatter duration.
+* **RTS/CTS bootstrapping across advertising channels** — advertisements go
+  out on channels 37, 38 and 39 separated by ΔT (≈400 µs on TI chipsets).
+  The tag backscatters an RTS while channel 37 is transmitting; the Wi-Fi
+  receiver answers with a CTS reserving the medium for ``2ΔT + T_bluetooth``,
+  covering the copies on channels 38 and 39 that carry the actual data.
+* **Data-first variant** — the RTS is replaced by a data packet so no
+  airtime is wasted when the channel was idle anyway.
+
+The model is event-based at microsecond granularity: it produces a schedule
+of protocol events and computes delivery/collision statistics under a
+configurable level of contending Wi-Fi traffic.
+
+It also implements the §2.5 query-reply loop: the Wi-Fi device queries each
+tag over the AM downlink, the addressed tag replies over the backscatter
+uplink, and multiple tags are served one after the other.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.core.timing import InterscatterTiming
+
+__all__ = ["ProtocolEvent", "ChannelReservation", "QueryReplyProtocol", "ReservationStrategy"]
+
+#: Gap between the copies of an advertisement on channels 37/38/39 for TI
+#: chipsets (§2.3.3).
+DEFAULT_INTER_CHANNEL_GAP_S = 400e-6
+
+
+class ReservationStrategy(enum.Enum):
+    """How the Wi-Fi channel is protected during backscatter."""
+
+    NONE = "none"
+    CTS_TO_SELF = "cts_to_self"
+    RTS_CTS = "rts_cts"
+    DATA_FIRST = "data_first"
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One event in the protocol timeline.
+
+    Attributes
+    ----------
+    time_s:
+        Event start time.
+    duration_s:
+        Event duration.
+    kind:
+        Event label (e.g. ``"ble_adv_ch37"``, ``"rts"``, ``"cts"``,
+        ``"backscatter_data"``, ``"collision"``).
+    channel:
+        Logical channel the event occupies (e.g. ``"wifi_11"``).
+    success:
+        Whether the event completed without collision.
+    """
+
+    time_s: float
+    duration_s: float
+    kind: str
+    channel: str
+    success: bool = True
+
+
+@dataclass(frozen=True)
+class ChannelReservation:
+    """A medium reservation obtained via CTS/CTS-to-Self.
+
+    Attributes
+    ----------
+    start_s / duration_s:
+        Reservation window.
+    mechanism:
+        Strategy that obtained it.
+    """
+
+    start_s: float
+    duration_s: float
+    mechanism: ReservationStrategy
+
+
+@dataclass
+class QueryReplyProtocol:
+    """Scheduler for the interscatter query-reply exchange.
+
+    Parameters
+    ----------
+    timing:
+        Packet-in-packet timing (determines backscatter packet air times).
+    strategy:
+        Channel-reservation strategy.
+    inter_channel_gap_s:
+        ΔT between advertising-channel copies.
+    contention_probability:
+        Probability that an unprotected backscatter transmission collides
+        with other Wi-Fi traffic (per packet).
+    downlink_query_bits:
+        Length of the AM query sent to address a tag.
+    """
+
+    timing: InterscatterTiming = field(default_factory=InterscatterTiming)
+    strategy: ReservationStrategy = ReservationStrategy.RTS_CTS
+    inter_channel_gap_s: float = DEFAULT_INTER_CHANNEL_GAP_S
+    contention_probability: float = 0.2
+    downlink_query_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.contention_probability <= 1.0:
+            raise ConfigurationError("contention_probability must be in [0, 1]")
+        if self.inter_channel_gap_s < 0:
+            raise ConfigurationError("inter_channel_gap_s must be non-negative")
+        if self.downlink_query_bits <= 0:
+            raise ConfigurationError("downlink_query_bits must be positive")
+
+    # ------------------------------------------------------------------ API
+    def advertisement_event_timeline(self, *, start_s: float = 0.0) -> list[ProtocolEvent]:
+        """Timeline of one advertising event (channels 37, 38, 39)."""
+        duration = self.timing.ble_payload_duration_s + 80e-6  # payload + prefix/CRC
+        events = []
+        for index, channel in enumerate((37, 38, 39)):
+            t = start_s + index * (duration + self.inter_channel_gap_s)
+            events.append(
+                ProtocolEvent(
+                    time_s=t,
+                    duration_s=duration,
+                    kind=f"ble_adv_ch{channel}",
+                    channel=f"ble_{channel}",
+                )
+            )
+        return events
+
+    def reservation_window_s(self) -> float:
+        """Length of the medium reservation the CTS grants: 2ΔT + T_bluetooth."""
+        t_bluetooth = self.timing.ble_payload_duration_s + 80e-6
+        return 2.0 * self.inter_channel_gap_s + t_bluetooth
+
+    def schedule_exchange(
+        self,
+        *,
+        num_data_packets: int = 2,
+        rng: np.random.Generator | None = None,
+        start_s: float = 0.0,
+    ) -> tuple[list[ProtocolEvent], ChannelReservation | None]:
+        """Schedule one full exchange and report whether data survived.
+
+        Returns the event list and the reservation obtained (if any).  With
+        ``RTS_CTS`` or ``DATA_FIRST`` the first advertising-channel copy is
+        spent bootstrapping the reservation and only the remaining copies
+        carry data, exactly as described in §2.3.3.
+        """
+        generator = rng if rng is not None else np.random.default_rng()
+        adv_events = self.advertisement_event_timeline(start_s=start_s)
+        events: list[ProtocolEvent] = list(adv_events)
+        reservation: ChannelReservation | None = None
+        wifi_air = self.timing.wifi_air_time_s(self.timing.max_wifi_psdu_bytes())
+
+        def collided() -> bool:
+            return bool(generator.random() < self.contention_probability)
+
+        if self.strategy is ReservationStrategy.CTS_TO_SELF:
+            cts_time = start_s - 60e-6
+            events.insert(
+                0,
+                ProtocolEvent(
+                    time_s=cts_time, duration_s=44e-6, kind="cts_to_self", channel="wifi_11"
+                ),
+            )
+            reservation = ChannelReservation(
+                start_s=cts_time,
+                duration_s=(adv_events[-1].time_s + adv_events[-1].duration_s) - cts_time,
+                mechanism=self.strategy,
+            )
+
+        protected_from = None
+        if self.strategy in (ReservationStrategy.RTS_CTS, ReservationStrategy.DATA_FIRST):
+            first = adv_events[0]
+            bootstrap_kind = "rts" if self.strategy is ReservationStrategy.RTS_CTS else "backscatter_data"
+            bootstrap_success = not collided()
+            events.append(
+                ProtocolEvent(
+                    time_s=first.time_s + self.timing.guard_interval_s,
+                    duration_s=wifi_air,
+                    kind=bootstrap_kind,
+                    channel="wifi_11",
+                    success=bootstrap_success,
+                )
+            )
+            if bootstrap_success:
+                cts_start = first.time_s + first.duration_s + 10e-6
+                events.append(
+                    ProtocolEvent(
+                        time_s=cts_start, duration_s=44e-6, kind="cts", channel="wifi_11"
+                    )
+                )
+                reservation = ChannelReservation(
+                    start_s=cts_start,
+                    duration_s=self.reservation_window_s(),
+                    mechanism=self.strategy,
+                )
+                protected_from = cts_start
+
+        data_copies = adv_events[1:] if self.strategy in (
+            ReservationStrategy.RTS_CTS,
+            ReservationStrategy.DATA_FIRST,
+        ) else adv_events
+        for index, adv in enumerate(data_copies[:num_data_packets]):
+            protected = False
+            if reservation is not None:
+                window_start = reservation.start_s if protected_from is None else protected_from
+                protected = window_start <= adv.time_s <= window_start + reservation.duration_s or (
+                    self.strategy is ReservationStrategy.CTS_TO_SELF
+                )
+            success = True if protected else not collided()
+            events.append(
+                ProtocolEvent(
+                    time_s=adv.time_s + self.timing.guard_interval_s,
+                    duration_s=wifi_air,
+                    kind="backscatter_data",
+                    channel="wifi_11",
+                    success=success,
+                )
+            )
+        events.sort(key=lambda e: e.time_s)
+        return events, reservation
+
+    def delivery_statistics(
+        self,
+        *,
+        num_exchanges: int = 100,
+        num_data_packets: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> dict[str, float]:
+        """Monte-Carlo delivery/retransmission statistics for the strategy."""
+        generator = rng if rng is not None else np.random.default_rng(17)
+        delivered = 0
+        attempted = 0
+        bootstrap_failures = 0
+        for _ in range(num_exchanges):
+            events, reservation = self.schedule_exchange(
+                num_data_packets=num_data_packets, rng=generator
+            )
+            data_events = [e for e in events if e.kind == "backscatter_data"]
+            attempted += len(data_events)
+            delivered += sum(1 for e in data_events if e.success)
+            if self.strategy in (ReservationStrategy.RTS_CTS, ReservationStrategy.DATA_FIRST):
+                if reservation is None:
+                    bootstrap_failures += 1
+        return {
+            "delivery_ratio": delivered / attempted if attempted else 0.0,
+            "packets_attempted": float(attempted),
+            "packets_delivered": float(delivered),
+            "bootstrap_failure_ratio": bootstrap_failures / num_exchanges,
+        }
+
+    def query_reply_round(self, num_tags: int, *, rng: np.random.Generator | None = None) -> dict[str, float]:
+        """Serve *num_tags* tags with the §2.5 query-reply loop.
+
+        Each round: downlink query (125 kbps AM) then one uplink backscatter
+        reply per advertising event.  Returns aggregate latency/throughput.
+        """
+        if num_tags <= 0:
+            raise ConfigurationError("num_tags must be positive")
+        query_time = self.downlink_query_bits / 125_000.0
+        adv_event_time = 3 * (self.timing.ble_payload_duration_s + 80e-6) + 2 * self.inter_channel_gap_s
+        per_tag = query_time + adv_event_time
+        stats = self.delivery_statistics(num_exchanges=num_tags, rng=rng)
+        payload_bits = self.timing.max_wifi_psdu_bytes() * 8
+        return {
+            "round_latency_s": per_tag * num_tags,
+            "per_tag_latency_s": per_tag,
+            "delivery_ratio": stats["delivery_ratio"],
+            "aggregate_goodput_bps": stats["delivery_ratio"] * payload_bits * 2 / per_tag,
+        }

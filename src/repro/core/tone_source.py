@@ -1,0 +1,139 @@
+"""Bluetooth devices as single-tone RF sources for backscatter (§2.2).
+
+Wraps the BLE substrate into the abstraction the rest of the core needs:
+"give me a single tone at a known frequency, for a known duration, with a
+known power, plus the timing of the packet around it".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ble.channels import advertising_channel
+from repro.ble.devices import BleDeviceProfile, DEVICE_PROFILES
+from repro.ble.radio import BleTransmission, BleTransmitter
+from repro.ble.single_tone import SingleTonePayload, craft_single_tone_payload
+
+__all__ = ["ToneParameters", "BluetoothToneSource"]
+
+
+@dataclass(frozen=True)
+class ToneParameters:
+    """Description of the single tone a Bluetooth device will emit.
+
+    Attributes
+    ----------
+    channel_index:
+        BLE advertising channel carrying the tone.
+    center_frequency_hz:
+        Channel centre frequency.
+    tone_frequency_hz:
+        Actual tone frequency: centre ± 250 kHz depending on the constant
+        bit value chosen, plus any device carrier offset.
+    duration_s:
+        Duration of the payload window during which the tone is pure.
+    tx_power_dbm:
+        Transmit power.
+    tone_bit:
+        The constant bit value (1 → +250 kHz, 0 → −250 kHz).
+    """
+
+    channel_index: int
+    center_frequency_hz: float
+    tone_frequency_hz: float
+    duration_s: float
+    tx_power_dbm: float
+    tone_bit: int
+
+
+class BluetoothToneSource:
+    """A commodity Bluetooth device configured to emit single-tone payloads.
+
+    Parameters
+    ----------
+    device:
+        Device profile name or instance (see :data:`repro.ble.devices.DEVICE_PROFILES`).
+    channel_index:
+        Advertising channel (the paper uses 38 so the +35.75 MHz shift lands
+        on Wi-Fi channel 11).
+    tone_bit:
+        Constant bit value to craft the payload for.
+    payload_length:
+        AdvData length in bytes (31 maximises the backscatter window).
+    tx_power_dbm:
+        Override of the profile transmit power (0/4/10/20 dBm in Fig. 10).
+    samples_per_symbol:
+        Waveform oversampling factor.
+    android_constraint:
+        Model the Android API's 24-controllable-byte limitation.
+    """
+
+    def __init__(
+        self,
+        device: str | BleDeviceProfile = "ti_cc2650",
+        *,
+        channel_index: int = 38,
+        tone_bit: int = 1,
+        payload_length: int = 31,
+        tx_power_dbm: float | None = None,
+        samples_per_symbol: int = 8,
+        android_constraint: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.transmitter = BleTransmitter(
+            device,
+            samples_per_symbol=samples_per_symbol,
+            tx_power_dbm=tx_power_dbm,
+            rng=rng,
+        )
+        self.channel_index = channel_index
+        self.tone_bit = tone_bit
+        self.payload_length = payload_length
+        self.android_constraint = android_constraint
+        self._crafted: SingleTonePayload = craft_single_tone_payload(
+            channel_index,
+            tone_bit=tone_bit,
+            payload_length=payload_length,
+            android_constraint=android_constraint,
+        )
+
+    @property
+    def profile(self) -> BleDeviceProfile:
+        """The underlying device profile."""
+        return self.transmitter.profile
+
+    @property
+    def crafted_payload(self) -> SingleTonePayload:
+        """The crafted AdvData payload that produces the tone."""
+        return self._crafted
+
+    def tone_parameters(self) -> ToneParameters:
+        """Describe the tone this source will produce."""
+        channel = advertising_channel(self.channel_index)
+        deviation = self.profile.frequency_deviation_hz
+        offset = deviation if self.tone_bit == 1 else -deviation
+        return ToneParameters(
+            channel_index=self.channel_index,
+            center_frequency_hz=channel.frequency_hz,
+            tone_frequency_hz=channel.frequency_hz + offset + self.profile.carrier_offset_hz,
+            duration_s=self._crafted.packet.payload_duration_s,
+            tx_power_dbm=self.transmitter.tx_power_dbm,
+            tone_bit=self.tone_bit,
+        )
+
+    def transmit(self) -> BleTransmission:
+        """Emit one advertising packet carrying the single-tone payload."""
+        return self.transmitter.transmit(self._crafted.packet)
+
+    def transmit_random(self) -> BleTransmission:
+        """Emit an advertisement with random data (the Fig. 9 comparison case)."""
+        return self.transmitter.transmit_random_payload(
+            self.channel_index, payload_length=self.payload_length
+        )
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Sample rate of emitted waveforms."""
+        return self.transmitter.sample_rate_hz

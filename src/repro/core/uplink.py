@@ -1,0 +1,407 @@
+"""The interscatter uplink: synthesizing Wi-Fi / ZigBee by backscatter (§2.3).
+
+The pipeline simulated here, end to end at the waveform level:
+
+1. A Bluetooth device transmits an advertising packet whose payload was
+   crafted to whiten into a constant bit stream, so the payload window is a
+   single tone at ``f_ble ± 250 kHz`` (:mod:`repro.core.tone_source`).
+2. The tag detects the packet with its envelope detector, waits out the
+   un-controllable prefix plus a guard interval, and then drives its switch
+   network with the single-sideband waveform carrying the 802.11b (or
+   802.15.4) baseband (:mod:`repro.backscatter.ssb`).
+3. The reflection of the incident tone is the synthesized packet, centred at
+   ``f_ble + Δf`` — Wi-Fi channel 11 for BLE channel 38 and Δf = 35.75 MHz.
+4. A commodity receiver mixes that channel to baseband, matched-filters to
+   chip rate and decodes the packet (:mod:`repro.wifi.dsss.receiver` or
+   :mod:`repro.zigbee.receiver`).
+
+Because simulating 88 Msample/s waveforms for every distance/power point
+would be slow, the uplink exposes two granularities:
+
+* :meth:`InterscatterUplink.simulate_waveform` — the full waveform pipeline
+  at one operating point (used by integration tests and spectrum figures).
+* :meth:`InterscatterUplink.simulate_link` — link-budget + error-model
+  evaluation (used by the range/PER sweeps of Figs. 10, 11, 14).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DecodeError
+from repro.utils.dsp import add_awgn, dbm_to_watts, signal_power, watts_to_dbm
+from repro.ble.channels import advertising_channel
+from repro.backscatter.ssb import SingleSidebandModulator
+from repro.backscatter.dsb import DoubleSidebandModulator
+from repro.channel.error_models import wifi_packet_error_rate, ber_oqpsk_dsss, packet_error_rate
+from repro.channel.link_budget import BackscatterLinkBudget
+from repro.wifi.channels import wifi_channel_frequency_mhz
+from repro.wifi.dsss.frames import WifiDataFrame
+from repro.wifi.dsss.receiver import DsssDecodeResult, DsssReceiver
+from repro.wifi.dsss.transmitter import CHIP_RATE_HZ, DsssTransmitter
+from repro.zigbee.channels import zigbee_channel_frequency_mhz
+from repro.zigbee.oqpsk import CHIP_RATE_HZ as ZIGBEE_CHIP_RATE_HZ
+from repro.zigbee.oqpsk import OqpskWaveform
+from repro.zigbee.receiver import ZigbeeDecodeResult, ZigbeeReceiver
+from repro.zigbee.transmitter import ZigbeeFrame, ZigbeeTransmitter
+
+__all__ = ["UplinkTarget", "UplinkResult", "InterscatterUplink"]
+
+
+class UplinkTarget(enum.Enum):
+    """Protocol the tag synthesizes on the uplink."""
+
+    WIFI_80211B = "wifi"
+    ZIGBEE_802154 = "zigbee"
+
+
+@dataclass(frozen=True)
+class UplinkResult:
+    """Outcome of one uplink simulation.
+
+    Attributes
+    ----------
+    target:
+        Synthesized protocol.
+    crc_ok:
+        Whether the commodity receiver's CRC check passed.
+    rssi_dbm:
+        Received signal strength at the commodity receiver.
+    snr_db:
+        SNR at the receiver.
+    payload:
+        Decoded payload bytes (empty when decoding failed).
+    decode:
+        The raw decoder result, when the waveform pipeline was used.
+    packet_error_rate:
+        Analytic PER at this operating point, when the link-budget pipeline
+        was used.
+    shift_hz:
+        Sub-carrier shift applied by the tag.
+    output_frequency_mhz:
+        Centre frequency of the synthesized packet.
+    """
+
+    target: UplinkTarget
+    crc_ok: bool
+    rssi_dbm: float
+    snr_db: float
+    payload: bytes = b""
+    decode: DsssDecodeResult | ZigbeeDecodeResult | None = None
+    packet_error_rate: float | None = None
+    shift_hz: float = 35_750_000.0
+    output_frequency_mhz: float = 2462.0
+
+
+class InterscatterUplink:
+    """Synthesize Wi-Fi or ZigBee packets by backscattering a Bluetooth tone.
+
+    Parameters
+    ----------
+    target:
+        Protocol to synthesize.
+    wifi_rate_mbps:
+        802.11b rate (ignored for ZigBee).
+    ble_channel:
+        Advertising channel providing the tone (38 in the paper).
+    output_channel:
+        Wi-Fi channel (11) or ZigBee channel (14) to land on.
+    sideband:
+        ``"single"`` for the paper's design, ``"double"`` for the prior-work
+        baseline (used by the Fig. 6 / Fig. 12 comparisons).
+    sample_rate_hz:
+        Simulation rate of the backscatter waveform pipeline.
+    link_budget:
+        Link budget used by :meth:`simulate_link`; a default two-monopole
+        budget is built when omitted.
+    frame_style:
+        ``"minimal"`` (default) wraps the payload in just a CRC-32, matching
+        the paper's compact experiment packets whose 31/77-byte payloads fit
+        the §2.3.3 size budget; ``"data"`` builds a full 802.11 data MPDU
+        with a 24-byte MAC header.
+    """
+
+    def __init__(
+        self,
+        target: UplinkTarget | str = UplinkTarget.WIFI_80211B,
+        *,
+        wifi_rate_mbps: float = 2.0,
+        ble_channel: int = 38,
+        output_channel: int | None = None,
+        sideband: str = "single",
+        sample_rate_hz: float = 88_000_000.0,
+        link_budget: BackscatterLinkBudget | None = None,
+        frame_style: str = "minimal",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if frame_style not in ("minimal", "data"):
+            raise ConfigurationError("frame_style must be 'minimal' or 'data'")
+        self.frame_style = frame_style
+        self.target = UplinkTarget(target) if not isinstance(target, UplinkTarget) else target
+        self.wifi_rate_mbps = wifi_rate_mbps
+        self.ble_channel = ble_channel
+        if output_channel is None:
+            output_channel = 11 if self.target is UplinkTarget.WIFI_80211B else 14
+        self.output_channel = output_channel
+        if sideband not in ("single", "double"):
+            raise ConfigurationError("sideband must be 'single' or 'double'")
+        self.sideband = sideband
+        self.sample_rate_hz = sample_rate_hz
+        self.link_budget = link_budget if link_budget is not None else BackscatterLinkBudget()
+        self._rng = rng if rng is not None else np.random.default_rng(3)
+
+    # -------------------------------------------------------------- helpers
+    @property
+    def ble_frequency_mhz(self) -> float:
+        """Centre frequency of the Bluetooth tone's channel."""
+        return advertising_channel(self.ble_channel).frequency_mhz
+
+    @property
+    def output_frequency_mhz(self) -> float:
+        """Centre frequency of the synthesized packet."""
+        if self.target is UplinkTarget.WIFI_80211B:
+            return wifi_channel_frequency_mhz(self.output_channel)
+        return zigbee_channel_frequency_mhz(self.output_channel)
+
+    @property
+    def shift_hz(self) -> float:
+        """Sub-carrier shift required to move the tone to the output channel.
+
+        For the paper's channel plan (BLE 38 → Wi-Fi 11) this is ≈36 MHz;
+        the hardware uses 35.75 MHz, a deliberate slight offset that still
+        lands well inside the 22 MHz-wide Wi-Fi channel while easing clock
+        generation.  We honour the paper's 35.75 MHz for that plan and
+        otherwise compute the exact difference.
+        """
+        exact = (self.output_frequency_mhz - self.ble_frequency_mhz) * 1e6
+        if self.target is UplinkTarget.WIFI_80211B and self.ble_channel == 38 and self.output_channel == 11:
+            return 35_750_000.0
+        return exact
+
+    def _baseband_chips(self, payload: bytes, sequence_number: int) -> tuple[np.ndarray, float, bytes]:
+        """Encode the payload into protocol baseband chips.
+
+        Returns (chips, chip_rate, psdu_bytes).
+        """
+        if self.target is UplinkTarget.WIFI_80211B:
+            transmitter = DsssTransmitter(self.wifi_rate_mbps, short_preamble=True)
+            if self.frame_style == "minimal":
+                from repro.wifi.dsss.frames import mpdu_with_fcs
+
+                body = sequence_number.to_bytes(2, "little") + payload
+                packet = transmitter.encode_psdu(mpdu_with_fcs(body))
+            else:
+                frame = WifiDataFrame(payload=payload, sequence_number=sequence_number)
+                packet = transmitter.encode_frame(frame)
+            return packet.chips, CHIP_RATE_HZ, packet.psdu
+        transmitter = ZigbeeTransmitter()
+        frame = ZigbeeFrame(payload=payload, sequence_number=sequence_number & 0xFF)
+        packet = transmitter.encode_frame(frame)
+        # The ZigBee O-QPSK baseband is used directly (already a waveform).
+        return packet.waveform.samples, transmitter.sample_rate_hz, packet.psdu
+
+    # ------------------------------------------------------------------ API
+    def simulate_waveform(
+        self,
+        payload: bytes = b"interscatter",
+        *,
+        sequence_number: int = 0,
+        incident_tone_power_dbm: float = -20.0,
+        snr_db: float | None = 30.0,
+    ) -> UplinkResult:
+        """Full waveform-level simulation of one synthesized packet.
+
+        The incident Bluetooth tone is modelled as a unit tone at the tag
+        (its absolute power only scales the output), the tag modulates it
+        with the single- or double-sideband reflection waveform, the result
+        is mixed from ``f_ble`` down to the output channel centre and
+        decimated to chip rate for the commodity receiver.
+        """
+        chips, chip_rate, _psdu = self._baseband_chips(payload, sequence_number)
+
+        if self.sideband == "single":
+            modulator = SingleSidebandModulator(
+                shift_hz=self.shift_hz, sample_rate_hz=self.sample_rate_hz
+            )
+        else:
+            modulator = DoubleSidebandModulator(
+                shift_hz=self.shift_hz, sample_rate_hz=self.sample_rate_hz
+            )
+        baseband = modulator.upsample_symbols(chips, chip_rate) if hasattr(
+            modulator, "upsample_symbols"
+        ) else np.repeat(chips, int(self.sample_rate_hz // chip_rate))
+        reflection = modulator.modulate_baseband(baseband)
+
+        # Incident tone (complex baseband relative to the BLE channel centre,
+        # at the +250 kHz offset the crafted payload produces).
+        amplitude = np.sqrt(dbm_to_watts(incident_tone_power_dbm))
+        n = np.arange(reflection.reflection.size)
+        tone = amplitude * np.exp(2j * np.pi * 250e3 * n / self.sample_rate_hz)
+        backscattered = reflection.apply_to(tone)
+
+        # Mix down to the synthesized packet's centre.  In the BLE-centred
+        # baseband the packet sits at (tone offset + sub-carrier shift) —
+        # 36 MHz for the BLE-38 → Wi-Fi-11 plan — so removing exactly that
+        # amount presents the commodity receiver with a packet at baseband
+        # zero, the same as tuning it to the output channel.
+        packet_center_hz = 250e3 + self.shift_hz
+        received = backscattered * np.exp(
+            -2j * np.pi * packet_center_hz * n / self.sample_rate_hz
+        )
+
+        if snr_db is not None:
+            received = add_awgn(received, snr_db, rng=self._rng)
+        rssi_dbm = watts_to_dbm(signal_power(backscattered))
+
+        # Decimate to chip rate with simple averaging (integrate & dump).
+        decim = int(round(self.sample_rate_hz / chip_rate))
+        usable = (received.size // decim) * decim
+        received_chips = received[:usable].reshape(-1, decim).mean(axis=1)
+
+        return self._decode(received_chips, chip_rate, rssi_dbm, snr_db)
+
+    def _decode(
+        self,
+        received_chips: np.ndarray,
+        chip_rate: float,
+        rssi_dbm: float,
+        snr_db: float | None,
+    ) -> UplinkResult:
+        """Hand the received chip stream to the right commodity receiver."""
+        snr_value = float("inf") if snr_db is None else float(snr_db)
+        if self.target is UplinkTarget.WIFI_80211B:
+            receiver = DsssReceiver(short_preamble=True)
+            try:
+                decode = receiver.decode_chips(received_chips, rssi_dbm=rssi_dbm)
+                if self.frame_style == "minimal":
+                    # Minimal frames are <sequence:2><payload><fcs:4>.
+                    payload_bytes = decode.psdu[2:-4] if decode.crc_ok else b""
+                else:
+                    payload_bytes = decode.payload
+                return UplinkResult(
+                    target=self.target,
+                    crc_ok=decode.crc_ok,
+                    rssi_dbm=rssi_dbm,
+                    snr_db=snr_value,
+                    payload=payload_bytes,
+                    decode=decode,
+                    shift_hz=self.shift_hz,
+                    output_frequency_mhz=self.output_frequency_mhz,
+                )
+            except DecodeError:
+                return UplinkResult(
+                    target=self.target,
+                    crc_ok=False,
+                    rssi_dbm=rssi_dbm,
+                    snr_db=snr_value,
+                    shift_hz=self.shift_hz,
+                    output_frequency_mhz=self.output_frequency_mhz,
+                )
+        try:
+            # The ZigBee baseband was passed through at waveform resolution;
+            # decode via the O-QPSK demodulator path instead of hard chips.
+            decode = self._decode_zigbee_waveform(received_chips, chip_rate, rssi_dbm)
+            return UplinkResult(
+                target=self.target,
+                crc_ok=decode.crc_ok,
+                rssi_dbm=rssi_dbm,
+                snr_db=snr_value,
+                payload=decode.frame.payload if decode.frame else b"",
+                decode=decode,
+                shift_hz=self.shift_hz,
+                output_frequency_mhz=self.output_frequency_mhz,
+            )
+        except DecodeError:
+            return UplinkResult(
+                target=self.target,
+                crc_ok=False,
+                rssi_dbm=rssi_dbm,
+                snr_db=snr_value,
+                shift_hz=self.shift_hz,
+                output_frequency_mhz=self.output_frequency_mhz,
+            )
+
+    def _decode_zigbee_waveform(
+        self, samples: np.ndarray, sample_rate_hz: float, rssi_dbm: float
+    ) -> ZigbeeDecodeResult:
+        """Decode a ZigBee O-QPSK waveform received at an arbitrary sample rate.
+
+        The backscatter channel leaves an unknown constant phase rotation on
+        the waveform (tone phase + switch quantisation).  A real CC2531
+        recovers the carrier phase from the preamble; here the receiver
+        simply tries a small grid of candidate rotations and keeps the one
+        with the fewest chip errors.
+        """
+        receiver_sps = 4
+        target_rate = ZIGBEE_CHIP_RATE_HZ * receiver_sps
+        ratio = sample_rate_hz / target_rate
+        if ratio >= 1:
+            indices = (np.arange(int(samples.size / ratio)) * ratio).astype(int)
+            resampled = samples[indices]
+        else:
+            resampled = np.interp(
+                np.arange(0, samples.size, ratio), np.arange(samples.size), samples
+            )
+        receiver = ZigbeeReceiver(samples_per_chip=receiver_sps)
+        best: ZigbeeDecodeResult | None = None
+        last_error: DecodeError | None = None
+        for rotation in np.arange(0.0, 2.0 * np.pi, np.pi / 8.0):
+            waveform = OqpskWaveform(
+                samples=resampled * np.exp(1j * rotation),
+                sample_rate_hz=target_rate,
+                num_chips=int(resampled.size // receiver_sps),
+            )
+            try:
+                candidate = receiver.decode_waveform(waveform)
+            except DecodeError as exc:
+                last_error = exc
+                continue
+            if best is None or candidate.mean_chip_errors < best.mean_chip_errors:
+                best = candidate
+            if candidate.crc_ok and candidate.mean_chip_errors == 0.0:
+                best = candidate
+                break
+        if best is None:
+            raise last_error if last_error is not None else DecodeError("ZigBee decode failed")
+        return ZigbeeDecodeResult(
+            psdu=best.psdu,
+            frame=best.frame,
+            crc_ok=best.crc_ok,
+            rssi_dbm=rssi_dbm,
+            mean_chip_errors=best.mean_chip_errors,
+        )
+
+    def simulate_link(
+        self,
+        *,
+        source_power_dbm: float,
+        source_to_tag_m: float,
+        tag_to_receiver_m: float,
+        payload_bytes: int = 31,
+        rng: np.random.Generator | None = None,
+    ) -> UplinkResult:
+        """Link-budget + error-model evaluation of one operating point."""
+        budget = self.link_budget
+        budget.source_power_dbm = source_power_dbm
+        link = budget.evaluate(source_to_tag_m, tag_to_receiver_m, rng=rng)
+        if self.target is UplinkTarget.WIFI_80211B:
+            per = wifi_packet_error_rate(
+                link.snr_db, rate_mbps=self.wifi_rate_mbps, payload_bytes=payload_bytes
+            )
+        else:
+            ber = ber_oqpsk_dsss(link.snr_db)
+            per = packet_error_rate(ber, (payload_bytes + 11) * 8)
+        generator = rng if rng is not None else self._rng
+        crc_ok = bool(link.detectable and generator.random() > per)
+        return UplinkResult(
+            target=self.target,
+            crc_ok=crc_ok,
+            rssi_dbm=link.rssi_dbm,
+            snr_db=link.snr_db,
+            packet_error_rate=float(per),
+            shift_hz=self.shift_hz,
+            output_frequency_mhz=self.output_frequency_mhz,
+        )

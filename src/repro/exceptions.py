@@ -1,0 +1,36 @@
+"""Exception hierarchy shared across the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from decode failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or invoked with invalid parameters."""
+
+
+class PacketFormatError(ReproError):
+    """A packet could not be assembled because a field is out of range."""
+
+
+class DecodeError(ReproError):
+    """A receiver failed to find or decode a packet in the supplied waveform."""
+
+
+class SynchronizationError(DecodeError):
+    """A receiver could not locate a preamble / start-frame delimiter."""
+
+
+class CrcError(DecodeError):
+    """A packet was located and demodulated but its CRC check failed."""
+
+
+class LinkBudgetError(ReproError):
+    """A link-budget computation was asked for a physically meaningless setup."""

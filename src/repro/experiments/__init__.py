@@ -1,0 +1,55 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function that returns a plain result
+object with the series the corresponding figure plots (or the rows the
+table lists).  The benchmark harness in ``benchmarks/`` calls these and
+asserts the qualitative findings; ``examples/reproduce_paper.py`` prints
+them in a readable form, and EXPERIMENTS.md records paper-vs-measured.
+
+=========================  ============================================
+Module                      Paper artefact
+=========================  ============================================
+``fig06_sideband``          Fig. 6  — SSB vs DSB backscatter spectrum
+``fig09_single_tone``       Fig. 9  — BLE single-tone spectra (3 devices)
+``fig10_rssi``              Fig. 10 — Wi-Fi RSSI vs distance / TX power
+``fig11_per``               Fig. 11 — Wi-Fi packet-error-rate CDF
+``fig12_coexistence``       Fig. 12 — iperf throughput under backscatter
+``fig13_downlink_ber``      Fig. 13 — downlink BER vs distance
+``fig14_zigbee_rssi``       Fig. 14 — ZigBee RSSI CDF
+``fig15_contact_lens``      Fig. 15 — contact-lens RSSI vs distance
+``fig16_neural_implant``    Fig. 16 — implant RSSI vs distance
+``fig17_card_to_card``      Fig. 17 — card-to-card BER vs distance
+``table_power``             §3      — 28 µW IC power breakdown
+``table_packet_sizes``      §2.3.3  — Wi-Fi payload per BLE advertisement
+=========================  ============================================
+"""
+
+from repro.experiments import (
+    fig06_sideband,
+    fig09_single_tone,
+    fig10_rssi,
+    fig11_per,
+    fig12_coexistence,
+    fig13_downlink_ber,
+    fig14_zigbee_rssi,
+    fig15_contact_lens,
+    fig16_neural_implant,
+    fig17_card_to_card,
+    table_packet_sizes,
+    table_power,
+)
+
+__all__ = [
+    "fig06_sideband",
+    "fig09_single_tone",
+    "fig10_rssi",
+    "fig11_per",
+    "fig12_coexistence",
+    "fig13_downlink_ber",
+    "fig14_zigbee_rssi",
+    "fig15_contact_lens",
+    "fig16_neural_implant",
+    "fig17_card_to_card",
+    "table_packet_sizes",
+    "table_power",
+]

@@ -1,0 +1,97 @@
+"""Fig. 10 — Wi-Fi RSSI of backscatter-generated packets vs distance.
+
+The paper fixes the Bluetooth transmitter and the backscatter tag 1 ft (a)
+or 3 ft (b) apart, moves the Wi-Fi receiver perpendicular to the midpoint
+of that segment out to 90 ft, and records the RSSI of the 2 Mbps packets
+for Bluetooth transmit powers of 0, 4, 10 and 20 dBm.
+
+The reproduction uses the two-hop backscatter link budget with the Fig. 10
+geometry; the expected qualitative findings (higher TX power → more range,
+1 ft separation beats 3 ft, 20 dBm reaches ≈90 ft) are asserted by the
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ble.devices import TX_POWER_LEVELS_DBM
+from repro.channel.geometry import distance_feet, fig10_geometry
+from repro.channel.link_budget import BackscatterLinkBudget
+
+__all__ = ["RssiCurve", "RssiVsDistanceResult", "run"]
+
+
+@dataclass(frozen=True)
+class RssiCurve:
+    """One curve of Fig. 10: RSSI vs receiver distance at one TX power.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Bluetooth transmit power.
+    bluetooth_to_tag_feet:
+        Separation of the Bluetooth transmitter and the tag.
+    distances_feet:
+        Receiver offsets from the midpoint (the figure's x-axis).
+    rssi_dbm:
+        Predicted RSSI at each distance.
+    range_feet:
+        Furthest distance at which the RSSI stays above the receiver
+        sensitivity used in the experiment.
+    """
+
+    tx_power_dbm: float
+    bluetooth_to_tag_feet: float
+    distances_feet: np.ndarray
+    rssi_dbm: np.ndarray
+    range_feet: float
+
+
+@dataclass(frozen=True)
+class RssiVsDistanceResult:
+    """Both panels of Fig. 10 (1 ft and 3 ft separations)."""
+
+    curves: dict[tuple[float, float], RssiCurve]
+    sensitivity_dbm: float
+
+    def curve(self, tx_power_dbm: float, separation_feet: float) -> RssiCurve:
+        """Convenience accessor for one (power, separation) curve."""
+        return self.curves[(tx_power_dbm, separation_feet)]
+
+
+def run(
+    *,
+    tx_powers_dbm: tuple[float, ...] = TX_POWER_LEVELS_DBM,
+    separations_feet: tuple[float, ...] = (1.0, 3.0),
+    max_distance_feet: float = 90.0,
+    step_feet: float = 2.0,
+    sensitivity_dbm: float = -94.0,
+    wifi_rate_mbps: float = 2.0,
+) -> RssiVsDistanceResult:
+    """Compute the Fig. 10 RSSI curves."""
+    distances = np.arange(1.0, max_distance_feet + step_feet, step_feet)
+    curves: dict[tuple[float, float], RssiCurve] = {}
+    for separation in separations_feet:
+        for power in tx_powers_dbm:
+            budget = BackscatterLinkBudget(
+                source_power_dbm=power, receiver_sensitivity_dbm=sensitivity_dbm
+            )
+            rssi = np.empty(distances.size)
+            for index, offset in enumerate(distances):
+                bluetooth, tag, receiver = fig10_geometry(separation, float(offset))
+                rssi[index] = budget.evaluate(
+                    bluetooth.distance_to(tag), tag.distance_to(receiver)
+                ).rssi_dbm
+            above = np.where(rssi >= sensitivity_dbm)[0]
+            range_feet = float(distances[above[-1]]) if above.size else 0.0
+            curves[(power, separation)] = RssiCurve(
+                tx_power_dbm=power,
+                bluetooth_to_tag_feet=separation,
+                distances_feet=distances,
+                rssi_dbm=rssi,
+                range_feet=range_feet,
+            )
+    return RssiVsDistanceResult(curves=curves, sensitivity_dbm=sensitivity_dbm)

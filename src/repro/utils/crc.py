@@ -1,0 +1,111 @@
+"""A generic bit-serial CRC engine plus the specific CRCs used by each PHY.
+
+Three concrete CRCs are needed by the reproduction:
+
+* ``crc24_ble`` — the 24-bit CRC protecting BLE advertising packets
+  (polynomial ``0x00065B``, init value derived from the link-layer state;
+  advertising channels use ``0x555555``).
+* ``crc32_ieee`` — the FCS appended to 802.11 MPDUs.
+* ``crc16_ccitt`` — the 802.15.4 frame check sequence.
+
+The engine operates LSB-first on bit arrays, matching over-the-air order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.utils.bits import as_bit_array, int_to_bits
+
+__all__ = ["CrcEngine", "crc24_ble", "crc32_ieee", "crc16_ccitt"]
+
+
+@dataclass(frozen=True)
+class CrcEngine:
+    """Configurable bit-serial CRC calculator.
+
+    Parameters
+    ----------
+    width:
+        CRC width in bits.
+    polynomial:
+        Generator polynomial with the top bit implicit (standard notation).
+    init:
+        Initial register value.
+    reflect:
+        When ``True`` the register shifts right (LSB-first processing, as in
+        CRC-32/IEEE); when ``False`` it shifts left (as in CRC-16/CCITT-FALSE
+        and the BLE CRC-24 when expressed MSB-first).
+    xor_out:
+        Value XORed with the register to produce the final CRC.
+    """
+
+    width: int
+    polynomial: int
+    init: int
+    reflect: bool = True
+    xor_out: int = 0
+
+    def compute(self, bits: Iterable[int] | np.ndarray) -> int:
+        """Return the CRC of a bit sequence as an integer."""
+        arr = as_bit_array(bits)
+        mask = (1 << self.width) - 1
+        reg = self.init & mask
+        if self.reflect:
+            # Right-shifting (reflected) implementation: bits enter at the LSB.
+            poly = self._reflect_value(self.polynomial, self.width)
+            for bit in arr:
+                lsb = (reg ^ int(bit)) & 1
+                reg >>= 1
+                if lsb:
+                    reg ^= poly
+        else:
+            top = 1 << (self.width - 1)
+            for bit in arr:
+                msb = 1 if (reg & top) else 0
+                reg = (reg << 1) & mask
+                if msb ^ int(bit):
+                    reg ^= self.polynomial
+        return (reg ^ self.xor_out) & mask
+
+    def compute_bytes(self, data: bytes | bytearray, *, msb_first: bool = False) -> int:
+        """Convenience wrapper: compute the CRC of a bytes object."""
+        from repro.utils.bits import bytes_to_bits
+
+        return self.compute(bytes_to_bits(data, msb_first=msb_first))
+
+    def append(self, bits: Iterable[int] | np.ndarray, *, msb_first: bool = False) -> np.ndarray:
+        """Return *bits* with the CRC appended as a bit array."""
+        arr = as_bit_array(bits)
+        crc = self.compute(arr)
+        crc_bits = int_to_bits(crc, self.width, msb_first=msb_first)
+        return np.concatenate([arr, crc_bits])
+
+    def check(self, bits: Iterable[int] | np.ndarray, expected: int) -> bool:
+        """Return ``True`` if the CRC of *bits* equals *expected*."""
+        return self.compute(bits) == expected
+
+    @staticmethod
+    def _reflect_value(value: int, width: int) -> int:
+        out = 0
+        for i in range(width):
+            if value & (1 << i):
+                out |= 1 << (width - 1 - i)
+        return out
+
+
+#: BLE link-layer CRC-24.  Polynomial x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1.
+#: Advertising channel packets initialise the register to 0x555555.  The CRC
+#: is computed LSB-first over PDU header + payload.
+crc24_ble = CrcEngine(width=24, polynomial=0x00065B, init=0x555555, reflect=True)
+
+#: IEEE CRC-32 used for the 802.11 frame check sequence.
+crc32_ieee = CrcEngine(
+    width=32, polynomial=0x04C11DB7, init=0xFFFFFFFF, reflect=True, xor_out=0xFFFFFFFF
+)
+
+#: CRC-16/CCITT (X.25 style, reflected, as used by IEEE 802.15.4 FCS).
+crc16_ccitt = CrcEngine(width=16, polynomial=0x1021, init=0x0000, reflect=True)

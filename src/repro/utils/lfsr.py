@@ -1,0 +1,106 @@
+"""Linear feedback shift registers.
+
+Both Bluetooth LE data whitening and the 802.11 scrambler are built on 7-bit
+LFSRs with the polynomial ``x^7 + x^4 + 1`` (the paper points this out in
+Sections 2.2 and 2.4 — the same shift-register circuit appears in Fig. 4 for
+both).  The generic classes here are configured by those packages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.bits import as_bit_array
+
+__all__ = ["FibonacciLfsr", "GaloisLfsr"]
+
+
+class FibonacciLfsr:
+    """Fibonacci-configuration LFSR.
+
+    The register is a list of bits ``state[0] .. state[n-1]`` where
+    ``state[0]`` is the output stage.  On each step the output bit is
+    ``state[0]``; the feedback bit is the XOR of the tapped stages and is
+    shifted in at the highest index.
+
+    Parameters
+    ----------
+    taps:
+        Stage indices (0-based) contributing to the feedback.  For the BLE /
+        802.11 polynomial ``x^7 + x^4 + 1`` with a 7-bit register the taps
+        are ``(0, 4)`` when the register shifts towards index 0.
+    state:
+        Initial register contents, ``state[0]`` first.
+    """
+
+    def __init__(self, taps: Sequence[int], state: Iterable[int]) -> None:
+        self._state = list(int(b) & 1 for b in state)
+        if not self._state:
+            raise ValueError("LFSR state must be non-empty")
+        self.taps = tuple(sorted(int(t) for t in taps))
+        if any(t < 0 or t >= len(self._state) for t in self.taps):
+            raise ValueError("tap index outside register")
+
+    @property
+    def state(self) -> tuple[int, ...]:
+        """Current register contents (output stage first)."""
+        return tuple(self._state)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def step(self) -> int:
+        """Advance the register one step and return the output bit."""
+        out = self._state[0]
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= self._state[tap]
+        self._state = self._state[1:] + [feedback]
+        return out
+
+    def sequence(self, length: int) -> np.ndarray:
+        """Return the next *length* output bits as an array."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return np.array([self.step() for _ in range(length)], dtype=np.uint8)
+
+    def whiten(self, bits: Iterable[int] | np.ndarray) -> np.ndarray:
+        """XOR *bits* with the LFSR output (whitening / scrambling)."""
+        arr = as_bit_array(bits)
+        keystream = self.sequence(arr.size)
+        return np.bitwise_xor(arr, keystream)
+
+
+class GaloisLfsr:
+    """Galois-configuration LFSR producing the same sequences more cheaply.
+
+    Provided for completeness and for property tests asserting equivalence
+    with :class:`FibonacciLfsr` for the shared ``x^7 + x^4 + 1`` polynomial.
+    """
+
+    def __init__(self, width: int, polynomial: int, state: int) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if state == 0:
+            raise ValueError("all-zero LFSR state never produces output")
+        self.width = width
+        self.polynomial = polynomial & ((1 << width) - 1)
+        self._state = state & ((1 << width) - 1)
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def step(self) -> int:
+        out = self._state & 1
+        self._state >>= 1
+        if out:
+            self._state ^= self.polynomial
+        return out
+
+    def sequence(self, length: int) -> np.ndarray:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return np.array([self.step() for _ in range(length)], dtype=np.uint8)

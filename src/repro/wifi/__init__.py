@@ -1,0 +1,23 @@
+"""IEEE 802.11 physical layers used by the reproduction.
+
+Two sub-packages:
+
+* :mod:`repro.wifi.dsss` — the 802.11b DSSS/CCK PHY (1/2/5.5/11 Mbps).
+  These are the packets the interscatter tag synthesizes by backscattering a
+  Bluetooth single tone (paper §2.3).
+* :mod:`repro.wifi.ofdm` — the 802.11g OFDM PHY (6–54 Mbps).  Used in the
+  reverse direction: an unmodified OFDM transmitter is turned into an AM
+  modulator by choosing payload bits so that whole OFDM symbols carry a
+  constant constellation point (paper §2.4).
+
+Shared pieces (the 802.11 scrambler and channel map) live at this level.
+"""
+
+from repro.wifi.channels import WIFI_CHANNELS_2G4, wifi_channel_frequency_mhz
+from repro.wifi.scrambler import Ieee80211Scrambler
+
+__all__ = [
+    "WIFI_CHANNELS_2G4",
+    "wifi_channel_frequency_mhz",
+    "Ieee80211Scrambler",
+]

@@ -1,0 +1,37 @@
+"""2.4 GHz Wi-Fi channel map.
+
+The paper's frequency plan (Fig. 3) involves the three non-overlapping
+channels 1 (2412 MHz), 6 (2437 MHz) and 11 (2462 MHz), each 22 MHz wide for
+802.11b.  Interscatter backscatters BLE advertising channel 38 (2426 MHz)
+with a 35.75 MHz single-sideband shift to land near Wi-Fi channel 11.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "WIFI_CHANNELS_2G4",
+    "NON_OVERLAPPING_CHANNELS",
+    "WIFI_80211B_BANDWIDTH_MHZ",
+    "wifi_channel_frequency_mhz",
+]
+
+#: Centre frequencies (MHz) of 2.4 GHz Wi-Fi channels 1-14.
+WIFI_CHANNELS_2G4: dict[int, float] = {
+    **{ch: 2412.0 + 5.0 * (ch - 1) for ch in range(1, 14)},
+    14: 2484.0,
+}
+
+#: The three non-overlapping 802.11b channels in North America.
+NON_OVERLAPPING_CHANNELS = (1, 6, 11)
+
+#: 802.11b DSSS occupied bandwidth.
+WIFI_80211B_BANDWIDTH_MHZ = 22.0
+
+
+def wifi_channel_frequency_mhz(channel: int) -> float:
+    """Centre frequency of a 2.4 GHz Wi-Fi channel."""
+    if channel not in WIFI_CHANNELS_2G4:
+        raise ConfigurationError(f"Wi-Fi channel must be 1-14, got {channel}")
+    return WIFI_CHANNELS_2G4[channel]

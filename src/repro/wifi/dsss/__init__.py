@@ -1,0 +1,35 @@
+"""802.11b DSSS/CCK physical layer (1, 2, 5.5 and 11 Mbps).
+
+The transmit chain follows IEEE 802.11-2012 clause 17: scrambling, Barker
+spreading (1/2 Mbps) or CCK coding (5.5/11 Mbps), and DBPSK/DQPSK
+modulation, preceded by the long PLCP preamble and header.  The receive
+chain implements preamble detection, descrambling, despreading/decoding and
+CRC verification, which is how the reproduction checks that backscatter-
+generated packets are standards-compliant (paper §4.2).
+"""
+
+from repro.wifi.dsss.barker import BARKER_SEQUENCE, barker_spread, barker_despread
+from repro.wifi.dsss.cck import cck_codeword, cck_decode_symbol
+from repro.wifi.dsss.dpsk import DpskModulator, DpskDemodulator
+from repro.wifi.dsss.plcp import PlcpHeader, build_plcp_preamble_and_header
+from repro.wifi.dsss.frames import WifiDataFrame
+from repro.wifi.dsss.transmitter import DsssTransmitter, DsssRate, DsssPacketWaveform
+from repro.wifi.dsss.receiver import DsssReceiver, DsssDecodeResult
+
+__all__ = [
+    "BARKER_SEQUENCE",
+    "barker_spread",
+    "barker_despread",
+    "cck_codeword",
+    "cck_decode_symbol",
+    "DpskModulator",
+    "DpskDemodulator",
+    "PlcpHeader",
+    "build_plcp_preamble_and_header",
+    "WifiDataFrame",
+    "DsssTransmitter",
+    "DsssRate",
+    "DsssPacketWaveform",
+    "DsssReceiver",
+    "DsssDecodeResult",
+]

@@ -1,0 +1,46 @@
+"""Barker spreading for 1 and 2 Mbps 802.11b.
+
+Each scrambled data bit (1 Mbps DBPSK) or di-bit (2 Mbps DQPSK) selects one
+PSK symbol, which is then spread by the 11-chip Barker sequence
+``+1 -1 +1 +1 -1 +1 +1 +1 -1 -1 -1``.  The paper summarises this in §2.1:
+"802.11b first XORs each data bit with a Barker sequence to create a
+sequence of eleven coded bits for each incoming data bit".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BARKER_SEQUENCE", "BARKER_LENGTH", "barker_spread", "barker_despread"]
+
+#: The 11-chip Barker code used by 802.11b, in chip order.
+BARKER_SEQUENCE = np.array([1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1], dtype=float)
+
+#: Number of chips per symbol at 1 and 2 Mbps.
+BARKER_LENGTH = 11
+
+
+def barker_spread(symbols: np.ndarray) -> np.ndarray:
+    """Spread complex PSK symbols with the Barker sequence.
+
+    Each input symbol becomes 11 chips: ``symbol * barker[k]``.
+    """
+    symbols = np.asarray(symbols, dtype=complex).ravel()
+    if symbols.size == 0:
+        return np.zeros(0, dtype=complex)
+    return (symbols[:, None] * BARKER_SEQUENCE[None, :]).reshape(-1)
+
+
+def barker_despread(chips: np.ndarray) -> np.ndarray:
+    """Correlate chips against the Barker sequence to recover symbols.
+
+    The chip count must be a multiple of 11.  Returns one complex value per
+    symbol (the normalised correlation), which retains the PSK phase.
+    """
+    chips = np.asarray(chips, dtype=complex).ravel()
+    if chips.size % BARKER_LENGTH != 0:
+        raise ValueError(
+            f"chip count must be a multiple of {BARKER_LENGTH}, got {chips.size}"
+        )
+    grouped = chips.reshape(-1, BARKER_LENGTH)
+    return grouped @ BARKER_SEQUENCE / BARKER_LENGTH

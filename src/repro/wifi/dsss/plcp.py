@@ -1,0 +1,181 @@
+"""802.11b PLCP preamble and header.
+
+Every DSSS packet starts with a long PLCP preamble (128 scrambled-ones SYNC
+bits plus the 16-bit SFD ``0xF3A0``) and a 48-bit PLCP header (SIGNAL,
+SERVICE, LENGTH, CRC-16), all transmitted at 1 Mbps DBPSK regardless of the
+payload rate.  The paper notes (§4.2) that because both its 2 and 11 Mbps
+packets share this 1 Mbps preamble/header, their packet error rates end up
+similar for the short payloads that fit inside a BLE advertisement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DecodeError
+from repro.utils.bits import bits_to_int, int_to_bits
+from repro.utils.crc import CrcEngine
+
+__all__ = [
+    "SYNC_BITS",
+    "SFD_BITS",
+    "PlcpHeader",
+    "build_plcp_preamble_and_header",
+    "parse_plcp_header",
+    "PLCP_PREAMBLE_BITS",
+    "PLCP_HEADER_BITS",
+    "SHORT_SYNC_BITS",
+    "SHORT_PLCP_PREAMBLE_BITS",
+]
+
+#: Long preamble SYNC field: 128 ones (before scrambling).
+SYNC_BITS = 128
+
+#: Short preamble SYNC field: 56 zeros (before scrambling).
+SHORT_SYNC_BITS = 56
+
+#: Start frame delimiter value (transmitted LSB first).
+SFD_VALUE = 0xF3A0
+
+#: Short-preamble SFD: the time-reversed bit pattern of the long SFD.
+SHORT_SFD_VALUE = 0x05CF
+
+#: Total bits in the long PLCP preamble.
+PLCP_PREAMBLE_BITS = SYNC_BITS + 16
+
+#: Total bits in the short PLCP preamble.
+SHORT_PLCP_PREAMBLE_BITS = SHORT_SYNC_BITS + 16
+
+#: Total bits in the PLCP header.
+PLCP_HEADER_BITS = 48
+
+#: SFD bit pattern, LSB first.
+SFD_BITS = int_to_bits(SFD_VALUE, 16)
+
+#: Short-preamble SFD bit pattern, LSB first.
+SHORT_SFD_BITS = int_to_bits(SHORT_SFD_VALUE, 16)
+
+#: CRC-16 (CCITT, preset to ones, ones complement) protecting the PLCP header.
+_plcp_crc = CrcEngine(width=16, polynomial=0x1021, init=0xFFFF, reflect=True, xor_out=0xFFFF)
+
+#: SIGNAL field encoding of the data rate, in units of 100 kbps.
+_SIGNAL_FIELD = {1.0: 0x0A, 2.0: 0x14, 5.5: 0x37, 11.0: 0x6E}
+_SIGNAL_TO_RATE = {v: k for k, v in _SIGNAL_FIELD.items()}
+
+
+@dataclass(frozen=True)
+class PlcpHeader:
+    """Decoded PLCP header fields.
+
+    Attributes
+    ----------
+    rate_mbps:
+        Payload data rate (1, 2, 5.5 or 11 Mbps).
+    length_us:
+        Time required to transmit the PSDU, in microseconds.
+    service:
+        SERVICE field byte (bit 2 = locked clocks, bit 7 = length extension).
+    crc_ok:
+        Whether the header CRC-16 verified.
+    """
+
+    rate_mbps: float
+    length_us: int
+    service: int = 0
+    crc_ok: bool = True
+
+    def psdu_length_bytes(self) -> int:
+        """PSDU length in bytes implied by the rate and LENGTH field.
+
+        At 1 and 2 Mbps the length in µs converts exactly.  At 5.5 Mbps the
+        byte count is the floor of ``length · rate / 8``; at 11 Mbps the
+        SERVICE length-extension bit resolves the remaining ambiguity
+        (IEEE 802.11-2012 17.2.3.5).
+        """
+        if self.rate_mbps in (1.0, 2.0):
+            return int(round(self.length_us * self.rate_mbps / 8.0))
+        if self.rate_mbps == 11.0:
+            count = (self.length_us * 11) // 8
+            if self.service & 0x80:
+                count -= 1
+            return count
+        return int(np.floor(self.length_us * self.rate_mbps / 8.0))
+
+
+def build_plcp_preamble_and_header(
+    rate_mbps: float, psdu_length_bytes: int, *, short_preamble: bool = False
+) -> np.ndarray:
+    """Build the unscrambled preamble + header bits for a packet.
+
+    The caller scrambles these bits together with the PSDU (the 802.11b
+    scrambler is self-synchronising; in this reproduction the whole packet
+    is scrambled frame-synchronously which commodity receivers tolerate
+    because they descramble the same way).
+
+    Parameters
+    ----------
+    short_preamble:
+        Use the 56-bit short SYNC (and reversed SFD).  The interscatter tag
+        uses the short preamble so the whole Wi-Fi packet fits inside a
+        Bluetooth advertising payload (§2.3.3: 38/104/209 bytes at
+        2/5.5/11 Mbps).  Short preamble is not defined for 1 Mbps payloads.
+    """
+    if rate_mbps not in _SIGNAL_FIELD:
+        raise ConfigurationError(
+            f"802.11b rate must be one of {sorted(_SIGNAL_FIELD)}, got {rate_mbps}"
+        )
+    if psdu_length_bytes <= 0 or psdu_length_bytes > 4095:
+        raise ConfigurationError(f"PSDU length out of range: {psdu_length_bytes}")
+    if short_preamble and rate_mbps == 1.0:
+        raise ConfigurationError("the short PLCP preamble cannot precede a 1 Mbps payload")
+
+    if short_preamble:
+        sync = np.zeros(SHORT_SYNC_BITS, dtype=np.uint8)
+        sfd = SHORT_SFD_BITS
+    else:
+        sync = np.ones(SYNC_BITS, dtype=np.uint8)
+        sfd = SFD_BITS
+
+    signal = _SIGNAL_FIELD[rate_mbps]
+    service = 0x04  # locked clocks bit, as set by most hardware
+    length_us = int(np.ceil(psdu_length_bytes * 8.0 / rate_mbps))
+    if rate_mbps == 11.0:
+        # Length extension bit (IEEE 802.11-2012 17.2.3.5): set when the byte
+        # count recovered from LENGTH alone would overshoot the PSDU by one.
+        if (length_us * 11) // 8 - psdu_length_bytes == 1:
+            service |= 0x80
+
+    header_fields = np.concatenate(
+        [int_to_bits(signal, 8), int_to_bits(service, 8), int_to_bits(length_us, 16)]
+    )
+    crc = _plcp_crc.compute(header_fields)
+    header = np.concatenate([header_fields, int_to_bits(crc, 16)])
+    return np.concatenate([sync, sfd, header])
+
+
+def parse_plcp_header(bits: np.ndarray) -> PlcpHeader:
+    """Parse the 48 header bits that follow the SFD.
+
+    Raises
+    ------
+    DecodeError
+        If the SIGNAL field does not indicate a valid 802.11b rate.
+    """
+    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    if bits.size < PLCP_HEADER_BITS:
+        raise DecodeError(f"PLCP header needs {PLCP_HEADER_BITS} bits, got {bits.size}")
+    signal = bits_to_int(bits[0:8])
+    service = bits_to_int(bits[8:16])
+    length_us = bits_to_int(bits[16:32])
+    crc_received = bits_to_int(bits[32:48])
+    crc_ok = _plcp_crc.compute(bits[0:32]) == crc_received
+    if signal not in _SIGNAL_TO_RATE:
+        raise DecodeError(f"invalid SIGNAL field 0x{signal:02X}")
+    return PlcpHeader(
+        rate_mbps=_SIGNAL_TO_RATE[signal],
+        length_us=length_us,
+        service=service,
+        crc_ok=crc_ok,
+    )

@@ -1,0 +1,210 @@
+"""802.11b DSSS/CCK receiver.
+
+Implements the commodity Wi-Fi receiver the paper points its backscattered
+packets at (an Intel Link 5300 in §4.2): SFD synchronisation, PLCP header
+decode, despreading/CCK decoding at the signalled rate, descrambling and
+FCS verification, plus an RSSI estimate.
+
+The receiver operates on the chip-rate complex baseband signal (11 Mchip/s),
+which in the end-to-end simulation is produced by mixing the backscattered
+RF waveform down to the Wi-Fi channel centre and matched-filtering to chip
+rate (see :mod:`repro.core.uplink`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DecodeError, SynchronizationError
+from repro.utils.bits import bits_to_bytes
+from repro.utils.dsp import signal_power, watts_to_dbm
+from repro.wifi.scrambler import Ieee80211Scrambler
+from repro.wifi.dsss.barker import BARKER_LENGTH, barker_despread
+from repro.wifi.dsss.cck import CCK_CHIPS_PER_SYMBOL, cck_decode_symbol
+from repro.wifi.dsss.dpsk import DpskDemodulator
+from repro.wifi.dsss.frames import verify_fcs
+from repro.wifi.dsss.plcp import (
+    PLCP_HEADER_BITS,
+    PLCP_PREAMBLE_BITS,
+    SHORT_PLCP_PREAMBLE_BITS,
+    PlcpHeader,
+    parse_plcp_header,
+)
+from repro.wifi.dsss.transmitter import CHIP_RATE_HZ, DsssRate
+
+__all__ = ["DsssDecodeResult", "DsssReceiver"]
+
+
+@dataclass(frozen=True)
+class DsssDecodeResult:
+    """Outcome of decoding one 802.11b packet.
+
+    Attributes
+    ----------
+    psdu:
+        Decoded MPDU bytes (present even if the FCS failed, for diagnosis).
+    header:
+        Decoded PLCP header.
+    crc_ok:
+        True when the MPDU frame check sequence verified.
+    rssi_dbm:
+        Received signal strength estimate over the packet.
+    rate:
+        Data rate the payload was decoded at.
+    """
+
+    psdu: bytes
+    header: PlcpHeader
+    crc_ok: bool
+    rssi_dbm: float
+    rate: DsssRate
+
+    @property
+    def payload(self) -> bytes:
+        """Frame body (MPDU minus the 24-byte MAC header and 4-byte FCS)."""
+        if len(self.psdu) <= 28:
+            return b""
+        return self.psdu[24:-4]
+
+
+class DsssReceiver:
+    """Chip-level 802.11b receiver.
+
+    Parameters
+    ----------
+    scrambler_seed:
+        Seed matching the transmitter's frame-synchronous scrambler.
+    short_preamble:
+        Expect the 56-bit short SYNC with the PLCP header at 2 Mbps DQPSK
+        (the format the interscatter tag transmits, §2.3.3).
+    """
+
+    def __init__(self, *, scrambler_seed: int = 0x1B, short_preamble: bool = False) -> None:
+        self.scrambler_seed = scrambler_seed
+        self.short_preamble = short_preamble
+
+    # ------------------------------------------------------------------ API
+    def decode_chips(self, chips: np.ndarray, *, rssi_dbm: float | None = None) -> DsssDecodeResult:
+        """Decode a packet that starts at chip 0 of *chips*.
+
+        Raises
+        ------
+        SynchronizationError
+            If there are not even enough chips for the PLCP preamble/header.
+        DecodeError
+            If the PLCP header is invalid.
+        """
+        chips = np.asarray(chips, dtype=complex).ravel()
+        preamble_bits = SHORT_PLCP_PREAMBLE_BITS if self.short_preamble else PLCP_PREAMBLE_BITS
+        # Short-format headers carry 2 bits per symbol, long-format 1.
+        header_symbols_count = PLCP_HEADER_BITS // (2 if self.short_preamble else 1)
+        header_chip_count = (preamble_bits + header_symbols_count) * BARKER_LENGTH
+        if chips.size < header_chip_count:
+            raise SynchronizationError(
+                f"waveform has {chips.size} chips, need {header_chip_count} for PLCP"
+            )
+        if rssi_dbm is None:
+            rssi_dbm = watts_to_dbm(signal_power(chips))
+
+        # 1. Despread the preamble + header and demodulate each at its rate.
+        all_header_symbols = barker_despread(chips[:header_chip_count])
+        preamble_symbols = all_header_symbols[:preamble_bits]
+        preamble_demod = DpskDemodulator(bits_per_symbol=1)
+        scrambled_preamble_bits = preamble_demod.demodulate(preamble_symbols)
+        if self.short_preamble:
+            header_demod = DpskDemodulator(
+                bits_per_symbol=2, initial_phase=float(np.angle(preamble_symbols[-1]))
+            )
+        else:
+            header_demod = DpskDemodulator(
+                bits_per_symbol=1, initial_phase=float(np.angle(preamble_symbols[-1]))
+            )
+        scrambled_header_field_bits = header_demod.demodulate(
+            all_header_symbols[preamble_bits:]
+        )
+        header_symbols = all_header_symbols  # reference phase source for the payload
+        scrambled_header_bits = np.concatenate(
+            [scrambled_preamble_bits, scrambled_header_field_bits]
+        )
+
+        # 2. Descramble preamble + header together (frame-synchronous model).
+        scrambler = Ieee80211Scrambler(self.scrambler_seed)
+        header_bits = scrambler.scramble(scrambled_header_bits)
+
+        # 3. Check the SYNC field (ones for long format, zeros for short),
+        #    then parse the header.
+        sync_field = header_bits[: preamble_bits - 16]
+        expected_level = 0.0 if self.short_preamble else 1.0
+        if abs(float(np.mean(sync_field)) - expected_level) > 0.1:
+            raise SynchronizationError("PLCP SYNC field did not descramble correctly")
+        plcp = parse_plcp_header(header_bits[preamble_bits:])
+        if not plcp.crc_ok:
+            raise DecodeError("PLCP header CRC failed")
+        rate = DsssRate.from_mbps(plcp.rate_mbps)
+        psdu_length = plcp.psdu_length_bytes()
+
+        # 4. Decode the payload at the signalled rate.
+        payload_chips = chips[header_chip_count:]
+        reference_phase = float(np.angle(header_symbols[-1]))
+        scrambled_psdu_bits = self._decode_payload(
+            payload_chips, rate, psdu_length, reference_phase
+        )
+
+        # 5. Descramble the PSDU (keystream continues after the header bits).
+        psdu_bits = scrambler.scramble(scrambled_psdu_bits)
+        psdu = bits_to_bytes(psdu_bits[: psdu_length * 8])
+        return DsssDecodeResult(
+            psdu=psdu,
+            header=plcp,
+            crc_ok=verify_fcs(psdu),
+            rssi_dbm=float(rssi_dbm),
+            rate=rate,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _decode_payload(
+        self,
+        payload_chips: np.ndarray,
+        rate: DsssRate,
+        psdu_length_bytes: int,
+        reference_phase: float,
+    ) -> np.ndarray:
+        """Despread/decode the PSDU chips into scrambled bits."""
+        total_bits = psdu_length_bytes * 8
+        if rate in (DsssRate.RATE_1, DsssRate.RATE_2):
+            bits_per_symbol = 1 if rate is DsssRate.RATE_1 else 2
+            symbols_needed = total_bits // bits_per_symbol
+            chips_needed = symbols_needed * BARKER_LENGTH
+            if payload_chips.size < chips_needed:
+                raise DecodeError(
+                    f"payload truncated: need {chips_needed} chips, have {payload_chips.size}"
+                )
+            symbols = barker_despread(payload_chips[:chips_needed])
+            demodulator = DpskDemodulator(
+                bits_per_symbol=bits_per_symbol, initial_phase=reference_phase
+            )
+            return demodulator.demodulate(symbols)
+
+        bits_per_symbol = 8 if rate is DsssRate.RATE_11 else 4
+        symbols_needed = total_bits // bits_per_symbol
+        chips_needed = symbols_needed * CCK_CHIPS_PER_SYMBOL
+        if payload_chips.size < chips_needed:
+            raise DecodeError(
+                f"payload truncated: need {chips_needed} chips, have {payload_chips.size}"
+            )
+        bits = np.empty(total_bits, dtype=np.uint8)
+        previous_phase = reference_phase
+        for index in range(symbols_needed):
+            chunk = payload_chips[
+                index * CCK_CHIPS_PER_SYMBOL : (index + 1) * CCK_CHIPS_PER_SYMBOL
+            ]
+            symbol_bits, previous_phase = cck_decode_symbol(
+                chunk,
+                rate_mbps=rate.mbps,
+                previous_phase=previous_phase,
+                symbol_index=index,
+            )
+            bits[index * bits_per_symbol : (index + 1) * bits_per_symbol] = symbol_bits
+        return bits

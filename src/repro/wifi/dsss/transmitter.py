@@ -1,0 +1,224 @@
+"""802.11b DSSS/CCK baseband transmitter.
+
+Produces the complex chip sequence (and optionally an oversampled waveform)
+for a full 802.11b packet: PLCP preamble + header at 1 Mbps DBPSK/Barker,
+then the PSDU at the selected rate.  This is exactly the baseband signal the
+interscatter tag's digital logic generates and imposes on the backscattered
+tone via the single-sideband modulator (paper §2.3.2, §3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.bits import bytes_to_bits
+from repro.wifi.scrambler import Ieee80211Scrambler
+from repro.wifi.dsss.barker import BARKER_LENGTH, barker_spread
+from repro.wifi.dsss.cck import CCK_CHIPS_PER_SYMBOL, cck_codeword
+from repro.wifi.dsss.dpsk import DpskModulator
+from repro.wifi.dsss.frames import WifiDataFrame
+from repro.wifi.dsss.plcp import (
+    PLCP_HEADER_BITS,
+    PLCP_PREAMBLE_BITS,
+    SHORT_PLCP_PREAMBLE_BITS,
+    build_plcp_preamble_and_header,
+)
+
+__all__ = ["DsssRate", "DsssPacketWaveform", "DsssTransmitter", "CHIP_RATE_HZ"]
+
+#: 802.11b chip rate.
+CHIP_RATE_HZ = 11_000_000.0
+
+
+class DsssRate(float, enum.Enum):
+    """Supported 802.11b data rates in Mbps."""
+
+    RATE_1 = 1.0
+    RATE_2 = 2.0
+    RATE_5_5 = 5.5
+    RATE_11 = 11.0
+
+    @property
+    def mbps(self) -> float:
+        """Rate as a plain float in Mbps."""
+        return float(self.value)
+
+    @classmethod
+    def from_mbps(cls, rate_mbps: float) -> "DsssRate":
+        """Look up the enum member for a numeric rate."""
+        for member in cls:
+            if abs(member.value - rate_mbps) < 1e-9:
+                return member
+        raise ConfigurationError(f"unsupported 802.11b rate: {rate_mbps} Mbps")
+
+
+@dataclass(frozen=True)
+class DsssPacketWaveform:
+    """The baseband output of the DSSS transmitter for one packet.
+
+    Attributes
+    ----------
+    chips:
+        Complex chips at 11 Mchip/s (unit magnitude).
+    chip_rate_hz:
+        Always 11 MHz for 802.11b.
+    rate:
+        Payload data rate.
+    psdu:
+        The MPDU bytes that were encoded.
+    header_chips:
+        Number of chips occupied by the PLCP preamble + header (always at
+        1 Mbps / Barker-11).
+    duration_s:
+        Packet air time.
+    """
+
+    chips: np.ndarray
+    chip_rate_hz: float
+    rate: DsssRate
+    psdu: bytes
+    header_chips: int
+
+    @property
+    def duration_s(self) -> float:
+        """Air time of the packet."""
+        return self.chips.size / self.chip_rate_hz
+
+    def __len__(self) -> int:
+        return int(self.chips.size)
+
+
+class DsssTransmitter:
+    """802.11b baseband packet encoder.
+
+    Parameters
+    ----------
+    rate:
+        Payload data rate (1, 2, 5.5 or 11 Mbps).
+    scrambler_seed:
+        Seed of the frame-synchronous scrambler; the receiver in this
+        library uses the same convention.
+    short_preamble:
+        Use the 56-bit short PLCP preamble with the header at 2 Mbps DQPSK
+        (96 µs of overhead instead of 192 µs).  The interscatter tag uses
+        the short preamble so its Wi-Fi packets fit inside one Bluetooth
+        advertising payload (§2.3.3).
+    """
+
+    def __init__(
+        self,
+        rate: DsssRate | float = DsssRate.RATE_2,
+        *,
+        scrambler_seed: int = 0x1B,
+        short_preamble: bool = False,
+    ) -> None:
+        self.rate = rate if isinstance(rate, DsssRate) else DsssRate.from_mbps(float(rate))
+        if short_preamble and self.rate is DsssRate.RATE_1:
+            raise ConfigurationError("short preamble cannot be combined with a 1 Mbps payload")
+        self.scrambler_seed = scrambler_seed
+        self.short_preamble = short_preamble
+
+    # ------------------------------------------------------------------ API
+    def encode_frame(self, frame: WifiDataFrame) -> DsssPacketWaveform:
+        """Encode a data frame into baseband chips."""
+        return self.encode_psdu(frame.mpdu())
+
+    def encode_psdu(self, psdu: bytes) -> DsssPacketWaveform:
+        """Encode raw MPDU bytes into baseband chips."""
+        if not psdu:
+            raise ConfigurationError("PSDU must not be empty")
+        plcp_bits = build_plcp_preamble_and_header(
+            self.rate.mbps, len(psdu), short_preamble=self.short_preamble
+        )
+        psdu_bits = bytes_to_bits(psdu)
+
+        scrambler = Ieee80211Scrambler(self.scrambler_seed)
+        scrambled = scrambler.scramble(np.concatenate([plcp_bits, psdu_bits]))
+        preamble_bits = SHORT_PLCP_PREAMBLE_BITS if self.short_preamble else PLCP_PREAMBLE_BITS
+        header_len = preamble_bits + PLCP_HEADER_BITS
+        scrambled_psdu = scrambled[header_len:]
+
+        if self.short_preamble:
+            # Short format: SYNC + SFD at 1 Mbps DBPSK, header at 2 Mbps DQPSK.
+            preamble_modulator = DpskModulator(bits_per_symbol=1)
+            preamble_symbols = preamble_modulator.modulate(scrambled[:preamble_bits])
+            header_modulator = DpskModulator(
+                bits_per_symbol=2, initial_phase=float(np.angle(preamble_symbols[-1]))
+            )
+            header_symbols = header_modulator.modulate(scrambled[preamble_bits:header_len])
+            header_chips = barker_spread(np.concatenate([preamble_symbols, header_symbols]))
+        else:
+            # Long format: preamble + header entirely at 1 Mbps DBPSK.
+            header_modulator = DpskModulator(bits_per_symbol=1)
+            header_symbols = header_modulator.modulate(scrambled[:header_len])
+            header_chips = barker_spread(header_symbols)
+        last_phase = float(np.angle(header_symbols[-1]))
+
+        payload_chips = self._encode_payload(scrambled_psdu, last_phase)
+        chips = np.concatenate([header_chips, payload_chips])
+        return DsssPacketWaveform(
+            chips=chips,
+            chip_rate_hz=CHIP_RATE_HZ,
+            rate=self.rate,
+            psdu=psdu,
+            header_chips=header_chips.size,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _encode_payload(self, scrambled_psdu: np.ndarray, reference_phase: float) -> np.ndarray:
+        """Encode the scrambled PSDU bits at the configured rate."""
+        rate = self.rate
+        if rate in (DsssRate.RATE_1, DsssRate.RATE_2):
+            bits_per_symbol = 1 if rate is DsssRate.RATE_1 else 2
+            modulator = DpskModulator(bits_per_symbol=bits_per_symbol, initial_phase=reference_phase)
+            symbols = modulator.modulate(scrambled_psdu)
+            return barker_spread(symbols)
+
+        bits_per_symbol = 8 if rate is DsssRate.RATE_11 else 4
+        if scrambled_psdu.size % bits_per_symbol != 0:
+            raise ConfigurationError(
+                f"PSDU bit count {scrambled_psdu.size} not a multiple of {bits_per_symbol}"
+            )
+        chips = np.empty(
+            (scrambled_psdu.size // bits_per_symbol) * CCK_CHIPS_PER_SYMBOL, dtype=complex
+        )
+        previous_phase = reference_phase
+        for index in range(scrambled_psdu.size // bits_per_symbol):
+            bits = scrambled_psdu[index * bits_per_symbol : (index + 1) * bits_per_symbol]
+            codeword, previous_phase = cck_codeword(
+                bits,
+                rate_mbps=rate.mbps,
+                previous_phase=previous_phase,
+                symbol_index=index,
+            )
+            chips[index * CCK_CHIPS_PER_SYMBOL : (index + 1) * CCK_CHIPS_PER_SYMBOL] = codeword
+        return chips
+
+    # ----------------------------------------------------------- conveniences
+    @property
+    def plcp_overhead_s(self) -> float:
+        """Air time of the PLCP preamble + header for this preamble format."""
+        if self.short_preamble:
+            # 72 µs preamble at 1 Mbps + 48 header bits at 2 Mbps = 96 µs.
+            return SHORT_PLCP_PREAMBLE_BITS * 1e-6 + PLCP_HEADER_BITS / 2.0 * 1e-6
+        return (PLCP_PREAMBLE_BITS + PLCP_HEADER_BITS) * 1e-6
+
+    def air_time_s(self, psdu_length_bytes: int) -> float:
+        """Air time of a packet with the given PSDU length at this rate."""
+        payload_s = psdu_length_bytes * 8.0 / (self.rate.mbps * 1e6)
+        return self.plcp_overhead_s + payload_s
+
+    def max_psdu_bytes_for_duration(self, duration_s: float) -> int:
+        """Largest PSDU that fits in *duration_s* of air time at this rate.
+
+        Used for the packet-size arithmetic of §2.3.3: how many Wi-Fi bytes
+        fit inside one Bluetooth advertising payload window.
+        """
+        remaining = duration_s - self.plcp_overhead_s
+        if remaining <= 0:
+            return 0
+        return int(np.floor(remaining * self.rate.mbps * 1e6 / 8.0))

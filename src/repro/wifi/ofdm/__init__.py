@@ -1,0 +1,57 @@
+"""802.11g OFDM physical layer.
+
+Used by the *downlink* of the interscatter system (paper §2.4): an
+unmodified OFDM Wi-Fi transmitter is turned into an amplitude modulator by
+choosing payload bits such that, after scrambling, convolutional encoding,
+interleaving and QAM mapping, every data subcarrier of a chosen OFDM symbol
+carries the same constellation point.  The IFFT of a constant spectrum is an
+impulse, so that symbol has nearly all its energy in its first time sample —
+an AM "low" for the rest of the symbol that a passive peak-detector receiver
+can see.
+
+The package contains a complete transmit chain, a matching receive chain
+(with a Viterbi decoder) used for validation, the constant-symbol payload
+construction, and models of how commodity chipsets pick scrambler seeds.
+"""
+
+from repro.wifi.ofdm.convolutional import ConvolutionalEncoder, ViterbiDecoder
+from repro.wifi.ofdm.interleaver import interleave, deinterleave
+from repro.wifi.ofdm.mapping import Modulation, map_bits, demap_symbols
+from repro.wifi.ofdm.symbols import OfdmSymbolBuilder, OFDM_FFT_SIZE, OFDM_CP_LENGTH
+from repro.wifi.ofdm.transmitter import OfdmTransmitter, OfdmRate, OfdmPacketWaveform
+from repro.wifi.ofdm.receiver import OfdmReceiver
+from repro.wifi.ofdm.constant_ofdm import (
+    AmSymbolPlan,
+    ConstantOfdmCrafter,
+    symbol_peak_to_average,
+)
+from repro.wifi.ofdm.scrambler_seeds import (
+    ScramblerSeedModel,
+    AtherosIncrementingSeedModel,
+    FixedSeedModel,
+    RandomSeedModel,
+)
+
+__all__ = [
+    "ConvolutionalEncoder",
+    "ViterbiDecoder",
+    "interleave",
+    "deinterleave",
+    "Modulation",
+    "map_bits",
+    "demap_symbols",
+    "OfdmSymbolBuilder",
+    "OFDM_FFT_SIZE",
+    "OFDM_CP_LENGTH",
+    "OfdmTransmitter",
+    "OfdmRate",
+    "OfdmPacketWaveform",
+    "OfdmReceiver",
+    "AmSymbolPlan",
+    "ConstantOfdmCrafter",
+    "symbol_peak_to_average",
+    "ScramblerSeedModel",
+    "AtherosIncrementingSeedModel",
+    "FixedSeedModel",
+    "RandomSeedModel",
+]

@@ -1,0 +1,57 @@
+"""802.11a/g block interleaver.
+
+Coded bits within one OFDM symbol are interleaved in two permutations
+(IEEE 802.11-2012 18.3.5.7): the first spreads adjacent coded bits across
+non-adjacent subcarriers, the second rotates bit positions within a
+subcarrier's constellation bits.
+
+The property the paper exploits (§2.4): a block of identical bits is
+invariant under any permutation, so a constant-symbol's all-ones or
+all-zeros coded block passes through the interleaver unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.bits import as_bit_array
+
+__all__ = ["interleave", "deinterleave", "interleaver_permutation"]
+
+
+def interleaver_permutation(coded_bits_per_symbol: int, bits_per_subcarrier: int) -> np.ndarray:
+    """Return the index permutation ``j = perm[k]`` for one OFDM symbol.
+
+    ``k`` is the index of a coded bit before interleaving, ``perm[k]`` its
+    position after interleaving.
+    """
+    n_cbps = coded_bits_per_symbol
+    n_bpsc = bits_per_subcarrier
+    if n_cbps % 16 != 0:
+        raise ConfigurationError("coded bits per symbol must be a multiple of 16")
+    if n_bpsc < 1:
+        raise ConfigurationError("bits per subcarrier must be >= 1")
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    # First permutation.
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    # Second permutation.
+    j = s * (i // s) + (i + n_cbps - (16 * i // n_cbps)) % s
+    return j
+
+
+def interleave(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+    """Interleave one OFDM symbol's worth of coded bits."""
+    arr = as_bit_array(bits)
+    perm = interleaver_permutation(arr.size, bits_per_subcarrier)
+    out = np.zeros_like(arr)
+    out[perm] = arr
+    return out
+
+
+def deinterleave(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+    """Invert :func:`interleave`."""
+    arr = as_bit_array(bits)
+    perm = interleaver_permutation(arr.size, bits_per_subcarrier)
+    return arr[perm]

@@ -1,0 +1,95 @@
+"""Constellation mapping for 802.11a/g: BPSK, QPSK, 16-QAM and 64-QAM.
+
+Gray-coded per IEEE 802.11-2012 18.3.5.8, with the standard normalisation
+factors so every constellation has unit average energy.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.bits import as_bit_array
+
+__all__ = ["Modulation", "map_bits", "demap_symbols"]
+
+
+class Modulation(enum.Enum):
+    """Subcarrier modulations supported by 802.11a/g."""
+
+    BPSK = "bpsk"
+    QPSK = "qpsk"
+    QAM16 = "16qam"
+    QAM64 = "64qam"
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Coded bits carried per subcarrier."""
+        return {"bpsk": 1, "qpsk": 2, "16qam": 4, "64qam": 6}[self.value]
+
+    @property
+    def normalization(self) -> float:
+        """Amplitude normalisation factor K_mod."""
+        return {
+            "bpsk": 1.0,
+            "qpsk": 1.0 / np.sqrt(2.0),
+            "16qam": 1.0 / np.sqrt(10.0),
+            "64qam": 1.0 / np.sqrt(42.0),
+        }[self.value]
+
+
+#: Gray mapping of bit groups to one PAM axis level.
+_PAM2 = {(0,): -1.0, (1,): 1.0}
+_PAM4 = {(0, 0): -3.0, (0, 1): -1.0, (1, 1): 1.0, (1, 0): 3.0}
+_PAM8 = {
+    (0, 0, 0): -7.0,
+    (0, 0, 1): -5.0,
+    (0, 1, 1): -3.0,
+    (0, 1, 0): -1.0,
+    (1, 1, 0): 1.0,
+    (1, 1, 1): 3.0,
+    (1, 0, 1): 5.0,
+    (1, 0, 0): 7.0,
+}
+
+
+def _axis_table(bits_per_axis: int) -> dict[tuple[int, ...], float]:
+    return {1: _PAM2, 2: _PAM4, 3: _PAM8}[bits_per_axis]
+
+
+def map_bits(bits: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Map coded bits to complex constellation points."""
+    arr = as_bit_array(bits)
+    bps = modulation.bits_per_symbol
+    if arr.size % bps != 0:
+        raise ConfigurationError(f"bit count {arr.size} not a multiple of {bps}")
+    groups = arr.reshape(-1, bps)
+    if modulation is Modulation.BPSK:
+        return (2.0 * groups[:, 0].astype(float) - 1.0).astype(complex)
+    half = bps // 2
+    table = _axis_table(half)
+    i_values = np.array([table[tuple(int(b) for b in g[:half])] for g in groups])
+    q_values = np.array([table[tuple(int(b) for b in g[half:])] for g in groups])
+    return modulation.normalization * (i_values + 1j * q_values)
+
+
+def demap_symbols(symbols: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Hard-decision demapping of complex points back to coded bits."""
+    symbols = np.asarray(symbols, dtype=complex).ravel()
+    bps = modulation.bits_per_symbol
+    if modulation is Modulation.BPSK:
+        return (symbols.real > 0).astype(np.uint8)
+    half = bps // 2
+    table = _axis_table(half)
+    levels = np.array(sorted(table.values()))
+    inverse = {v: k for k, v in table.items()}
+    scaled = symbols / modulation.normalization
+    out = np.empty(symbols.size * bps, dtype=np.uint8)
+    for idx, point in enumerate(scaled):
+        i_level = levels[np.argmin(np.abs(levels - point.real))]
+        q_level = levels[np.argmin(np.abs(levels - point.imag))]
+        bits = inverse[float(i_level)] + inverse[float(q_level)]
+        out[idx * bps : (idx + 1) * bps] = bits
+    return out

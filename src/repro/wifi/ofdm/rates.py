@@ -1,0 +1,82 @@
+"""802.11a/g rate-dependent parameters (modulation, coding rate, bits per symbol)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.wifi.ofdm.mapping import Modulation
+
+__all__ = ["OfdmRate", "OFDM_RATE_PARAMETERS", "OfdmRateParameters"]
+
+
+@dataclass(frozen=True)
+class OfdmRateParameters:
+    """Per-rate parameters from IEEE 802.11-2012 Table 18-4.
+
+    Attributes
+    ----------
+    rate_mbps:
+        Nominal data rate.
+    modulation:
+        Subcarrier modulation.
+    coding_rate:
+        Convolutional coding rate as a string ("1/2", "2/3", "3/4").
+    coded_bits_per_symbol:
+        N_CBPS — coded bits per OFDM symbol.
+    data_bits_per_symbol:
+        N_DBPS — information bits per OFDM symbol.
+    signal_rate_bits:
+        The 4-bit RATE field value for the SIGNAL symbol.
+    """
+
+    rate_mbps: float
+    modulation: Modulation
+    coding_rate: str
+    coded_bits_per_symbol: int
+    data_bits_per_symbol: int
+    signal_rate_bits: int
+
+
+class OfdmRate(enum.Enum):
+    """Supported 802.11g OFDM rates."""
+
+    RATE_6 = 6.0
+    RATE_9 = 9.0
+    RATE_12 = 12.0
+    RATE_18 = 18.0
+    RATE_24 = 24.0
+    RATE_36 = 36.0
+    RATE_48 = 48.0
+    RATE_54 = 54.0
+
+    @property
+    def mbps(self) -> float:
+        """Rate in Mbps as a plain float."""
+        return float(self.value)
+
+    @property
+    def parameters(self) -> OfdmRateParameters:
+        """Look up the rate-dependent parameter set."""
+        return OFDM_RATE_PARAMETERS[self]
+
+    @classmethod
+    def from_mbps(cls, rate_mbps: float) -> "OfdmRate":
+        """Return the enum member for a numeric rate in Mbps."""
+        for member in cls:
+            if abs(member.value - rate_mbps) < 1e-9:
+                return member
+        raise ConfigurationError(f"unsupported OFDM rate: {rate_mbps} Mbps")
+
+
+OFDM_RATE_PARAMETERS: dict[OfdmRate, OfdmRateParameters] = {
+    OfdmRate.RATE_6: OfdmRateParameters(6.0, Modulation.BPSK, "1/2", 48, 24, 0b1101),
+    OfdmRate.RATE_9: OfdmRateParameters(9.0, Modulation.BPSK, "3/4", 48, 36, 0b1111),
+    OfdmRate.RATE_12: OfdmRateParameters(12.0, Modulation.QPSK, "1/2", 96, 48, 0b0101),
+    OfdmRate.RATE_18: OfdmRateParameters(18.0, Modulation.QPSK, "3/4", 96, 72, 0b0111),
+    OfdmRate.RATE_24: OfdmRateParameters(24.0, Modulation.QAM16, "1/2", 192, 96, 0b1001),
+    OfdmRate.RATE_36: OfdmRateParameters(36.0, Modulation.QAM16, "3/4", 192, 144, 0b1011),
+    OfdmRate.RATE_48: OfdmRateParameters(48.0, Modulation.QAM64, "2/3", 288, 192, 0b0001),
+    OfdmRate.RATE_54: OfdmRateParameters(54.0, Modulation.QAM64, "3/4", 288, 216, 0b0011),
+}

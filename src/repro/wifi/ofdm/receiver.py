@@ -1,0 +1,127 @@
+"""802.11g OFDM receiver used to validate the transmit chain and the downlink.
+
+This receiver assumes sample-aligned input (the simulation controls timing),
+so it skips packet detection / carrier recovery and goes straight to FFT,
+demapping, deinterleaving, Viterbi decoding and descrambling.  It exposes
+the recovered scrambler seed the same way the gr-ieee802-11 receiver does
+for the paper's §4.4 seed-behaviour study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DecodeError
+from repro.utils.bits import bits_to_bytes, bits_to_int
+from repro.wifi.scrambler import Ieee80211Scrambler
+from repro.wifi.ofdm.convolutional import ViterbiDecoder, depuncture
+from repro.wifi.ofdm.interleaver import deinterleave
+from repro.wifi.ofdm.mapping import demap_symbols
+from repro.wifi.ofdm.rates import OfdmRate
+from repro.wifi.ofdm.symbols import OfdmSymbolBuilder
+from repro.wifi.ofdm.transmitter import OfdmPacketWaveform, _SERVICE_BITS, _TAIL_BITS
+
+__all__ = ["OfdmDecodeResult", "OfdmReceiver"]
+
+
+@dataclass(frozen=True)
+class OfdmDecodeResult:
+    """Outcome of decoding one OFDM packet.
+
+    Attributes
+    ----------
+    psdu:
+        Decoded PSDU bytes.
+    scrambler_seed:
+        The 7-bit scrambler seed recovered from the SERVICE field.
+    bit_errors_vs:
+        Optional count of bit errors against a reference PSDU (None when no
+        reference was provided).
+    """
+
+    psdu: bytes
+    scrambler_seed: int
+    bit_errors_vs: int | None = None
+
+
+class OfdmReceiver:
+    """Sample-aligned 802.11g data-field decoder."""
+
+    def __init__(self, rate: OfdmRate | float = OfdmRate.RATE_36) -> None:
+        self.rate = rate if isinstance(rate, OfdmRate) else OfdmRate.from_mbps(float(rate))
+        self._builder = OfdmSymbolBuilder()
+        self._viterbi = ViterbiDecoder()
+
+    def decode(
+        self,
+        waveform: OfdmPacketWaveform | np.ndarray,
+        *,
+        num_data_symbols: int | None = None,
+        data_start_sample: int | None = None,
+        psdu_length_bytes: int | None = None,
+        reference_psdu: bytes | None = None,
+    ) -> OfdmDecodeResult:
+        """Decode the data field of an OFDM packet.
+
+        When a :class:`OfdmPacketWaveform` is passed, framing metadata is
+        taken from it; raw sample arrays need the keyword metadata.
+        """
+        if isinstance(waveform, OfdmPacketWaveform):
+            samples = waveform.samples
+            num_data_symbols = waveform.num_data_symbols
+            data_start_sample = waveform.data_start_sample
+            if psdu_length_bytes is None and waveform.psdu:
+                psdu_length_bytes = len(waveform.psdu)
+        else:
+            samples = np.asarray(waveform, dtype=complex).ravel()
+            if num_data_symbols is None or data_start_sample is None:
+                raise DecodeError("raw sample input requires framing metadata")
+
+        params = self.rate.parameters
+        coded_bits: list[np.ndarray] = []
+        for index in range(num_data_symbols):
+            start = data_start_sample + index * self._builder.samples_per_symbol
+            stop = start + self._builder.samples_per_symbol
+            if stop > samples.size:
+                raise DecodeError("waveform truncated before the last data symbol")
+            points = self._builder.split_symbol(samples[start:stop])
+            demapped = demap_symbols(points, params.modulation)
+            coded_bits.append(deinterleave(demapped, params.modulation.bits_per_symbol))
+        coded = np.concatenate(coded_bits)
+
+        full, known = depuncture(coded, params.coding_rate)
+        scrambled = self._viterbi.decode(full, known_mask=known)
+
+        # Recover the scrambler seed from the SERVICE field: its first seven
+        # bits are transmitted as zeros, so the received scrambled bits there
+        # *are* the first seven keystream bits, which map 1:1 to the seed.
+        seed = self._seed_from_keystream(scrambled[:7])
+        descrambler = Ieee80211Scrambler(seed)
+        data_bits = descrambler.scramble(scrambled)
+
+        if psdu_length_bytes is None:
+            available = data_bits.size - _SERVICE_BITS - _TAIL_BITS
+            psdu_length_bytes = available // 8
+        psdu_bits = data_bits[_SERVICE_BITS : _SERVICE_BITS + psdu_length_bytes * 8]
+        psdu = bits_to_bytes(psdu_bits)
+
+        bit_errors = None
+        if reference_psdu is not None:
+            from repro.utils.bits import bytes_to_bits
+
+            reference_bits = bytes_to_bits(reference_psdu)
+            compare = min(reference_bits.size, psdu_bits.size)
+            bit_errors = int(np.count_nonzero(reference_bits[:compare] != psdu_bits[:compare]))
+            bit_errors += abs(reference_bits.size - psdu_bits.size)
+        return OfdmDecodeResult(psdu=psdu, scrambler_seed=seed, bit_errors_vs=bit_errors)
+
+    @staticmethod
+    def _seed_from_keystream(first_seven_keystream_bits: np.ndarray) -> int:
+        """Invert the scrambler: find the seed producing these first 7 output bits."""
+        for seed in range(1, 0x80):
+            candidate = Ieee80211Scrambler(seed).keystream(7)
+            if np.array_equal(candidate, first_seven_keystream_bits):
+                return seed
+        raise DecodeError("could not recover scrambler seed from SERVICE field")

@@ -1,0 +1,108 @@
+"""Models of how commodity 802.11g chipsets choose scrambler seeds (§4.4).
+
+The downlink construction must predict the transmitter's scrambler output,
+which requires knowing the 7-bit seed of every frame.  The paper measured
+(with the gr-ieee802-11 GNURadio receiver) that the Atheros AR5001G,
+AR5007G and AR9580 simply increment the seed by one between frames, and
+that ath5k cards can be pinned to a fixed seed through a driver register.
+These behaviours, plus a standards-faithful random model, are captured here
+so experiments can quantify how seed predictability affects the downlink.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ScramblerSeedModel",
+    "AtherosIncrementingSeedModel",
+    "FixedSeedModel",
+    "RandomSeedModel",
+    "CHIPSET_SEED_MODELS",
+]
+
+
+class ScramblerSeedModel(abc.ABC):
+    """Base class: produces the scrambler seed used for each successive frame."""
+
+    @abc.abstractmethod
+    def next_seed(self) -> int:
+        """Seed (non-zero 7-bit value) for the next transmitted frame."""
+
+    @abc.abstractmethod
+    def predict(self, frames_ahead: int) -> int | None:
+        """Predict the seed *frames_ahead* frames in the future.
+
+        Returns ``None`` when the model is not predictable (the random
+        model), which forces the downlink to fall back to per-frame seed
+        recovery.
+        """
+
+    @property
+    def predictable(self) -> bool:
+        """Whether an observer can predict future seeds from past ones."""
+        return self.predict(1) is not None
+
+
+class AtherosIncrementingSeedModel(ScramblerSeedModel):
+    """Seed increments by one per frame, wrapping within the 7-bit non-zero range.
+
+    Matches the paper's observation for the AR5001G / AR5007G / AR9580.
+    """
+
+    def __init__(self, initial_seed: int = 1) -> None:
+        if not 1 <= initial_seed <= 0x7F:
+            raise ConfigurationError("seed must be a non-zero 7-bit value")
+        self._current = initial_seed
+
+    def next_seed(self) -> int:
+        seed = self._current
+        self._current = self._current % 0x7F + 1
+        return seed
+
+    def predict(self, frames_ahead: int) -> int | None:
+        if frames_ahead < 0:
+            raise ValueError("frames_ahead must be non-negative")
+        return (self._current - 1 + frames_ahead) % 0x7F + 1
+
+
+class FixedSeedModel(ScramblerSeedModel):
+    """The seed never changes (ath5k with GEN_SCRAMBLER pinned in AR5K_PHY_CTL)."""
+
+    def __init__(self, seed: int = 0x5D) -> None:
+        if not 1 <= seed <= 0x7F:
+            raise ConfigurationError("seed must be a non-zero 7-bit value")
+        self.seed = seed
+
+    def next_seed(self) -> int:
+        return self.seed
+
+    def predict(self, frames_ahead: int) -> int | None:
+        return self.seed
+
+
+class RandomSeedModel(ScramblerSeedModel):
+    """Standards-faithful pseudo-random non-zero seed per frame (unpredictable)."""
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def next_seed(self) -> int:
+        return int(self._rng.integers(1, 0x80))
+
+    def predict(self, frames_ahead: int) -> int | None:
+        return None
+
+
+#: Chipset name → seed-model factory, reflecting Table-free findings of §4.4.
+CHIPSET_SEED_MODELS = {
+    "AR5001G": AtherosIncrementingSeedModel,
+    "AR5007G": AtherosIncrementingSeedModel,
+    "AR9580": AtherosIncrementingSeedModel,
+    "ath5k_fixed": FixedSeedModel,
+    "standards_random": RandomSeedModel,
+}

@@ -1,0 +1,140 @@
+"""OFDM symbol construction: subcarrier layout, pilots, IFFT and cyclic prefix.
+
+802.11a/g uses a 64-point IFFT at 20 Msample/s.  48 subcarriers carry data,
+4 carry pilots (at indices ±7 and ±21), the DC bin and the band edges are
+nulled.  Each symbol is 80 samples (64 + 16 cyclic prefix) = 4 µs.
+
+Fig. 7 of the paper contrasts a *random* OFDM symbol (energy spread across
+the 64 time samples) with a *constant* OFDM symbol (all data subcarriers
+carrying the same constellation point), whose IFFT is nearly an impulse —
+the basis of the AM downlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "OFDM_FFT_SIZE",
+    "OFDM_CP_LENGTH",
+    "OFDM_SYMBOL_SAMPLES",
+    "OFDM_SAMPLE_RATE_HZ",
+    "OFDM_SYMBOL_DURATION_S",
+    "DATA_SUBCARRIER_INDICES",
+    "PILOT_SUBCARRIER_INDICES",
+    "PILOT_POLARITY_SEQUENCE",
+    "OfdmSymbolBuilder",
+]
+
+#: FFT size of the 802.11a/g PHY.
+OFDM_FFT_SIZE = 64
+
+#: Cyclic prefix (guard interval) length in samples.
+OFDM_CP_LENGTH = 16
+
+#: Total samples per OFDM symbol.
+OFDM_SYMBOL_SAMPLES = OFDM_FFT_SIZE + OFDM_CP_LENGTH
+
+#: Baseband sample rate (20 MHz).
+OFDM_SAMPLE_RATE_HZ = 20_000_000.0
+
+#: Symbol duration: 4 µs.
+OFDM_SYMBOL_DURATION_S = OFDM_SYMBOL_SAMPLES / OFDM_SAMPLE_RATE_HZ
+
+#: Logical subcarrier indices (-26..-1, 1..26) carrying data, in the order the
+#: interleaved bits fill them.
+_ALL_USED = [k for k in range(-26, 27) if k != 0]
+PILOT_SUBCARRIER_INDICES = (-21, -7, 7, 21)
+DATA_SUBCARRIER_INDICES = tuple(k for k in _ALL_USED if k not in PILOT_SUBCARRIER_INDICES)
+
+#: 127-element pilot polarity sequence (IEEE 802.11-2012 18.3.5.10).  The
+#: SIGNAL symbol uses index 0; data symbol n uses index (n+1) mod 127.
+PILOT_POLARITY_SEQUENCE = np.array(
+    [
+        1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
+        -1, -1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, 1, 1, -1, 1,
+        1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1,
+        -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+        -1, -1, 1, -1, 1, -1, 1, 1, -1, -1, -1, 1, 1, -1, -1, -1,
+        -1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1,
+        -1, -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1,
+        -1, 1, -1, -1, -1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1,
+    ],
+    dtype=float,
+)
+
+
+def _fft_bin(logical_index: int) -> int:
+    """Map a logical subcarrier index (-26..26) to an FFT bin (0..63)."""
+    return logical_index % OFDM_FFT_SIZE
+
+
+class OfdmSymbolBuilder:
+    """Builds and dissects 802.11a/g OFDM symbols.
+
+    Parameters
+    ----------
+    cyclic_prefix:
+        Cyclic prefix length in samples (16 for standard 802.11a/g).
+    """
+
+    def __init__(self, cyclic_prefix: int = OFDM_CP_LENGTH) -> None:
+        if cyclic_prefix < 0 or cyclic_prefix >= OFDM_FFT_SIZE:
+            raise ConfigurationError("cyclic prefix must be in [0, 64)")
+        self.cyclic_prefix = cyclic_prefix
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Time-domain samples per symbol including the cyclic prefix."""
+        return OFDM_FFT_SIZE + self.cyclic_prefix
+
+    def build_symbol(self, data_points: np.ndarray, symbol_index: int) -> np.ndarray:
+        """Assemble one time-domain OFDM symbol.
+
+        Parameters
+        ----------
+        data_points:
+            48 complex constellation points, one per data subcarrier, in
+            logical subcarrier order.
+        symbol_index:
+            Zero-based index of this *data* symbol within the frame
+            (determines pilot polarity).
+        """
+        data_points = np.asarray(data_points, dtype=complex).ravel()
+        if data_points.size != len(DATA_SUBCARRIER_INDICES):
+            raise ConfigurationError(
+                f"expected {len(DATA_SUBCARRIER_INDICES)} data points, got {data_points.size}"
+            )
+        spectrum = np.zeros(OFDM_FFT_SIZE, dtype=complex)
+        for point, logical in zip(data_points, DATA_SUBCARRIER_INDICES):
+            spectrum[_fft_bin(logical)] = point
+        polarity = PILOT_POLARITY_SEQUENCE[(symbol_index + 1) % PILOT_POLARITY_SEQUENCE.size]
+        pilot_values = np.array([1.0, 1.0, 1.0, -1.0]) * polarity
+        for value, logical in zip(pilot_values, PILOT_SUBCARRIER_INDICES):
+            spectrum[_fft_bin(logical)] = value
+        time_domain = np.fft.ifft(spectrum) * np.sqrt(OFDM_FFT_SIZE)
+        if self.cyclic_prefix:
+            time_domain = np.concatenate([time_domain[-self.cyclic_prefix :], time_domain])
+        return time_domain
+
+    def split_symbol(self, samples: np.ndarray) -> np.ndarray:
+        """Recover the 48 data constellation points from one time-domain symbol."""
+        samples = np.asarray(samples, dtype=complex).ravel()
+        if samples.size != self.samples_per_symbol:
+            raise ConfigurationError(
+                f"expected {self.samples_per_symbol} samples, got {samples.size}"
+            )
+        useful = samples[self.cyclic_prefix :]
+        spectrum = np.fft.fft(useful) / np.sqrt(OFDM_FFT_SIZE)
+        return np.array([spectrum[_fft_bin(k)] for k in DATA_SUBCARRIER_INDICES])
+
+    def pilot_points(self, samples: np.ndarray) -> np.ndarray:
+        """Extract the four pilot subcarrier values from a time-domain symbol."""
+        samples = np.asarray(samples, dtype=complex).ravel()
+        useful = samples[self.cyclic_prefix :]
+        spectrum = np.fft.fft(useful) / np.sqrt(OFDM_FFT_SIZE)
+        return np.array([spectrum[_fft_bin(k)] for k in PILOT_SUBCARRIER_INDICES])

@@ -1,0 +1,250 @@
+"""802.11g OFDM baseband transmitter.
+
+Implements the data-field encoding chain of IEEE 802.11-2012 clause 18:
+SERVICE field + PSDU + tail + pad → scramble → convolutionally encode (with
+puncturing) → per-symbol interleave → QAM map → pilots + IFFT + cyclic
+prefix.  The legacy preamble (short/long training sequences) and SIGNAL
+symbol are included so the waveform has realistic structure for the peak
+detector, although the downlink construction only manipulates the data
+symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.bits import bytes_to_bits, int_to_bits
+from repro.wifi.scrambler import Ieee80211Scrambler
+from repro.wifi.ofdm.convolutional import ConvolutionalEncoder, puncture
+from repro.wifi.ofdm.interleaver import interleave
+from repro.wifi.ofdm.mapping import Modulation, map_bits
+from repro.wifi.ofdm.rates import OfdmRate
+from repro.wifi.ofdm.symbols import (
+    DATA_SUBCARRIER_INDICES,
+    OFDM_FFT_SIZE,
+    OFDM_SAMPLE_RATE_HZ,
+    OFDM_SYMBOL_DURATION_S,
+    OfdmSymbolBuilder,
+)
+
+__all__ = ["OfdmPacketWaveform", "OfdmTransmitter", "build_preamble"]
+
+#: Number of data subcarriers per OFDM symbol.
+_N_DATA = len(DATA_SUBCARRIER_INDICES)
+
+#: SERVICE field length in bits (7 scrambler-init zeros + 9 reserved).
+_SERVICE_BITS = 16
+
+#: Tail bits appended to flush the convolutional encoder.
+_TAIL_BITS = 6
+
+
+def _long_training_sequence() -> np.ndarray:
+    """Frequency-domain long training symbol values on subcarriers -26..26."""
+    return np.array(
+        [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 0,
+         1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1],
+        dtype=float,
+    )
+
+
+def build_preamble() -> np.ndarray:
+    """Build the 16 µs legacy preamble (10 short symbols + 2 long symbols)."""
+    # Short training symbol: 12 populated subcarriers at ±4k indices.
+    short_freq = np.zeros(OFDM_FFT_SIZE, dtype=complex)
+    pattern = np.sqrt(13.0 / 6.0) * np.array(
+        [0, 0, 1 + 1j, 0, 0, 0, -1 - 1j, 0, 0, 0, 1 + 1j, 0, 0, 0, -1 - 1j, 0, 0, 0, -1 - 1j, 0, 0, 0, 1 + 1j, 0, 0, 0,
+         0, 0, 0, 0, -1 - 1j, 0, 0, 0, -1 - 1j, 0, 0, 0, 1 + 1j, 0, 0, 0, 1 + 1j, 0, 0, 0, 1 + 1j, 0, 0, 0, 1 + 1j, 0, 0],
+        dtype=complex,
+    )
+    for offset, value in zip(range(-26, 27), pattern):
+        short_freq[offset % OFDM_FFT_SIZE] = value
+    short_time = np.fft.ifft(short_freq) * np.sqrt(OFDM_FFT_SIZE)
+    short_preamble = np.tile(short_time[:16], 10)
+
+    long_freq = np.zeros(OFDM_FFT_SIZE, dtype=complex)
+    for offset, value in zip(range(-26, 27), _long_training_sequence()):
+        long_freq[offset % OFDM_FFT_SIZE] = value
+    long_time = np.fft.ifft(long_freq) * np.sqrt(OFDM_FFT_SIZE)
+    long_preamble = np.concatenate([long_time[-32:], long_time, long_time])
+    return np.concatenate([short_preamble, long_preamble])
+
+
+@dataclass(frozen=True)
+class OfdmPacketWaveform:
+    """Baseband output of the OFDM transmitter for one packet.
+
+    Attributes
+    ----------
+    samples:
+        Complex baseband samples at 20 Msample/s.
+    sample_rate_hz:
+        Always 20 MHz.
+    rate:
+        Data rate used for the data symbols.
+    scrambler_seed:
+        Seed the data field was scrambled with.
+    num_data_symbols:
+        Number of data OFDM symbols.
+    data_start_sample:
+        Index of the first sample of the first data symbol (after preamble
+        and SIGNAL symbol).
+    psdu:
+        The bytes that were encoded.
+    """
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    rate: OfdmRate
+    scrambler_seed: int
+    num_data_symbols: int
+    data_start_sample: int
+    psdu: bytes
+
+    @property
+    def duration_s(self) -> float:
+        """Waveform duration in seconds."""
+        return self.samples.size / self.sample_rate_hz
+
+    def data_symbol(self, index: int) -> np.ndarray:
+        """Time-domain samples (80) of data symbol *index*."""
+        if not 0 <= index < self.num_data_symbols:
+            raise IndexError(f"symbol index {index} out of range")
+        start = self.data_start_sample + index * 80
+        return self.samples[start : start + 80]
+
+
+class OfdmTransmitter:
+    """802.11g OFDM packet encoder.
+
+    Parameters
+    ----------
+    rate:
+        OFDM data rate; the paper's downlink experiments use 36 Mbps
+        (16-QAM, rate 3/4).
+    """
+
+    def __init__(self, rate: OfdmRate | float = OfdmRate.RATE_36) -> None:
+        self.rate = rate if isinstance(rate, OfdmRate) else OfdmRate.from_mbps(float(rate))
+        self._builder = OfdmSymbolBuilder()
+
+    # ------------------------------------------------------------------ API
+    def encode_psdu(self, psdu: bytes, *, scrambler_seed: int = 0x5D) -> OfdmPacketWaveform:
+        """Encode *psdu* into a complete 802.11g waveform."""
+        if not psdu:
+            raise ConfigurationError("PSDU must not be empty")
+        data_bits = self._assemble_data_bits(psdu)
+        scrambled = self._scramble(data_bits, scrambler_seed)
+        # Tail bits are transmitted unscrambled (set to zero after scrambling)
+        # so the receiver's Viterbi trellis terminates in the zero state.
+        tail_start = _SERVICE_BITS + len(psdu) * 8
+        scrambled[tail_start : tail_start + _TAIL_BITS] = 0
+        symbols = self._encode_symbols(scrambled)
+        preamble = build_preamble()
+        signal_symbol = self._signal_symbol(len(psdu))
+        samples = np.concatenate([preamble, signal_symbol] + symbols)
+        return OfdmPacketWaveform(
+            samples=samples,
+            sample_rate_hz=OFDM_SAMPLE_RATE_HZ,
+            rate=self.rate,
+            scrambler_seed=scrambler_seed,
+            num_data_symbols=len(symbols),
+            data_start_sample=preamble.size + signal_symbol.size,
+            psdu=psdu,
+        )
+
+    def encode_data_bits(
+        self, padded_data_bits: np.ndarray, *, scrambler_seed: int = 0x5D
+    ) -> OfdmPacketWaveform:
+        """Encode an already-assembled data-field bit stream.
+
+        Used by the constant-OFDM crafter, which wants direct control over
+        every data bit (including SERVICE and pad bits) rather than going
+        through the bytes-of-a-PSDU path.  The bit count must be a multiple
+        of the data bits per symbol.
+        """
+        params = self.rate.parameters
+        if padded_data_bits.size % params.data_bits_per_symbol != 0:
+            raise ConfigurationError(
+                "data bit count must be a multiple of the data bits per symbol"
+            )
+        scrambled = self._scramble(padded_data_bits, scrambler_seed)
+        symbols = self._encode_symbols(scrambled)
+        preamble = build_preamble()
+        signal_symbol = self._signal_symbol(max(1, padded_data_bits.size // 8))
+        samples = np.concatenate([preamble, signal_symbol] + symbols)
+        return OfdmPacketWaveform(
+            samples=samples,
+            sample_rate_hz=OFDM_SAMPLE_RATE_HZ,
+            rate=self.rate,
+            scrambler_seed=scrambler_seed,
+            num_data_symbols=len(symbols),
+            data_start_sample=preamble.size + signal_symbol.size,
+            psdu=b"",
+        )
+
+    def num_symbols_for_psdu(self, psdu_length_bytes: int) -> int:
+        """Number of data OFDM symbols needed for a PSDU of the given length."""
+        params = self.rate.parameters
+        total_bits = _SERVICE_BITS + 8 * psdu_length_bytes + _TAIL_BITS
+        return int(np.ceil(total_bits / params.data_bits_per_symbol))
+
+    def air_time_s(self, psdu_length_bytes: int) -> float:
+        """Packet air time: 16 µs preamble + 4 µs SIGNAL + 4 µs per data symbol."""
+        return 20e-6 + self.num_symbols_for_psdu(psdu_length_bytes) * OFDM_SYMBOL_DURATION_S
+
+    # ------------------------------------------------------------- internals
+    def _assemble_data_bits(self, psdu: bytes) -> np.ndarray:
+        """SERVICE + PSDU + tail + pad bits (before scrambling)."""
+        params = self.rate.parameters
+        psdu_bits = bytes_to_bits(psdu)
+        total_bits = _SERVICE_BITS + psdu_bits.size + _TAIL_BITS
+        num_symbols = int(np.ceil(total_bits / params.data_bits_per_symbol))
+        padded_length = num_symbols * params.data_bits_per_symbol
+        data = np.zeros(padded_length, dtype=np.uint8)
+        data[_SERVICE_BITS : _SERVICE_BITS + psdu_bits.size] = psdu_bits
+        return data
+
+    def _scramble(self, data_bits: np.ndarray, seed: int) -> np.ndarray:
+        """Scramble the data field with the frame's 7-bit seed."""
+        scrambler = Ieee80211Scrambler(seed)
+        return scrambler.scramble(data_bits)
+
+    def _encode_symbols(self, scrambled_bits: np.ndarray) -> list[np.ndarray]:
+        """Convolutionally encode, interleave, map and IFFT every data symbol."""
+        params = self.rate.parameters
+        encoder = ConvolutionalEncoder()
+        coded = encoder.encode(scrambled_bits)
+        coded = puncture(coded, params.coding_rate)
+        if coded.size % params.coded_bits_per_symbol != 0:
+            raise ConfigurationError(
+                "coded bit count does not fill an integer number of OFDM symbols"
+            )
+        num_symbols = coded.size // params.coded_bits_per_symbol
+        symbols: list[np.ndarray] = []
+        for index in range(num_symbols):
+            block = coded[
+                index * params.coded_bits_per_symbol : (index + 1) * params.coded_bits_per_symbol
+            ]
+            interleaved = interleave(block, params.modulation.bits_per_symbol)
+            points = map_bits(interleaved, params.modulation)
+            symbols.append(self._builder.build_symbol(points, index))
+        return symbols
+
+    def _signal_symbol(self, psdu_length_bytes: int) -> np.ndarray:
+        """Build the SIGNAL symbol (BPSK, rate 1/2, never scrambled)."""
+        params = self.rate.parameters
+        rate_bits = int_to_bits(params.signal_rate_bits, 4, msb_first=True)
+        length_bits = int_to_bits(psdu_length_bytes & 0xFFF, 12)
+        parity = int(np.sum(rate_bits) + np.sum(length_bits)) % 2
+        signal_bits = np.concatenate(
+            [rate_bits, [0], length_bits, [parity], np.zeros(6, dtype=np.uint8)]
+        ).astype(np.uint8)
+        encoder = ConvolutionalEncoder()
+        coded = encoder.encode(signal_bits)
+        interleaved = interleave(coded, 1)
+        points = map_bits(interleaved, Modulation.BPSK)
+        return self._builder.build_symbol(points, symbol_index=-1)

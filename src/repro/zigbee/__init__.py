@@ -1,0 +1,33 @@
+"""IEEE 802.15.4 (ZigBee) 2.4 GHz O-QPSK physical layer.
+
+Used for the generality experiment of the paper (§4.5): the interscatter
+tag adapts its single-sideband backscatter to synthesize 250 kbps
+ZigBee-compliant packets from the same Bluetooth single tone, received by a
+commodity TI CC2531.  The PHY here implements the 2.4 GHz DSSS O-QPSK mode:
+each 4-bit symbol maps to a 32-chip pseudo-noise sequence, chips are
+O-QPSK-modulated with half-sine pulse shaping at 2 Mchip/s.
+"""
+
+from repro.zigbee.chips import CHIP_SEQUENCES, symbol_to_chips, chips_to_symbol
+from repro.zigbee.packet import ZigbeeFrame, build_phy_frame, parse_phy_frame
+from repro.zigbee.oqpsk import OqpskModulator, OqpskDemodulator
+from repro.zigbee.transmitter import ZigbeeTransmitter, ZigbeePacketWaveform
+from repro.zigbee.receiver import ZigbeeReceiver, ZigbeeDecodeResult
+from repro.zigbee.channels import zigbee_channel_frequency_mhz, ZIGBEE_CHANNELS
+
+__all__ = [
+    "CHIP_SEQUENCES",
+    "symbol_to_chips",
+    "chips_to_symbol",
+    "ZigbeeFrame",
+    "build_phy_frame",
+    "parse_phy_frame",
+    "OqpskModulator",
+    "OqpskDemodulator",
+    "ZigbeeTransmitter",
+    "ZigbeePacketWaveform",
+    "ZigbeeReceiver",
+    "ZigbeeDecodeResult",
+    "zigbee_channel_frequency_mhz",
+    "ZIGBEE_CHANNELS",
+]

@@ -1,0 +1,25 @@
+"""IEEE 802.15.4 channel map for the 2.4 GHz band.
+
+Sixteen channels (11-26) spaced 5 MHz apart starting at 2405 MHz.  The paper
+backscatters BLE advertising channel 38 (2426 MHz) to ZigBee channel 14
+(2420 MHz) — a −6 MHz shift (§4.5).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ZIGBEE_CHANNELS", "zigbee_channel_frequency_mhz", "ZIGBEE_CHANNEL_BANDWIDTH_MHZ"]
+
+#: Channel number → centre frequency (MHz) for the 2.4 GHz O-QPSK PHY.
+ZIGBEE_CHANNELS: dict[int, float] = {ch: 2405.0 + 5.0 * (ch - 11) for ch in range(11, 27)}
+
+#: Occupied bandwidth of a 2.4 GHz 802.15.4 channel.
+ZIGBEE_CHANNEL_BANDWIDTH_MHZ = 5.0
+
+
+def zigbee_channel_frequency_mhz(channel: int) -> float:
+    """Centre frequency of an 802.15.4 2.4 GHz channel (11-26)."""
+    if channel not in ZIGBEE_CHANNELS:
+        raise ConfigurationError(f"ZigBee channel must be 11-26, got {channel}")
+    return ZIGBEE_CHANNELS[channel]

@@ -1,0 +1,77 @@
+"""802.15.4 DSSS chip sequences for the 2.4 GHz O-QPSK PHY.
+
+Each 4-bit symbol (LSB first within each octet) maps to one of sixteen
+nearly-orthogonal 32-chip pseudo-noise sequences (IEEE 802.15.4-2011 Table
+73).  Symbols 8-15 reuse the sequences of 0-7 with the odd-indexed chips
+inverted (equivalently, a conjugation in the O-QPSK domain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CHIP_SEQUENCES", "symbol_to_chips", "chips_to_symbol", "CHIPS_PER_SYMBOL"]
+
+#: Chips per 4-bit symbol.
+CHIPS_PER_SYMBOL = 32
+
+#: Base chip sequence for symbol 0 (c0 first), IEEE 802.15.4-2011 Table 73.
+_SYMBOL0 = np.array(
+    [1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+     0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0],
+    dtype=np.uint8,
+)
+
+
+def _build_sequences() -> dict[int, np.ndarray]:
+    """Generate all sixteen chip sequences from the symbol-0 base sequence.
+
+    Symbols 1-7 are cyclic shifts of symbol 0 by 4·k chips (to the right);
+    symbols 8-15 invert the even-indexed chips... strictly, per the standard
+    they are the same shifts of a conjugated base sequence in which every
+    second chip (the Q chips) is complemented.
+    """
+    sequences: dict[int, np.ndarray] = {}
+    for k in range(8):
+        sequences[k] = np.roll(_SYMBOL0, 4 * k)
+    conjugated = _SYMBOL0.copy()
+    conjugated[1::2] ^= 1
+    for k in range(8):
+        sequences[8 + k] = np.roll(conjugated, 4 * k)
+    return sequences
+
+
+#: Symbol value (0-15) → 32-chip sequence.
+CHIP_SEQUENCES: dict[int, np.ndarray] = _build_sequences()
+
+
+def symbol_to_chips(symbol: int) -> np.ndarray:
+    """Return the 32-chip sequence for a 4-bit symbol value."""
+    if not 0 <= symbol <= 15:
+        raise ConfigurationError(f"802.15.4 symbol must be 0-15, got {symbol}")
+    return CHIP_SEQUENCES[symbol].copy()
+
+
+def chips_to_symbol(chips: np.ndarray) -> tuple[int, int]:
+    """Best-match decode of 32 (possibly corrupted) chips.
+
+    Returns
+    -------
+    (symbol, distance):
+        The most likely symbol value and its Hamming distance from the
+        received chips.
+    """
+    chips = np.asarray(chips).ravel()
+    if chips.size != CHIPS_PER_SYMBOL:
+        raise ValueError(f"expected {CHIPS_PER_SYMBOL} chips, got {chips.size}")
+    hard = (chips > 0.5).astype(np.uint8) if chips.dtype != np.uint8 else chips
+    best_symbol = 0
+    best_distance = CHIPS_PER_SYMBOL + 1
+    for symbol, sequence in CHIP_SEQUENCES.items():
+        distance = int(np.count_nonzero(sequence != hard))
+        if distance < best_distance:
+            best_distance = distance
+            best_symbol = symbol
+    return best_symbol, best_distance

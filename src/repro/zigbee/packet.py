@@ -1,0 +1,119 @@
+"""802.15.4 PHY frame format: preamble, SFD, length and MAC frame with FCS.
+
+A PHY protocol data unit (PPDU) is::
+
+    preamble (4 zero bytes) | SFD (0xA7) | length (7 bits) | PSDU (≤127 bytes)
+
+The PSDU (MAC frame) ends with a CRC-16 frame check sequence.  The paper's
+§4.5 experiment only needs packets a commodity CC2531 will accept, i.e. a
+valid PPDU with correct FCS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CrcError, PacketFormatError
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+from repro.utils.crc import crc16_ccitt
+
+__all__ = [
+    "PREAMBLE_BYTES",
+    "SFD_BYTE",
+    "MAX_PSDU_BYTES",
+    "ZigbeeFrame",
+    "build_phy_frame",
+    "parse_phy_frame",
+]
+
+#: Four zero bytes of preamble.
+PREAMBLE_BYTES = b"\x00\x00\x00\x00"
+
+#: Start-of-frame delimiter.
+SFD_BYTE = 0xA7
+
+#: Maximum PSDU size.
+MAX_PSDU_BYTES = 127
+
+
+@dataclass
+class ZigbeeFrame:
+    """A minimal 802.15.4 data frame.
+
+    Attributes
+    ----------
+    payload:
+        MAC payload bytes.
+    sequence_number:
+        MAC sequence number (0-255).
+    pan_id / destination / source:
+        16-bit short addressing fields.
+    """
+
+    payload: bytes
+    sequence_number: int = 0
+    pan_id: int = 0x1A62
+    destination: int = 0xFFFF
+    source: int = 0x0001
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sequence_number <= 255:
+            raise PacketFormatError("sequence number must fit in one byte")
+        if len(self.payload) > MAX_PSDU_BYTES - 11:
+            raise PacketFormatError("payload too large for one 802.15.4 frame")
+
+    def mac_frame(self) -> bytes:
+        """MAC header + payload + FCS (the PSDU)."""
+        frame_control = (0x8841).to_bytes(2, "little")  # data frame, short addrs, intra-PAN
+        header = (
+            frame_control
+            + bytes([self.sequence_number])
+            + self.pan_id.to_bytes(2, "little")
+            + self.destination.to_bytes(2, "little")
+            + self.source.to_bytes(2, "little")
+        )
+        body = header + self.payload
+        fcs = crc16_ccitt.compute(bytes_to_bits(body))
+        return body + fcs.to_bytes(2, "little")
+
+    @classmethod
+    def parse(cls, psdu: bytes) -> "ZigbeeFrame":
+        """Parse a PSDU back into a frame, verifying the FCS."""
+        if len(psdu) < 11:
+            raise PacketFormatError(f"PSDU too short: {len(psdu)} bytes")
+        body, fcs_bytes = psdu[:-2], psdu[-2:]
+        expected = crc16_ccitt.compute(bytes_to_bits(body))
+        if int.from_bytes(fcs_bytes, "little") != expected:
+            raise CrcError("802.15.4 FCS check failed")
+        return cls(
+            payload=body[9:],
+            sequence_number=body[2],
+            pan_id=int.from_bytes(body[3:5], "little"),
+            destination=int.from_bytes(body[5:7], "little"),
+            source=int.from_bytes(body[7:9], "little"),
+        )
+
+
+def build_phy_frame(psdu: bytes) -> bytes:
+    """Wrap a PSDU in the PHY preamble, SFD and length byte."""
+    if not psdu:
+        raise PacketFormatError("PSDU must not be empty")
+    if len(psdu) > MAX_PSDU_BYTES:
+        raise PacketFormatError(f"PSDU limited to {MAX_PSDU_BYTES} bytes, got {len(psdu)}")
+    return PREAMBLE_BYTES + bytes([SFD_BYTE, len(psdu)]) + psdu
+
+
+def parse_phy_frame(ppdu: bytes) -> bytes:
+    """Extract the PSDU from a PPDU, validating preamble, SFD and length."""
+    if len(ppdu) < 7:
+        raise PacketFormatError("PPDU too short")
+    if ppdu[:4] != PREAMBLE_BYTES:
+        raise PacketFormatError("bad 802.15.4 preamble")
+    if ppdu[4] != SFD_BYTE:
+        raise PacketFormatError(f"bad SFD 0x{ppdu[4]:02X}")
+    length = ppdu[5] & 0x7F
+    if len(ppdu) < 6 + length:
+        raise PacketFormatError("PPDU truncated")
+    return ppdu[6 : 6 + length]

@@ -1,0 +1,87 @@
+"""802.15.4 transmitter: bytes → symbols → chips → O-QPSK waveform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.zigbee.chips import CHIPS_PER_SYMBOL, symbol_to_chips
+from repro.zigbee.oqpsk import CHIP_RATE_HZ, OqpskModulator, OqpskWaveform
+from repro.zigbee.packet import ZigbeeFrame, build_phy_frame
+
+__all__ = ["ZigbeePacketWaveform", "ZigbeeTransmitter", "ZIGBEE_BIT_RATE_BPS", "bytes_to_chips"]
+
+#: 802.15.4 2.4 GHz data rate.
+ZIGBEE_BIT_RATE_BPS = 250_000.0
+
+
+def bytes_to_chips(data: bytes) -> np.ndarray:
+    """Spread bytes into the 32-chip-per-nibble DSSS chip stream.
+
+    The low nibble of each byte is transmitted first (IEEE 802.15.4-2011
+    §10.3.2).
+    """
+    chips: list[np.ndarray] = []
+    for byte in data:
+        chips.append(symbol_to_chips(byte & 0x0F))
+        chips.append(symbol_to_chips((byte >> 4) & 0x0F))
+    if not chips:
+        return np.zeros(0, dtype=np.uint8)
+    return np.concatenate(chips)
+
+
+@dataclass(frozen=True)
+class ZigbeePacketWaveform:
+    """Baseband output of the ZigBee transmitter.
+
+    Attributes
+    ----------
+    waveform:
+        O-QPSK complex baseband waveform.
+    chips:
+        The chip stream that was modulated.
+    ppdu:
+        The PHY frame bytes.
+    psdu:
+        The MAC frame (PSDU) bytes inside the PPDU.
+    """
+
+    waveform: OqpskWaveform
+    chips: np.ndarray
+    ppdu: bytes
+    psdu: bytes
+
+    @property
+    def duration_s(self) -> float:
+        """Packet air time."""
+        return self.waveform.duration_s
+
+
+class ZigbeeTransmitter:
+    """802.15.4 2.4 GHz O-QPSK packet encoder."""
+
+    def __init__(self, samples_per_chip: int = 4) -> None:
+        self._modulator = OqpskModulator(samples_per_chip)
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Sample rate of the emitted waveforms."""
+        return self._modulator.sample_rate_hz
+
+    def encode_frame(self, frame: ZigbeeFrame) -> ZigbeePacketWaveform:
+        """Encode a data frame into a complete PPDU waveform."""
+        return self.encode_psdu(frame.mac_frame())
+
+    def encode_psdu(self, psdu: bytes) -> ZigbeePacketWaveform:
+        """Encode raw PSDU bytes into a PPDU waveform."""
+        ppdu = build_phy_frame(psdu)
+        chips = bytes_to_chips(ppdu)
+        waveform = self._modulator.modulate(chips)
+        return ZigbeePacketWaveform(waveform=waveform, chips=chips, ppdu=ppdu, psdu=psdu)
+
+    def air_time_s(self, psdu_length_bytes: int) -> float:
+        """Air time of a packet with the given PSDU length."""
+        ppdu_bytes = 6 + psdu_length_bytes
+        chips = ppdu_bytes * 2 * CHIPS_PER_SYMBOL
+        return chips / CHIP_RATE_HZ

@@ -1,0 +1,76 @@
+"""Tests for the smart contact lens application model (§5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.contact_lens import ContactLensReading, SmartContactLens
+from repro.exceptions import ConfigurationError
+
+
+class TestReading:
+    def test_encode_decode_roundtrip(self):
+        reading = ContactLensReading(glucose_mmol_per_l=5.7, sequence=12)
+        decoded = ContactLensReading.decode(reading.encode())
+        assert decoded.sequence == 12
+        assert decoded.glucose_mmol_per_l == pytest.approx(5.7, abs=1e-5)
+
+    def test_encoded_size(self):
+        assert len(ContactLensReading(5.0, 1).encode()) == 8
+
+    def test_decode_too_short(self):
+        with pytest.raises(ConfigurationError):
+            ContactLensReading.decode(b"\x00\x01")
+
+    def test_battery_free(self):
+        assert ContactLensReading(5.0, 1).battery_free
+
+
+class TestSmartContactLens:
+    def test_rssi_decreases_with_distance(self):
+        lens = SmartContactLens(watch_power_dbm=20.0)
+        assert lens.rssi_at(6.0) > lens.rssi_at(24.0) > lens.rssi_at(40.0)
+
+    def test_higher_watch_power_helps(self):
+        low = SmartContactLens(watch_power_dbm=10.0).rssi_at(20.0)
+        high = SmartContactLens(watch_power_dbm=20.0).rssi_at(20.0)
+        assert high == pytest.approx(low + 10.0, abs=0.1)
+
+    def test_paper_range_claim_at_20dbm(self):
+        # §5.1: ranges of more than 24 inches.
+        lens = SmartContactLens(watch_power_dbm=20.0)
+        assert lens.max_range_inches() > 24.0
+
+    def test_saline_attenuates(self):
+        wet = SmartContactLens(watch_power_dbm=10.0, in_saline=True).rssi_at(12.0)
+        dry = SmartContactLens(watch_power_dbm=10.0, in_saline=False).rssi_at(12.0)
+        assert dry > wet
+
+    def test_deliver_reading_close_range(self):
+        lens = SmartContactLens(watch_power_dbm=20.0, rng=np.random.default_rng(0))
+        telemetry = lens.deliver_reading(phone_distance_inches=10.0)
+        assert telemetry.delivered
+        assert telemetry.packet_error_rate < 0.2
+        assert telemetry.energy_uj > 0.0
+
+    def test_delivery_fails_far_away(self):
+        lens = SmartContactLens(watch_power_dbm=0.0, rng=np.random.default_rng(0))
+        telemetry = lens.deliver_reading(phone_distance_inches=500.0)
+        assert not telemetry.delivered
+
+    def test_sequence_increments(self):
+        lens = SmartContactLens(rng=np.random.default_rng(0))
+        first = lens.sample_glucose()
+        second = lens.sample_glucose()
+        assert second.sequence == first.sequence + 1
+
+    def test_rssi_sweep_matches_pointwise(self):
+        lens = SmartContactLens(watch_power_dbm=10.0)
+        distances = np.array([6.0, 12.0, 24.0])
+        sweep = lens.rssi_sweep(distances)
+        assert sweep[1] == pytest.approx(lens.rssi_at(12.0))
+
+    def test_invalid_distance(self):
+        with pytest.raises(ConfigurationError):
+            SmartContactLens(watch_distance_inches=0.0)

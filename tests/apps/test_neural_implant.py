@@ -1,0 +1,74 @@
+"""Tests for the implanted neural recorder application model (§5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.neural_implant import NeuralFrame, NeuralImplant
+from repro.exceptions import ConfigurationError
+
+
+class TestNeuralFrame:
+    def test_encode_decode_roundtrip(self, rng):
+        samples = rng.integers(-500, 500, (8, 4)).astype(np.int16)
+        frame = NeuralFrame(channel_samples=samples, sequence=3)
+        decoded = NeuralFrame.decode(frame.encode())
+        assert decoded.sequence == 3
+        assert np.array_equal(decoded.channel_samples, samples)
+
+    def test_num_channels(self):
+        frame = NeuralFrame(channel_samples=np.zeros((16, 2), dtype=np.int16), sequence=0)
+        assert frame.num_channels == 16
+
+    def test_decode_too_short(self):
+        with pytest.raises(ConfigurationError):
+            NeuralFrame.decode(b"\x00")
+
+
+class TestNeuralImplant:
+    def test_rssi_decreases_with_distance(self):
+        implant = NeuralImplant(bluetooth_power_dbm=20.0)
+        assert implant.rssi_at(6.0) > implant.rssi_at(40.0) > implant.rssi_at(80.0)
+
+    def test_tissue_hurts_but_link_survives(self):
+        # §5.2: feasible despite significant attenuation from muscle tissue;
+        # range far beyond the 1-2 cm of prior dedicated readers.
+        implant = NeuralImplant(bluetooth_power_dbm=10.0)
+        assert implant.rssi_at(10.0) > -92.0
+
+    def test_deliver_frame_close(self):
+        implant = NeuralImplant(bluetooth_power_dbm=20.0, rng=np.random.default_rng(0))
+        telemetry = implant.deliver_frame(12.0)
+        assert telemetry.delivered
+        assert telemetry.frame_bytes > 8
+
+    def test_record_frame_shape(self):
+        implant = NeuralImplant(num_channels=16, rng=np.random.default_rng(0))
+        frame = implant.record_frame(samples_per_channel=6)
+        assert frame.channel_samples.shape == (16, 6)
+
+    def test_recording_data_rate(self):
+        implant = NeuralImplant(num_channels=8, sample_rate_hz=1000.0)
+        assert implant.recording_data_rate_bps() == 8 * 1000 * 16
+
+    def test_uplink_goodput_scales_with_rate(self):
+        slow = NeuralImplant(wifi_rate_mbps=2.0).uplink_goodput_bps()
+        fast = NeuralImplant(wifi_rate_mbps=11.0).uplink_goodput_bps()
+        assert fast > 4 * slow
+
+    def test_sustainable_channels_positive_at_11mbps(self):
+        implant = NeuralImplant(wifi_rate_mbps=11.0, sample_rate_hz=500.0)
+        assert implant.sustainable_channels() >= 8
+
+    def test_total_power_dominated_by_recording(self):
+        implant = NeuralImplant(num_channels=64)
+        total = implant.total_power_uw()
+        assert total > 64 * 2.0
+        assert total < 64 * 2.0 + 5.0  # communication adds only a few µW
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            NeuralImplant(num_channels=0)
+        with pytest.raises(ConfigurationError):
+            NeuralImplant(sample_rate_hz=0.0)

@@ -1,0 +1,127 @@
+"""Tests for the envelope/peak detectors and the IC power model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backscatter.detector import EnvelopeDetector, PeakDetectorReceiver
+from repro.backscatter.power import ACTIVE_RADIO_POWER_UW, InterscatterPowerModel
+from repro.exceptions import ConfigurationError
+from repro.utils.dsp import dbm_to_watts
+
+
+class TestEnvelopeDetector:
+    def _waveform_with_packet(self, power_dbm: float, fs: float = 8e6) -> np.ndarray:
+        amplitude = np.sqrt(dbm_to_watts(power_dbm))
+        idle = np.zeros(400, dtype=complex)
+        packet = amplitude * np.exp(2j * np.pi * 0.01 * np.arange(2000))
+        return np.concatenate([idle, packet])
+
+    def test_detects_strong_packet(self):
+        detector = EnvelopeDetector(8e6, threshold_dbm=-40.0)
+        detection = detector.detect(self._waveform_with_packet(-20.0))
+        assert detection.triggered
+        assert detection.trigger_sample >= 400
+
+    def test_ignores_weak_packet(self):
+        # The paper tunes the threshold so only nearby Bluetooth (8-10 ft) triggers.
+        detector = EnvelopeDetector(8e6, threshold_dbm=-40.0)
+        assert not detector.detect(self._waveform_with_packet(-60.0)).triggered
+
+    def test_trigger_time_consistent(self):
+        detector = EnvelopeDetector(8e6, threshold_dbm=-40.0)
+        detection = detector.detect(self._waveform_with_packet(-10.0))
+        assert detection.trigger_time_s == pytest.approx(
+            detection.trigger_sample / 8e6
+        )
+
+    def test_envelope_is_smoothed(self):
+        detector = EnvelopeDetector(8e6, time_constant_s=5e-6)
+        waveform = self._waveform_with_packet(-20.0)
+        envelope = detector.envelope(waveform)
+        assert envelope.size == waveform.size
+        assert envelope[401] < np.abs(waveform[401])  # attack takes time
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            EnvelopeDetector(0.0)
+        with pytest.raises(ConfigurationError):
+            EnvelopeDetector(8e6, time_constant_s=0.0)
+
+
+class TestPeakDetectorReceiver:
+    def test_below_sensitivity_is_random(self, rng):
+        detector = PeakDetectorReceiver(sensitivity_dbm=-32.0)
+        bits = detector.decode_bits(
+            np.zeros(8000, dtype=complex),
+            samples_per_symbol=80,
+            num_symbols=100,
+            rssi_dbm=-60.0,
+            rng=rng,
+        )
+        assert bits.size == 50
+        assert 10 < bits.sum() < 40  # random, not stuck at 0 or 1
+
+    def test_envelope_tracks_amplitude_steps(self):
+        detector = PeakDetectorReceiver()
+        signal = np.concatenate([np.ones(400), np.zeros(400), np.ones(400)]).astype(complex)
+        envelope = detector.envelope(signal)
+        assert envelope[350] > 0.9
+        assert envelope[799] < 0.3
+        assert envelope[1150] > 0.9
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            PeakDetectorReceiver(0.0)
+
+
+class TestPowerModel:
+    def test_reference_matches_paper(self):
+        breakdown = InterscatterPowerModel().reference_breakdown()
+        assert breakdown.frequency_synthesizer_uw == pytest.approx(9.69)
+        assert breakdown.baseband_processor_uw == pytest.approx(8.51)
+        assert breakdown.backscatter_modulator_uw == pytest.approx(9.79)
+        assert breakdown.total_uw == pytest.approx(28.0, abs=0.1)
+
+    def test_power_scales_with_shift(self):
+        model = InterscatterPowerModel()
+        low = model.estimate(shift_hz=12e6).total_uw
+        high = model.estimate(shift_hz=48e6).total_uw
+        assert high > low
+
+    def test_power_scales_with_supply_squared(self):
+        nominal = InterscatterPowerModel(supply_voltage_v=1.0).reference_breakdown().total_uw
+        reduced = InterscatterPowerModel(supply_voltage_v=0.7).reference_breakdown().total_uw
+        assert reduced == pytest.approx(nominal * 0.49, rel=0.01)
+
+    def test_duty_cycle_scales_linearly(self):
+        model = InterscatterPowerModel()
+        assert model.estimate(duty_cycle=0.1).total_uw == pytest.approx(
+            model.estimate(duty_cycle=1.0).total_uw * 0.1
+        )
+
+    def test_savings_versus_active_radios(self):
+        model = InterscatterPowerModel()
+        for radio in ACTIVE_RADIO_POWER_UW:
+            assert model.savings_versus_active(radio) > 100.0
+
+    def test_energy_per_bit(self):
+        model = InterscatterPowerModel()
+        # 28 µW at 2 Mbps = 14 pJ/bit.
+        assert model.energy_per_bit_nj(2.0) == pytest.approx(0.014, rel=0.05)
+
+    def test_as_dict(self):
+        breakdown = InterscatterPowerModel().reference_breakdown()
+        data = breakdown.as_dict()
+        assert data["total_uw"] == pytest.approx(breakdown.total_uw)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            InterscatterPowerModel(supply_voltage_v=0.0)
+        with pytest.raises(ConfigurationError):
+            InterscatterPowerModel().estimate(wifi_rate_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            InterscatterPowerModel().estimate(duty_cycle=1.5)
+        with pytest.raises(ConfigurationError):
+            InterscatterPowerModel().savings_versus_active("lte")

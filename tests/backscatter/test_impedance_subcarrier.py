@@ -1,0 +1,116 @@
+"""Tests for the impedance model and the square-wave sub-carrier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.backscatter.impedance import (
+    FPGA_PROTOTYPE_COMPONENTS,
+    QUADRATURE_IMPEDANCE_STATES,
+    component_impedance,
+    optimize_states_for_antenna,
+    quadrature_reflection_targets,
+    reflection_coefficient,
+)
+from repro.backscatter.subcarrier import (
+    SquareWaveSubcarrier,
+    quadrature_square_wave,
+    square_wave,
+    square_wave_harmonics,
+)
+from repro.exceptions import ConfigurationError
+from repro.utils.spectrum import power_spectral_density, spectral_peak
+
+
+class TestReflectionCoefficient:
+    def test_matched_load_no_reflection(self):
+        assert reflection_coefficient(50.0, 50.0) == pytest.approx(0.0)
+
+    def test_short_circuit_full_reflection(self):
+        assert reflection_coefficient(50.0, 0.0) == pytest.approx(1.0)
+
+    def test_open_circuit_inverted_reflection(self):
+        assert reflection_coefficient(50.0, 1e12) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_zero_denominator(self):
+        with pytest.raises(ConfigurationError):
+            reflection_coefficient(50.0, -50.0)
+
+    def test_magnitude_bounded_for_reactive_loads(self):
+        gamma = reflection_coefficient(50.0, 25j)
+        assert abs(gamma) == pytest.approx(1.0)
+
+
+class TestQuadratureStates:
+    def test_four_states(self):
+        assert set(QUADRATURE_IMPEDANCE_STATES) == {"1+j", "1-j", "-1+j", "-1-j"}
+
+    def test_states_realise_their_targets(self):
+        for state in QUADRATURE_IMPEDANCE_STATES.values():
+            assert state.reflection(50.0) == pytest.approx(state.target_reflection, abs=1e-9)
+
+    def test_targets_are_quadrature(self):
+        targets = quadrature_reflection_targets()
+        phases = sorted(np.angle(v) % (2 * np.pi) for v in targets.values())
+        gaps = np.diff(phases)
+        assert np.allclose(gaps, np.pi / 2, atol=1e-9)
+
+    def test_reoptimised_states_for_loop_antenna(self):
+        states = optimize_states_for_antenna(15.0 + 45.0j)
+        for state in states.values():
+            assert state.reflection(15.0 + 45.0j) == pytest.approx(state.target_reflection, abs=1e-9)
+
+    def test_zero_antenna_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimize_states_for_antenna(0.0)
+
+    def test_prototype_components_are_reactive(self):
+        for name, kwargs in FPGA_PROTOTYPE_COMPONENTS.items():
+            impedance = component_impedance(**kwargs)
+            assert abs(impedance.real) < 1e-6 or kwargs.get("open_circuit")
+
+    def test_component_impedance_requires_argument(self):
+        with pytest.raises(ConfigurationError):
+            component_impedance()
+
+
+class TestSquareWave:
+    def test_values_are_plus_minus_one(self):
+        wave = square_wave(1e6, 16e6, 64)
+        assert set(np.unique(wave)) <= {1.0, -1.0}
+
+    def test_harmonic_levels_match_paper(self):
+        harmonics = square_wave_harmonics(5)
+        assert harmonics[1] == pytest.approx(0.0)
+        assert harmonics[3] == pytest.approx(-9.5, abs=0.1)
+        assert harmonics[5] == pytest.approx(-14.0, abs=0.1)
+
+    def test_quadrature_square_wave_values(self):
+        wave = quadrature_square_wave(1e6, 16e6, 64)
+        assert np.allclose(np.abs(wave.real), 1.0)
+        assert np.allclose(np.abs(wave.imag), 1.0)
+
+    def test_subcarrier_spectral_peak_at_shift(self):
+        generator = SquareWaveSubcarrier(shift_hz=5e6, sample_rate_hz=40e6)
+        samples = generator.generate(8192)
+        peak, _ = spectral_peak(power_spectral_density(samples, 40e6))
+        assert peak == pytest.approx(5e6, abs=50e3)
+
+    def test_ideal_subcarrier_is_pure_exponential(self):
+        generator = SquareWaveSubcarrier(shift_hz=5e6, sample_rate_hz=40e6, ideal=True)
+        samples = generator.generate(1024)
+        assert np.allclose(np.abs(samples), 1.0)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            square_wave(1e6, 16e6, -5)
+
+    @given(st.floats(min_value=1e5, max_value=1e7))
+    def test_property_square_wave_zero_mean(self, freq):
+        # An odd number of samples per period biases the sampled wave by up
+        # to one sample per period, so the bound reflects that quantisation.
+        wave = square_wave(freq, 80e6, 8000)
+        assert abs(np.mean(wave)) < 0.12

@@ -1,0 +1,123 @@
+"""Tests for the single- and double-sideband backscatter modulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backscatter.dsb import DoubleSidebandModulator
+from repro.backscatter.ssb import SingleSidebandModulator
+from repro.exceptions import ConfigurationError
+from repro.utils.spectrum import power_spectral_density, spectral_peak, spectrum_asymmetry_db
+
+
+@pytest.fixture
+def ssb():
+    return SingleSidebandModulator(shift_hz=22e6, sample_rate_hz=88e6)
+
+
+@pytest.fixture
+def dsb():
+    return DoubleSidebandModulator(shift_hz=22e6, sample_rate_hz=88e6)
+
+
+class TestSingleSideband:
+    def test_pure_shift_lands_at_plus_delta_f(self, ssb):
+        tone = np.ones(16384, dtype=complex)
+        output = ssb.modulate_tone_shift(16384).apply_to(tone)
+        peak, _ = spectral_peak(power_spectral_density(output, ssb.sample_rate_hz))
+        assert peak == pytest.approx(22e6, abs=100e3)
+
+    def test_mirror_copy_suppressed(self, ssb):
+        tone = np.ones(16384, dtype=complex)
+        output = ssb.modulate_tone_shift(16384).apply_to(tone)
+        asym = spectrum_asymmetry_db(
+            power_spectral_density(output, ssb.sample_rate_hz), 0.0, 22e6, 2e6
+        )
+        assert asym > 20.0
+
+    def test_four_switch_states_only(self, ssb):
+        waveform = ssb.modulate_tone_shift(4096)
+        assert set(np.unique(waveform.state_indices)) <= {0, 1, 2, 3}
+        assert len(np.unique(np.round(waveform.reflection, 9))) <= 4
+
+    def test_reflection_magnitude_bounded(self, ssb):
+        waveform = ssb.modulate_tone_shift(4096)
+        assert np.max(np.abs(waveform.reflection)) <= 1.0 + 1e-9
+
+    def test_negative_shift_supported(self):
+        modulator = SingleSidebandModulator(shift_hz=-6e6, sample_rate_hz=88e6)
+        tone = np.ones(16384, dtype=complex)
+        output = modulator.modulate_tone_shift(16384).apply_to(tone)
+        peak, _ = spectral_peak(power_spectral_density(output, 88e6))
+        assert peak == pytest.approx(-6e6, abs=100e3)
+
+    def test_upsample_symbols(self, ssb):
+        chips = np.ones(11, dtype=complex)
+        upsampled = ssb.upsample_symbols(chips, 11e6)
+        assert upsampled.size == 88
+
+    def test_upsample_rate_check(self, ssb):
+        with pytest.raises(ConfigurationError):
+            ssb.upsample_symbols(np.ones(4, dtype=complex), 200e6)
+
+    def test_sample_rate_nyquist_check(self):
+        with pytest.raises(ConfigurationError):
+            SingleSidebandModulator(shift_hz=50e6, sample_rate_hz=88e6)
+
+    def test_empty_baseband_rejected(self, ssb):
+        with pytest.raises(ConfigurationError):
+            ssb.modulate_baseband(np.zeros(0, dtype=complex))
+
+    def test_incident_shorter_than_reflection_rejected(self, ssb):
+        waveform = ssb.modulate_tone_shift(1000)
+        with pytest.raises(ConfigurationError):
+            waveform.apply_to(np.ones(10, dtype=complex))
+
+    def test_loop_antenna_states(self):
+        modulator = SingleSidebandModulator(
+            shift_hz=22e6, sample_rate_hz=88e6, antenna_impedance_ohm=15.0 + 45.0j
+        )
+        assert len(modulator.impedance_states) == 4
+
+    def test_ideal_subcarrier_ablation_cleaner(self):
+        # Use a 10 MHz shift so the third harmonic (-30 MHz) does not alias
+        # back onto the fundamental at the 88 MHz simulation rate.
+        real = SingleSidebandModulator(shift_hz=10e6, sample_rate_hz=88e6)
+        ideal = SingleSidebandModulator(
+            shift_hz=10e6, sample_rate_hz=88e6, ideal_subcarrier=True, quantize_to_states=False
+        )
+        tone = np.ones(16384, dtype=complex)
+        real_out = real.modulate_tone_shift(16384).apply_to(tone)
+        ideal_out = ideal.modulate_tone_shift(16384).apply_to(tone)
+        real_spectrum = power_spectral_density(real_out, 88e6)
+        ideal_spectrum = power_spectral_density(ideal_out, 88e6)
+        # The square-wave version has a third-harmonic image at -3·Δf that the
+        # ideal complex exponential lacks (the 9.5 dB image of §2.3.1).
+        real_harmonic = real_spectrum.band_power(-31e6, -29e6)
+        ideal_harmonic = ideal_spectrum.band_power(-31e6, -29e6)
+        fundamental = real_spectrum.band_power(9e6, 11e6)
+        assert real_harmonic > 10.0 * ideal_harmonic
+        assert 10.0 * np.log10(fundamental / real_harmonic) == pytest.approx(9.5, abs=2.0)
+
+
+class TestDoubleSideband:
+    def test_mirror_copy_present(self, dsb):
+        tone = np.ones(16384, dtype=complex)
+        output = dsb.modulate_tone_shift(16384).apply_to(tone)
+        asym = spectrum_asymmetry_db(
+            power_spectral_density(output, dsb.sample_rate_hz), 0.0, 22e6, 2e6
+        )
+        assert abs(asym) < 1.0
+
+    def test_reflection_is_real(self, dsb):
+        waveform = dsb.modulate_tone_shift(4096)
+        assert not np.iscomplexobj(waveform.reflection) or np.allclose(waveform.reflection.imag, 0)
+
+    def test_nyquist_check(self):
+        with pytest.raises(ConfigurationError):
+            DoubleSidebandModulator(shift_hz=50e6, sample_rate_hz=88e6)
+
+    def test_empty_rejected(self, dsb):
+        with pytest.raises(ConfigurationError):
+            dsb.modulate_baseband(np.zeros(0, dtype=complex))

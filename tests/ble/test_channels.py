@@ -1,0 +1,67 @@
+"""Tests for the BLE channel map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ble.channels import (
+    ADVERTISING_CHANNELS,
+    DATA_CHANNELS,
+    ISM_BAND_HIGH_MHZ,
+    ISM_BAND_LOW_MHZ,
+    advertising_channel,
+    channel_for_frequency,
+    channel_frequency_mhz,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestAdvertisingChannels:
+    def test_three_advertising_channels(self):
+        assert sorted(ADVERTISING_CHANNELS) == [37, 38, 39]
+
+    def test_paper_frequencies(self):
+        # Fig. 3: channel 37 at 2402, 38 at 2426, 39 at 2480 MHz.
+        assert advertising_channel(37).frequency_mhz == 2402.0
+        assert advertising_channel(38).frequency_mhz == 2426.0
+        assert advertising_channel(39).frequency_mhz == 2480.0
+
+    def test_channels_37_39_at_band_edges(self):
+        # The mirror-copy argument of §2.3.1 relies on 37/39 hugging the band edges.
+        assert advertising_channel(37).frequency_mhz - ISM_BAND_LOW_MHZ < 3.0
+        assert ISM_BAND_HIGH_MHZ - advertising_channel(39).frequency_mhz < 4.0
+
+    def test_non_advertising_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            advertising_channel(10)
+
+
+class TestDataChannels:
+    def test_thirty_seven_data_channels(self):
+        assert len(DATA_CHANNELS) == 37
+
+    def test_data_channels_2mhz_spacing(self):
+        freqs = sorted(ch.frequency_mhz for ch in DATA_CHANNELS.values())
+        gaps = {round(b - a, 3) for a, b in zip(freqs, freqs[1:])}
+        # All gaps are 2 MHz except the 4 MHz hole around advertising ch. 38.
+        assert gaps <= {2.0, 4.0}
+
+    def test_all_frequencies_unique(self):
+        all_freqs = [channel_frequency_mhz(i) for i in range(40)]
+        assert len(set(all_freqs)) == 40
+
+
+class TestLookups:
+    def test_frequency_lookup(self):
+        assert channel_for_frequency(2426.0).index == 38
+
+    def test_frequency_lookup_miss(self):
+        with pytest.raises(ConfigurationError):
+            channel_for_frequency(2500.0)
+
+    def test_invalid_index(self):
+        with pytest.raises(ConfigurationError):
+            channel_frequency_mhz(40)
+
+    def test_frequency_hz_property(self):
+        assert advertising_channel(38).frequency_hz == pytest.approx(2.426e9)

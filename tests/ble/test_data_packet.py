@@ -1,0 +1,114 @@
+"""Tests for BLE data-channel packets as an interscatter source (§7 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ble.data_packet import (
+    MAX_DATA_PAYLOAD_BYTES_EXTENDED,
+    MAX_DATA_PAYLOAD_BYTES_LEGACY,
+    DataChannelPacket,
+    craft_data_channel_single_tone,
+)
+from repro.core.timing import data_packet_wifi_budget, max_wifi_payload_bytes
+from repro.exceptions import ConfigurationError, CrcError, PacketFormatError
+
+
+class TestDataChannelPacket:
+    def test_roundtrip(self):
+        packet = DataChannelPacket(payload=b"connection data", channel_index=20)
+        parsed = DataChannelPacket.from_air_bits(
+            packet.air_bits(),
+            channel_index=20,
+            access_address=packet.access_address,
+            crc_init=packet.crc_init,
+        )
+        assert parsed.payload == b"connection data"
+        assert parsed.llid == packet.llid
+
+    def test_wrong_crc_init_fails(self):
+        packet = DataChannelPacket(payload=b"secret", crc_init=0x111111)
+        with pytest.raises((CrcError, PacketFormatError)):
+            DataChannelPacket.from_air_bits(
+                packet.air_bits(),
+                channel_index=packet.channel_index,
+                access_address=packet.access_address,
+                crc_init=0x222222,
+            )
+
+    def test_extended_length_limit(self):
+        DataChannelPacket(payload=b"x" * MAX_DATA_PAYLOAD_BYTES_EXTENDED)
+        with pytest.raises(PacketFormatError):
+            DataChannelPacket(payload=b"x" * (MAX_DATA_PAYLOAD_BYTES_EXTENDED + 1))
+
+    def test_legacy_length_limit(self):
+        with pytest.raises(PacketFormatError):
+            DataChannelPacket(
+                payload=b"x" * (MAX_DATA_PAYLOAD_BYTES_LEGACY + 1), extended_length=False
+            )
+
+    def test_advertising_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataChannelPacket(payload=b"x", channel_index=38)
+
+    def test_duration_scales_with_payload(self):
+        short = DataChannelPacket(payload=b"x" * 27)
+        long = DataChannelPacket(payload=b"x" * 251)
+        assert long.payload_duration_s == pytest.approx(2008e-6)
+        assert long.duration_s > short.duration_s
+
+
+class TestDataChannelSingleTone:
+    @pytest.mark.parametrize("channel", [0, 11, 36])
+    @pytest.mark.parametrize("tone_bit", [0, 1])
+    def test_payload_whitens_to_constant(self, channel, tone_bit):
+        crafted = craft_data_channel_single_tone(channel, tone_bit=tone_bit, payload_length=100)
+        on_air = crafted.on_air_payload_bits()
+        assert on_air.size == 100 * 8
+        assert np.all(on_air == tone_bit)
+
+    def test_maximum_window_is_about_2ms(self):
+        crafted = craft_data_channel_single_tone(11)
+        assert crafted.tone_duration_s == pytest.approx(2008e-6)
+        # ~8x the 248 µs advertising payload window the paper evaluates.
+        assert crafted.tone_duration_s > 8.0 * 248e-6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            craft_data_channel_single_tone(11, tone_bit=2)
+        with pytest.raises(ConfigurationError):
+            craft_data_channel_single_tone(11, payload_length=0)
+        with pytest.raises(ConfigurationError):
+            craft_data_channel_single_tone(39)
+
+    @given(st.integers(min_value=0, max_value=36), st.integers(min_value=1, max_value=251))
+    def test_property_constant_for_all_channels_and_lengths(self, channel, length):
+        crafted = craft_data_channel_single_tone(channel, payload_length=length)
+        assert np.all(crafted.on_air_payload_bits() == 1)
+
+
+class TestDataPacketWifiBudget:
+    def test_1mbps_now_fits(self):
+        # The paper's §2.3.3 observation is that 1 Mbps does NOT fit in an
+        # advertisement; with a 251-byte data packet it does.
+        budget = data_packet_wifi_budget(1.0)
+        assert budget["fits_1mbps_packet"] == 1.0
+        assert budget["max_wifi_psdu_bytes"] > 200
+
+    def test_throughput_gain_over_advertising(self):
+        for rate in (2.0, 5.5, 11.0):
+            budget = data_packet_wifi_budget(rate)
+            assert budget["max_wifi_psdu_bytes"] > 6 * max_wifi_payload_bytes(rate)
+            assert budget["gain_over_advertising"] > 6.0
+
+    def test_11mbps_budget(self):
+        budget = data_packet_wifi_budget(11.0)
+        # ~2 ms window at 11 Mbps is well over 2 kB of Wi-Fi payload.
+        assert budget["max_wifi_psdu_bytes"] > 2000
+
+    def test_invalid_payload(self):
+        with pytest.raises(ConfigurationError):
+            data_packet_wifi_budget(2.0, ble_data_payload_bytes=0)

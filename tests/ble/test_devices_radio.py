@@ -1,0 +1,68 @@
+"""Tests for BLE device profiles and the transmitter model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ble.devices import DEVICE_PROFILES, TX_POWER_LEVELS_DBM, BleDeviceProfile
+from repro.ble.packet import AdvertisingPacket
+from repro.ble.radio import BleTransmitter
+from repro.utils.dsp import signal_power, watts_to_dbm
+from repro.utils.spectrum import occupied_bandwidth, power_spectral_density
+
+
+class TestDeviceProfiles:
+    def test_paper_devices_present(self):
+        assert {"ti_cc2650", "galaxy_s5", "moto360"} <= set(DEVICE_PROFILES)
+
+    def test_power_levels_match_paper(self):
+        assert TX_POWER_LEVELS_DBM == (0.0, 4.0, 10.0, 20.0)
+
+    def test_deviation_scales_with_index_error(self):
+        profile = BleDeviceProfile(name="x", tx_power_dbm=0.0, modulation_index_error=0.1)
+        assert profile.frequency_deviation_hz == pytest.approx(275e3)
+
+    def test_ti_gap_matches_paper(self):
+        # ΔT ≈ 400 µs for TI chipsets (§2.3.3).
+        assert DEVICE_PROFILES["ti_cc2650"].inter_channel_gap_s == pytest.approx(400e-6)
+
+
+class TestBleTransmitter:
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            BleTransmitter("not_a_device")
+
+    def test_transmit_power_scaling(self):
+        packet = AdvertisingPacket(payload=b"x" * 16)
+        tx = BleTransmitter("ti_cc2650", tx_power_dbm=10.0, rng=np.random.default_rng(0))
+        transmission = tx.transmit(packet)
+        measured = watts_to_dbm(signal_power(transmission.waveform.samples))
+        assert measured == pytest.approx(10.0, abs=0.5)
+
+    def test_payload_window_indices(self):
+        packet = AdvertisingPacket(payload=b"x" * 31)
+        tx = BleTransmitter("ti_cc2650", rng=np.random.default_rng(0))
+        transmission = tx.transmit(packet)
+        expected = 31 * 8 * tx.samples_per_symbol
+        assert transmission.payload_end_sample - transmission.payload_start_sample == expected
+
+    def test_single_tone_transmission_is_narrowband(self):
+        tx = BleTransmitter("ti_cc2650", rng=np.random.default_rng(0))
+        crafted, transmission = tx.transmit_single_tone(38)
+        spectrum = power_spectral_density(transmission.payload_waveform, tx.sample_rate_hz)
+        assert occupied_bandwidth(spectrum) < 400e3
+
+    def test_random_payload_transmission_is_wideband(self):
+        tx = BleTransmitter("galaxy_s5", rng=np.random.default_rng(0))
+        transmission = tx.transmit_random_payload(38)
+        spectrum = power_spectral_density(transmission.payload_waveform, tx.sample_rate_hz)
+        assert occupied_bandwidth(spectrum) > 500e3
+
+    def test_impairments_applied_per_profile(self):
+        packet = AdvertisingPacket(payload=b"y" * 16)
+        clean = BleTransmitter("class1_reference", tx_power_dbm=0.0, rng=np.random.default_rng(1))
+        noisy = BleTransmitter("moto360", tx_power_dbm=0.0, rng=np.random.default_rng(1))
+        assert not np.allclose(
+            clean.transmit(packet).waveform.samples, noisy.transmit(packet).waveform.samples
+        )

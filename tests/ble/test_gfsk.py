@@ -1,0 +1,98 @@
+"""Tests for the GFSK modulator/demodulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ble.gfsk import GfskDemodulator, GfskModulator
+from repro.exceptions import ConfigurationError
+from repro.utils.dsp import add_awgn
+from repro.utils.spectrum import occupied_bandwidth, power_spectral_density, spectral_peak
+
+
+class TestModulator:
+    def test_constant_amplitude(self):
+        modulator = GfskModulator(8)
+        waveform = modulator.modulate(np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8))
+        assert np.allclose(np.abs(waveform.samples), 1.0)
+
+    def test_sample_count(self):
+        modulator = GfskModulator(8)
+        waveform = modulator.modulate(np.ones(20, dtype=np.uint8))
+        assert len(waveform) == 20 * 8
+
+    def test_constant_ones_is_positive_tone(self):
+        modulator = GfskModulator(8)
+        waveform = modulator.modulate(np.ones(200, dtype=np.uint8))
+        spectrum = power_spectral_density(waveform.samples, modulator.sample_rate_hz)
+        peak, _ = spectral_peak(spectrum)
+        assert peak == pytest.approx(250e3, abs=40e3)
+
+    def test_constant_zeros_is_negative_tone(self):
+        modulator = GfskModulator(8)
+        waveform = modulator.modulate(np.zeros(200, dtype=np.uint8))
+        spectrum = power_spectral_density(waveform.samples, modulator.sample_rate_hz)
+        peak, _ = spectral_peak(spectrum)
+        assert peak == pytest.approx(-250e3, abs=40e3)
+
+    def test_single_tone_much_narrower_than_random(self, rng):
+        modulator = GfskModulator(8)
+        tone = modulator.modulate(np.ones(248, dtype=np.uint8))
+        random_bits = rng.integers(0, 2, 248).astype(np.uint8)
+        random = modulator.modulate(random_bits)
+        tone_bw = occupied_bandwidth(
+            power_spectral_density(tone.samples, modulator.sample_rate_hz)
+        )
+        random_bw = occupied_bandwidth(
+            power_spectral_density(random.samples, modulator.sample_rate_hz)
+        )
+        assert tone_bw < random_bw / 3.0
+
+    def test_empty_bits(self):
+        waveform = GfskModulator(8).modulate(np.zeros(0, dtype=np.uint8))
+        assert len(waveform) == 0
+
+    def test_invalid_sps(self):
+        with pytest.raises(ConfigurationError):
+            GfskModulator(1)
+
+    def test_duration(self):
+        waveform = GfskModulator(8).modulate(np.ones(100, dtype=np.uint8))
+        assert waveform.duration_s == pytest.approx(100e-6)
+
+
+class TestDemodulator:
+    def test_roundtrip_clean(self, rng):
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        modulator = GfskModulator(8)
+        demodulator = GfskDemodulator(8)
+        recovered = demodulator.demodulate(modulator.modulate(bits), len(bits))
+        assert np.array_equal(recovered, bits)
+
+    def test_roundtrip_with_noise(self, rng):
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        modulator = GfskModulator(8)
+        waveform = modulator.modulate(bits)
+        noisy = waveform.__class__(
+            samples=add_awgn(waveform.samples, 20.0, rng=rng),
+            sample_rate_hz=waveform.sample_rate_hz,
+            center_frequency_hz=waveform.center_frequency_hz,
+        )
+        recovered = GfskDemodulator(8).demodulate(noisy, len(bits))
+        errors = np.count_nonzero(recovered != bits)
+        assert errors <= 3
+
+    def test_invalid_sps(self):
+        with pytest.raises(ConfigurationError):
+            GfskDemodulator(1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=8, max_size=64))
+    def test_property_roundtrip(self, bits):
+        bits = np.asarray(bits, dtype=np.uint8)
+        modulator = GfskModulator(8)
+        recovered = GfskDemodulator(8).demodulate(modulator.modulate(bits), len(bits))
+        assert np.array_equal(recovered, bits)

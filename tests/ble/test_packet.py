@@ -1,0 +1,91 @@
+"""Tests for BLE advertising packet assembly and parsing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ble.packet import (
+    ADVERTISING_ACCESS_ADDRESS,
+    ANDROID_CONTROLLABLE_PAYLOAD_BYTES,
+    MAX_ADV_DATA_BYTES,
+    AdvertisingPacket,
+    AdvertisingPduType,
+)
+from repro.exceptions import CrcError, PacketFormatError
+
+
+class TestPacketConstruction:
+    def test_default_packet_valid(self):
+        packet = AdvertisingPacket(payload=b"hello")
+        assert packet.pdu_type is AdvertisingPduType.ADV_NONCONN_IND
+
+    def test_payload_too_long(self):
+        with pytest.raises(PacketFormatError):
+            AdvertisingPacket(payload=b"x" * (MAX_ADV_DATA_BYTES + 1))
+
+    def test_bad_address_length(self):
+        with pytest.raises(PacketFormatError):
+            AdvertisingPacket(advertiser_address=b"\x01\x02")
+
+    def test_android_constant_sane(self):
+        assert ANDROID_CONTROLLABLE_PAYLOAD_BYTES < MAX_ADV_DATA_BYTES
+
+    def test_header_length_field(self):
+        packet = AdvertisingPacket(payload=b"12345")
+        header = packet.header_bytes()
+        assert header[1] == 6 + 5  # AdvA + payload
+
+
+class TestAirBits:
+    def test_packet_bit_count(self):
+        packet = AdvertisingPacket(payload=b"x" * 31)
+        # preamble 8 + AA 32 + header 16 + AdvA 48 + payload 248 + CRC 24.
+        assert packet.air_bits().size == 8 + 32 + 16 + 48 + 31 * 8 + 24
+
+    def test_preamble_and_aa_not_whitened(self):
+        packet = AdvertisingPacket(payload=b"data")
+        assert np.array_equal(packet.air_bits()[:40], packet.unwhitened_bits()[:40])
+
+    def test_pdu_is_whitened(self):
+        packet = AdvertisingPacket(payload=b"data")
+        assert not np.array_equal(packet.air_bits()[40:], packet.unwhitened_bits()[40:])
+
+    def test_durations(self):
+        packet = AdvertisingPacket(payload=b"x" * 31)
+        assert packet.payload_duration_s == pytest.approx(248e-6)
+        assert packet.duration_s == pytest.approx((8 + 32 + 16 + 48 + 248 + 24) * 1e-6)
+        assert packet.preamble_header_duration_s == pytest.approx(104e-6)
+
+    def test_payload_air_bits_length(self):
+        packet = AdvertisingPacket(payload=b"x" * 10)
+        assert packet.payload_air_bits().size == 80
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("channel", [37, 38, 39])
+    def test_parse_round_trip(self, channel):
+        packet = AdvertisingPacket(payload=b"interscatter!", channel_index=channel)
+        parsed = AdvertisingPacket.from_air_bits(packet.air_bits(), channel)
+        assert parsed.payload == b"interscatter!"
+        assert parsed.advertiser_address == packet.advertiser_address
+
+    def test_wrong_channel_fails_crc(self):
+        packet = AdvertisingPacket(payload=b"interscatter!", channel_index=38)
+        with pytest.raises((CrcError, PacketFormatError)):
+            AdvertisingPacket.from_air_bits(packet.air_bits(), 39)
+
+    def test_corrupted_bit_fails_crc(self):
+        packet = AdvertisingPacket(payload=b"payload bytes", channel_index=38)
+        bits = packet.air_bits().copy()
+        bits[90] ^= 1
+        with pytest.raises((CrcError, PacketFormatError)):
+            AdvertisingPacket.from_air_bits(bits, 38)
+
+    def test_truncated_raises(self):
+        packet = AdvertisingPacket(payload=b"payload", channel_index=38)
+        with pytest.raises(PacketFormatError):
+            AdvertisingPacket.from_air_bits(packet.air_bits()[:50], 38)
+
+    def test_access_address_constant(self):
+        assert ADVERTISING_ACCESS_ADDRESS == 0x8E89BED6

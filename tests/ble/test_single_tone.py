@@ -1,0 +1,88 @@
+"""Tests for the single-tone payload construction (§2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ble.packet import ANDROID_CONTROLLABLE_PAYLOAD_BYTES
+from repro.ble.single_tone import craft_single_tone_payload, tone_offset_hz
+from repro.exceptions import ConfigurationError
+
+
+class TestCraftSingleTone:
+    @pytest.mark.parametrize("channel", [37, 38, 39])
+    @pytest.mark.parametrize("tone_bit", [0, 1])
+    def test_payload_whitens_to_constant(self, channel, tone_bit):
+        crafted = craft_single_tone_payload(channel, tone_bit=tone_bit)
+        on_air = crafted.on_air_payload_bits()
+        assert on_air.size == 31 * 8
+        assert np.all(on_air == tone_bit)
+
+    def test_payload_itself_is_not_constant(self):
+        # The data handed to the advertising API is the keystream, which is
+        # pseudo-random — the constancy only appears after whitening.
+        crafted = craft_single_tone_payload(38, tone_bit=1)
+        payload_bits = np.unpackbits(np.frombuffer(crafted.payload, dtype=np.uint8))
+        assert 0 < payload_bits.sum() < payload_bits.size
+
+    def test_different_channels_need_different_payloads(self):
+        assert (
+            craft_single_tone_payload(37).payload
+            != craft_single_tone_payload(38).payload
+        )
+
+    def test_shorter_payload(self):
+        crafted = craft_single_tone_payload(38, payload_length=10)
+        assert len(crafted.payload) == 10
+        assert np.all(crafted.on_air_payload_bits() == 1)
+
+    def test_android_constraint_limits_controllable_bytes(self):
+        crafted = craft_single_tone_payload(38, android_constraint=True)
+        assert crafted.controllable_bytes == ANDROID_CONTROLLABLE_PAYLOAD_BYTES
+        on_air = crafted.on_air_payload_bits()
+        controllable = on_air[: ANDROID_CONTROLLABLE_PAYLOAD_BYTES * 8]
+        rest = on_air[ANDROID_CONTROLLABLE_PAYLOAD_BYTES * 8 :]
+        assert np.all(controllable == 1)
+        # The uncontrollable tail whitens to pseudo-random bits, not a tone.
+        assert 0 < rest.sum() < rest.size
+
+    def test_tone_offset_sign(self):
+        assert craft_single_tone_payload(38, tone_bit=1).tone_offset_hz > 0
+        assert craft_single_tone_payload(38, tone_bit=0).tone_offset_hz < 0
+
+    def test_invalid_tone_bit(self):
+        with pytest.raises(ConfigurationError):
+            craft_single_tone_payload(38, tone_bit=2)
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            craft_single_tone_payload(38, payload_length=0)
+
+    def test_invalid_channel(self):
+        with pytest.raises(ConfigurationError):
+            craft_single_tone_payload(45)
+
+    def test_packet_round_trips_through_parser(self):
+        from repro.ble.packet import AdvertisingPacket
+
+        crafted = craft_single_tone_payload(38)
+        parsed = AdvertisingPacket.from_air_bits(crafted.packet.air_bits(), 38)
+        assert parsed.payload == crafted.payload
+
+
+class TestToneOffset:
+    def test_values(self):
+        assert tone_offset_hz(1) == pytest.approx(250e3)
+        assert tone_offset_hz(0) == pytest.approx(-250e3)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            tone_offset_hz(3)
+
+    @given(st.integers(min_value=1, max_value=31), st.sampled_from([37, 38, 39]))
+    def test_property_all_lengths_whiten_constant(self, length, channel):
+        crafted = craft_single_tone_payload(channel, payload_length=length)
+        assert np.all(crafted.on_air_payload_bits() == 1)

@@ -1,0 +1,78 @@
+"""Tests for BLE data whitening (the §2.2 key mechanism)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ble.whitening import initial_state_for_channel, whiten, whitening_sequence
+from repro.exceptions import ConfigurationError
+
+
+class TestInitialState:
+    def test_channel_37_state(self):
+        # Position 0 is 1 and positions 1-6 hold the channel index MSB-first:
+        # 37 = 0b100101.
+        assert initial_state_for_channel(37) == [1, 1, 0, 0, 1, 0, 1]
+
+    def test_channel_38_state(self):
+        assert initial_state_for_channel(38) == [1, 1, 0, 0, 1, 1, 0]
+
+    def test_channel_0_state(self):
+        assert initial_state_for_channel(0) == [1, 0, 0, 0, 0, 0, 0]
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            initial_state_for_channel(40)
+
+
+class TestWhiteningSequence:
+    def test_deterministic_per_channel(self):
+        a = whitening_sequence(38, 64).bits
+        b = whitening_sequence(38, 64).bits
+        assert np.array_equal(a, b)
+
+    def test_channels_differ(self):
+        a = whitening_sequence(37, 64).bits
+        b = whitening_sequence(38, 64).bits
+        assert not np.array_equal(a, b)
+
+    def test_period_127(self):
+        bits = whitening_sequence(38, 254).bits
+        assert np.array_equal(bits[:127], bits[127:])
+
+    def test_not_constant(self):
+        bits = whitening_sequence(39, 127).bits
+        assert 0 < bits.sum() < 127
+
+    def test_apply_length_check(self):
+        sequence = whitening_sequence(38, 8)
+        with pytest.raises(ValueError):
+            sequence.apply(np.zeros(16, dtype=np.uint8))
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            whitening_sequence(38, -1)
+
+
+class TestWhiten:
+    def test_involution(self):
+        data = np.random.default_rng(1).integers(0, 2, 200).astype(np.uint8)
+        assert np.array_equal(whiten(whiten(data, 38), 38), data)
+
+    def test_whitening_keystream_recovers_zero_stream(self):
+        # Whitening the keystream itself gives all zeros — the single-tone trick.
+        keystream = whitening_sequence(38, 96).bits
+        assert np.all(whiten(keystream, 38) == 0)
+
+    def test_whitening_complement_gives_ones(self):
+        keystream = whitening_sequence(37, 96).bits
+        assert np.all(whiten(1 - keystream, 37) == 1)
+
+    @given(st.integers(min_value=0, max_value=39), st.integers(min_value=1, max_value=300))
+    def test_property_involution_all_channels(self, channel, length):
+        data = np.arange(length, dtype=np.uint64) % 2
+        data = data.astype(np.uint8)
+        assert np.array_equal(whiten(whiten(data, channel), channel), data)

@@ -1,0 +1,155 @@
+"""Tests for the backscatter link budget, geometry helpers and error models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.error_models import (
+    ber_dbpsk,
+    ber_dqpsk,
+    ber_ook_envelope,
+    ber_oqpsk_dsss,
+    packet_error_rate,
+    required_snr_db,
+    wifi_packet_error_rate,
+)
+from repro.channel.geometry import (
+    Position,
+    distance_feet,
+    feet_to_meters,
+    fig10_geometry,
+    inches_to_meters,
+    meters_to_feet,
+)
+from repro.channel.link_budget import BackscatterLinkBudget, DirectLinkBudget
+from repro.exceptions import LinkBudgetError
+
+
+class TestGeometry:
+    def test_feet_meters_roundtrip(self):
+        assert meters_to_feet(feet_to_meters(17.0)) == pytest.approx(17.0)
+
+    def test_inches(self):
+        assert inches_to_meters(12.0) == pytest.approx(0.3048)
+
+    def test_position_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_feet(self):
+        assert distance_feet(Position(0, 0), Position(feet_to_meters(10), 0)) == pytest.approx(10.0)
+
+    def test_fig10_geometry(self):
+        bluetooth, tag, receiver = fig10_geometry(1.0, 30.0)
+        assert meters_to_feet(bluetooth.distance_to(tag)) == pytest.approx(1.0)
+        # The receiver is perpendicular to the midpoint.
+        assert receiver.x == pytest.approx((bluetooth.x + tag.x) / 2.0)
+        assert meters_to_feet(receiver.y) == pytest.approx(30.0)
+
+
+class TestBackscatterLinkBudget:
+    def test_rssi_decreases_with_distance(self):
+        budget = BackscatterLinkBudget(source_power_dbm=10.0)
+        near = budget.evaluate(0.3, 1.0).rssi_dbm
+        far = budget.evaluate(0.3, 20.0).rssi_dbm
+        assert near > far
+
+    def test_rssi_increases_with_tx_power(self):
+        low = BackscatterLinkBudget(source_power_dbm=0.0).evaluate(0.3, 5.0).rssi_dbm
+        high = BackscatterLinkBudget(source_power_dbm=20.0).evaluate(0.3, 5.0).rssi_dbm
+        assert high == pytest.approx(low + 20.0, abs=0.1)
+
+    def test_two_hop_product_channel(self):
+        # Doubling the first hop distance costs as much as doubling the second
+        # (both hops beyond the 1 m path-loss reference distance).
+        budget = BackscatterLinkBudget(source_power_dbm=10.0)
+        base = budget.evaluate(2.0, 3.0).rssi_dbm
+        first = budget.evaluate(4.0, 3.0).rssi_dbm
+        second = budget.evaluate(2.0, 6.0).rssi_dbm
+        assert first == pytest.approx(second, abs=0.2)
+        assert first < base
+
+    def test_tissue_attenuates_both_hops(self):
+        bare = BackscatterLinkBudget(source_power_dbm=10.0)
+        implanted = BackscatterLinkBudget(source_power_dbm=10.0, tissue="muscle_0_75_inch")
+        difference = bare.evaluate(0.1, 2.0).rssi_dbm - implanted.evaluate(0.1, 2.0).rssi_dbm
+        from repro.channel.tissue import tissue_attenuation_db
+
+        assert difference == pytest.approx(tissue_attenuation_db("muscle_0_75_inch", passes=2), abs=0.1)
+
+    def test_incident_power_reported(self):
+        budget = BackscatterLinkBudget(source_power_dbm=10.0)
+        result = budget.evaluate(0.3, 5.0)
+        assert result.incident_power_dbm > result.rssi_dbm
+
+    def test_detectable_flag(self):
+        budget = BackscatterLinkBudget(source_power_dbm=20.0, receiver_sensitivity_dbm=-94.0)
+        assert budget.evaluate(0.3, 1.0).detectable
+        assert not budget.evaluate(0.3, 500.0).detectable
+
+    def test_unknown_antenna(self):
+        with pytest.raises(LinkBudgetError):
+            BackscatterLinkBudget(tag_antenna="dish")
+
+    def test_negative_distance(self):
+        with pytest.raises(LinkBudgetError):
+            BackscatterLinkBudget().evaluate(-1.0, 1.0)
+
+    def test_rssi_sweep_shape(self):
+        budget = BackscatterLinkBudget()
+        sweep = budget.rssi_sweep(0.3, np.array([1.0, 5.0, 10.0]))
+        assert sweep.size == 3
+        assert np.all(np.diff(sweep) < 0)
+
+
+class TestDirectLinkBudget:
+    def test_received_power_decreases(self):
+        budget = DirectLinkBudget(tx_power_dbm=15.0)
+        assert budget.received_power_dbm(1.0) > budget.received_power_dbm(10.0)
+
+    def test_snr_uses_noise_model(self):
+        budget = DirectLinkBudget(tx_power_dbm=15.0)
+        assert budget.snr_db(2.0) == pytest.approx(
+            budget.received_power_dbm(2.0) - budget.noise.noise_floor_dbm
+        )
+
+
+class TestErrorModels:
+    def test_ber_decreases_with_snr(self):
+        assert ber_dqpsk(20.0) < ber_dqpsk(5.0) <= 0.5
+
+    def test_all_ber_models_bounded(self):
+        for model in (ber_dbpsk, ber_dqpsk, ber_oqpsk_dsss, ber_ook_envelope):
+            assert 0.0 <= model(-20.0) <= 0.5
+            assert 0.0 <= model(30.0) <= 0.5
+
+    def test_per_increases_with_length(self):
+        assert packet_error_rate(1e-4, 2000) > packet_error_rate(1e-4, 100)
+
+    def test_wifi_per_similar_for_2_and_11_mbps_short_payloads(self):
+        # The Fig. 11 observation: short payloads + shared 1 Mbps header.
+        for snr in (8.0, 10.0, 12.0):
+            per2 = wifi_packet_error_rate(snr, rate_mbps=2.0, payload_bytes=31)
+            per11 = wifi_packet_error_rate(snr, rate_mbps=11.0, payload_bytes=77)
+            assert abs(per2 - per11) < 0.25
+
+    def test_wifi_per_monotonic_in_snr(self):
+        pers = [wifi_packet_error_rate(snr, rate_mbps=2.0, payload_bytes=31) for snr in (0, 5, 10, 15)]
+        assert all(a >= b for a, b in zip(pers, pers[1:]))
+
+    def test_required_snr_ordering(self):
+        assert required_snr_db(1.0) < required_snr_db(2.0) < required_snr_db(11.0)
+
+    def test_required_snr_paper_values(self):
+        # §4.2: 2 Mbps needs ~6 dB; §2.3.1: every rate works below 14 dB.
+        assert required_snr_db(2.0) == pytest.approx(6.0)
+        assert all(required_snr_db(rate) < 14.0 for rate in (1.0, 2.0, 5.5, 11.0))
+
+    @given(st.floats(min_value=0.0, max_value=0.2), st.integers(min_value=1, max_value=4000))
+    def test_property_per_bounds(self, ber, bits):
+        per = packet_error_rate(ber, bits)
+        assert 0.0 <= per <= 1.0
+        # A packet fails at least as often as a single bit (allow float rounding).
+        assert per >= ber - 1e-9

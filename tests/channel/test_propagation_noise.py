@@ -1,0 +1,117 @@
+"""Tests for path-loss, noise, antenna and tissue models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.antennas import ANTENNAS
+from repro.channel.noise import NoiseModel, thermal_noise_dbm
+from repro.channel.propagation import (
+    PathLossModel,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+)
+from repro.channel.tissue import TISSUE_PRESETS, TissueLayer, tissue_attenuation_db
+from repro.exceptions import LinkBudgetError
+
+
+class TestFreeSpace:
+    def test_known_value_at_one_meter(self):
+        # FSPL at 1 m, 2.45 GHz ≈ 40.2 dB.
+        assert free_space_path_loss_db(1.0, 2.45e9) == pytest.approx(40.2, abs=0.3)
+
+    def test_six_db_per_distance_doubling(self):
+        assert free_space_path_loss_db(20.0) - free_space_path_loss_db(10.0) == pytest.approx(
+            6.02, abs=0.05
+        )
+
+    def test_near_field_clamped(self):
+        assert free_space_path_loss_db(0.0) == free_space_path_loss_db(0.01)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            free_space_path_loss_db(-1.0)
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    def test_property_monotonic(self, distance):
+        assert free_space_path_loss_db(distance * 2) > free_space_path_loss_db(distance)
+
+
+class TestLogDistance:
+    def test_matches_free_space_at_reference(self):
+        assert log_distance_path_loss_db(1.0) == pytest.approx(free_space_path_loss_db(1.0))
+
+    def test_exponent_controls_slope(self):
+        steep = log_distance_path_loss_db(10.0, path_loss_exponent=3.0)
+        shallow = log_distance_path_loss_db(10.0, path_loss_exponent=2.0)
+        assert steep > shallow
+
+    def test_shadowing_offset(self):
+        assert log_distance_path_loss_db(5.0, shadowing_db=7.0) == pytest.approx(
+            log_distance_path_loss_db(5.0) + 7.0
+        )
+
+    def test_model_with_shadowing_varies(self):
+        model = PathLossModel(shadowing_sigma_db=4.0)
+        rng = np.random.default_rng(0)
+        values = {model.loss_db(10.0, rng=rng) for _ in range(10)}
+        assert len(values) > 1
+
+    def test_model_without_shadowing_deterministic(self):
+        model = PathLossModel()
+        assert model.loss_db(10.0) == model.loss_db(10.0)
+
+
+class TestNoise:
+    def test_thermal_noise_1hz(self):
+        # kT at 290 K ≈ -174 dBm/Hz.
+        assert thermal_noise_dbm(1.0) == pytest.approx(-174.0, abs=0.2)
+
+    def test_wifi_band_noise_floor(self):
+        # 22 MHz: -174 + 73.4 ≈ -100.6 dBm, plus the 6 dB noise figure.
+        model = NoiseModel(bandwidth_hz=22e6, noise_figure_db=6.0)
+        assert model.noise_floor_dbm == pytest.approx(-94.6, abs=0.5)
+
+    def test_snr(self):
+        model = NoiseModel(bandwidth_hz=22e6, noise_figure_db=6.0)
+        assert model.snr_db(-60.0) == pytest.approx(34.6, abs=0.5)
+
+    def test_interference_raises_floor(self):
+        quiet = NoiseModel(bandwidth_hz=22e6)
+        noisy = NoiseModel(bandwidth_hz=22e6, interference_dbm=-70.0)
+        assert noisy.noise_floor_dbm > quiet.noise_floor_dbm
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(LinkBudgetError):
+            thermal_noise_dbm(0.0)
+
+
+class TestAntennasTissue:
+    def test_paper_antennas_present(self):
+        assert {"monopole_2dbi", "contact_lens_loop", "neural_implant_loop"} <= set(ANTENNAS)
+
+    def test_small_antennas_have_negative_gain(self):
+        assert ANTENNAS["contact_lens_loop"].gain_dbi < 0
+        assert ANTENNAS["neural_implant_loop"].gain_dbi < 0
+
+    def test_loop_antennas_not_50_ohm(self):
+        assert ANTENNAS["contact_lens_loop"].impedance_ohm != 50.0 + 0.0j
+
+    def test_tissue_presets(self):
+        assert {"contact_lens_saline", "muscle_0_75_inch"} <= set(TISSUE_PRESETS)
+
+    def test_two_pass_attenuation_doubles(self):
+        one = tissue_attenuation_db("muscle_0_75_inch", passes=1)
+        two = tissue_attenuation_db("muscle_0_75_inch", passes=2)
+        assert two == pytest.approx(2 * one)
+
+    def test_custom_layer(self):
+        layer = TissueLayer(name="custom", attenuation_db_per_cm=5.0, thickness_cm=2.0, interface_loss_db=1.0)
+        assert layer.one_way_loss_db == pytest.approx(11.0)
+
+    def test_unknown_preset(self):
+        with pytest.raises(LinkBudgetError):
+            tissue_attenuation_db("bone")

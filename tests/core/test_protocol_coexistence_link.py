@@ -1,0 +1,131 @@
+"""Tests for the protocol scheduler, coexistence model and the link façade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coexistence import CoexistenceSimulator
+from repro.core.link import InterscatterLink
+from repro.core.protocol import QueryReplyProtocol, ReservationStrategy
+from repro.core.uplink import UplinkTarget
+from repro.exceptions import ConfigurationError
+
+
+class TestProtocol:
+    def test_advertisement_timeline_spans_three_channels(self):
+        protocol = QueryReplyProtocol()
+        events = protocol.advertisement_event_timeline()
+        assert [e.kind for e in events] == ["ble_adv_ch37", "ble_adv_ch38", "ble_adv_ch39"]
+        assert events[1].time_s - events[0].time_s >= protocol.inter_channel_gap_s
+
+    def test_reservation_window_formula(self):
+        protocol = QueryReplyProtocol()
+        # 2ΔT + T_bluetooth (§2.3.3).
+        t_bluetooth = protocol.timing.ble_payload_duration_s + 80e-6
+        assert protocol.reservation_window_s() == pytest.approx(
+            2 * protocol.inter_channel_gap_s + t_bluetooth
+        )
+
+    def test_rts_cts_bootstraps_then_protects(self):
+        protocol = QueryReplyProtocol(
+            strategy=ReservationStrategy.RTS_CTS, contention_probability=0.0
+        )
+        events, reservation = protocol.schedule_exchange(rng=np.random.default_rng(0))
+        kinds = [e.kind for e in events]
+        assert "rts" in kinds and "cts" in kinds
+        assert reservation is not None
+        data = [e for e in events if e.kind == "backscatter_data"]
+        assert data and all(e.success for e in data)
+
+    def test_protected_strategies_beat_no_protection(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        unprotected = QueryReplyProtocol(
+            strategy=ReservationStrategy.NONE, contention_probability=0.4
+        ).delivery_statistics(num_exchanges=200, rng=rng_a)
+        protected = QueryReplyProtocol(
+            strategy=ReservationStrategy.RTS_CTS, contention_probability=0.4
+        ).delivery_statistics(num_exchanges=200, rng=rng_b)
+        assert protected["delivery_ratio"] > unprotected["delivery_ratio"]
+
+    def test_cts_to_self_protects_everything(self):
+        stats = QueryReplyProtocol(
+            strategy=ReservationStrategy.CTS_TO_SELF, contention_probability=0.5
+        ).delivery_statistics(num_exchanges=50, rng=np.random.default_rng(0))
+        assert stats["delivery_ratio"] == pytest.approx(1.0)
+
+    def test_query_reply_round_scales_with_tags(self):
+        protocol = QueryReplyProtocol(contention_probability=0.0)
+        one = protocol.query_reply_round(1, rng=np.random.default_rng(0))
+        four = protocol.query_reply_round(4, rng=np.random.default_rng(0))
+        assert four["round_latency_s"] == pytest.approx(4 * one["per_tag_latency_s"], rel=0.01)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            QueryReplyProtocol(contention_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            QueryReplyProtocol().query_reply_round(0)
+
+
+class TestCoexistence:
+    def test_baseline_unaffected(self):
+        simulator = CoexistenceSimulator(baseline_throughput_mbps=20.0)
+        assert simulator.evaluate("baseline", 1000.0).iperf_throughput_mbps == pytest.approx(20.0)
+
+    def test_low_rate_negligible_for_both(self):
+        simulator = CoexistenceSimulator()
+        ssb = simulator.evaluate("single_sideband", 50.0).iperf_throughput_mbps
+        dsb = simulator.evaluate("double_sideband", 50.0).iperf_throughput_mbps
+        assert ssb > 0.9 * simulator.baseline_throughput_mbps
+        assert dsb > 0.8 * simulator.baseline_throughput_mbps
+
+    def test_dsb_collapses_at_high_rate(self):
+        simulator = CoexistenceSimulator()
+        dsb = simulator.evaluate("double_sideband", 1000.0).iperf_throughput_mbps
+        ssb = simulator.evaluate("single_sideband", 1000.0).iperf_throughput_mbps
+        assert dsb < 0.3 * simulator.baseline_throughput_mbps
+        assert ssb > 0.9 * simulator.baseline_throughput_mbps
+
+    def test_sweep_covers_paper_rates(self):
+        results = CoexistenceSimulator().sweep()
+        rates = {r.backscatter_rate_pps for r in results if r.scenario != "baseline"}
+        assert rates == {50.0, 650.0, 1000.0}
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            CoexistenceSimulator().evaluate("quad_sideband", 100.0)
+
+
+class TestInterscatterLink:
+    def test_statistical_exchange(self):
+        link = InterscatterLink(wifi_rate_mbps=2.0, rng=np.random.default_rng(0))
+        result = link.transmit(b"hello", query_bits=np.array([1, 0, 1], dtype=np.uint8))
+        assert result.crc_ok
+        assert result.downlink is not None
+        assert result.tag_energy_uj > 0.0
+
+    def test_waveform_exchange(self):
+        link = InterscatterLink(use_waveform_pipeline=True, rng=np.random.default_rng(0))
+        result = link.transmit(b"waveform path")
+        assert result.crc_ok
+        assert result.uplink.payload == b"waveform path"
+
+    def test_oversized_payload_rejected(self):
+        link = InterscatterLink(wifi_rate_mbps=2.0)
+        with pytest.raises(ConfigurationError):
+            link.transmit(b"x" * 60)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterscatterLink().transmit(b"")
+
+    def test_rssi_and_per_helpers(self):
+        link = InterscatterLink(bluetooth_power_dbm=20.0, rng=np.random.default_rng(0))
+        assert link.rssi_at(10.0) > link.rssi_at(60.0)
+        assert link.packet_error_rate_at(60.0) >= link.packet_error_rate_at(10.0)
+
+    def test_zigbee_target(self):
+        link = InterscatterLink(target=UplinkTarget.ZIGBEE_802154, rng=np.random.default_rng(0))
+        result = link.transmit(b"zigbee hello")
+        assert result.uplink.target is UplinkTarget.ZIGBEE_802154

@@ -1,0 +1,111 @@
+"""Tests for the interscatter uplink (Wi-Fi and ZigBee synthesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.uplink import InterscatterUplink, UplinkTarget
+from repro.exceptions import ConfigurationError
+
+
+class TestConfiguration:
+    def test_default_channel_plan(self):
+        uplink = InterscatterUplink()
+        assert uplink.ble_frequency_mhz == 2426.0
+        assert uplink.output_frequency_mhz == 2462.0
+        # The paper's implementation uses a 35.75 MHz shift for this plan (§3).
+        assert uplink.shift_hz == pytest.approx(35.75e6)
+
+    def test_zigbee_channel_plan(self):
+        uplink = InterscatterUplink(UplinkTarget.ZIGBEE_802154)
+        assert uplink.output_frequency_mhz == 2420.0
+        assert uplink.shift_hz == pytest.approx(-6e6)
+
+    def test_custom_output_channel_exact_shift(self):
+        uplink = InterscatterUplink(output_channel=1)
+        assert uplink.shift_hz == pytest.approx((2412.0 - 2426.0) * 1e6)
+
+    def test_invalid_sideband(self):
+        with pytest.raises(ConfigurationError):
+            InterscatterUplink(sideband="triple")
+
+    def test_invalid_frame_style(self):
+        with pytest.raises(ConfigurationError):
+            InterscatterUplink(frame_style="jumbo")
+
+    def test_target_from_string(self):
+        assert InterscatterUplink("zigbee").target is UplinkTarget.ZIGBEE_802154
+
+
+class TestWaveformPipeline:
+    @pytest.mark.parametrize("rate", [2.0, 11.0])
+    def test_wifi_synthesis_decodes(self, rate):
+        uplink = InterscatterUplink(wifi_rate_mbps=rate)
+        result = uplink.simulate_waveform(b"backscattered wifi", snr_db=30.0)
+        assert result.crc_ok
+        assert result.payload == b"backscattered wifi"
+        assert result.target is UplinkTarget.WIFI_80211B
+
+    def test_wifi_synthesis_full_data_frame(self):
+        uplink = InterscatterUplink(frame_style="data")
+        result = uplink.simulate_waveform(b"full MPDU payload", snr_db=30.0)
+        assert result.crc_ok
+        assert result.payload == b"full MPDU payload"
+
+    def test_zigbee_synthesis_decodes(self):
+        uplink = InterscatterUplink(UplinkTarget.ZIGBEE_802154)
+        result = uplink.simulate_waveform(b"zigbee payload", snr_db=25.0)
+        assert result.crc_ok
+        assert result.payload == b"zigbee payload"
+
+    def test_noise_free_decode(self):
+        uplink = InterscatterUplink()
+        result = uplink.simulate_waveform(b"clean", snr_db=None)
+        assert result.crc_ok
+
+    def test_very_low_snr_fails(self):
+        uplink = InterscatterUplink(rng=np.random.default_rng(1))
+        result = uplink.simulate_waveform(b"hopeless", snr_db=-20.0)
+        assert not result.crc_ok
+
+    def test_double_sideband_also_decodes(self):
+        # DSB still synthesizes a valid packet — its problem is the wasted
+        # mirror spectrum, not decodability of the wanted copy.
+        uplink = InterscatterUplink(sideband="double")
+        result = uplink.simulate_waveform(b"dsb packet", snr_db=30.0)
+        assert result.crc_ok
+
+
+class TestLinkPipeline:
+    def test_close_link_delivers(self):
+        uplink = InterscatterUplink(rng=np.random.default_rng(0))
+        result = uplink.simulate_link(
+            source_power_dbm=10.0, source_to_tag_m=0.3, tag_to_receiver_m=2.0
+        )
+        assert result.crc_ok
+        assert result.packet_error_rate < 0.05
+
+    def test_far_link_fails(self):
+        uplink = InterscatterUplink(rng=np.random.default_rng(0))
+        result = uplink.simulate_link(
+            source_power_dbm=0.0, source_to_tag_m=1.0, tag_to_receiver_m=200.0
+        )
+        assert not result.crc_ok
+
+    def test_rssi_monotonic_in_distance(self):
+        uplink = InterscatterUplink()
+        rssis = [
+            uplink.simulate_link(
+                source_power_dbm=10.0, source_to_tag_m=0.3, tag_to_receiver_m=d
+            ).rssi_dbm
+            for d in (1.0, 5.0, 20.0)
+        ]
+        assert rssis[0] > rssis[1] > rssis[2]
+
+    def test_zigbee_link(self):
+        uplink = InterscatterUplink(UplinkTarget.ZIGBEE_802154, rng=np.random.default_rng(0))
+        result = uplink.simulate_link(
+            source_power_dbm=0.0, source_to_tag_m=0.6, tag_to_receiver_m=3.0
+        )
+        assert result.packet_error_rate is not None

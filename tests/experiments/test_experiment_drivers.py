@@ -1,0 +1,147 @@
+"""Qualitative checks on every experiment driver.
+
+Each test asserts the paper's headline finding for that table/figure — the
+shape of the result, not the absolute numbers (our substrate is a
+simulation, not the authors' testbed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig06_sideband,
+    fig09_single_tone,
+    fig10_rssi,
+    fig11_per,
+    fig12_coexistence,
+    fig13_downlink_ber,
+    fig14_zigbee_rssi,
+    fig15_contact_lens,
+    fig16_neural_implant,
+    fig17_card_to_card,
+    table_packet_sizes,
+    table_power,
+)
+
+
+class TestFig06:
+    def test_ssb_suppresses_mirror_dsb_does_not(self):
+        result = fig06_sideband.run()
+        assert result.ssb_image_rejection_db > 10.0
+        assert abs(result.dsb_image_rejection_db) < 3.0
+
+
+class TestFig09:
+    def test_single_tone_on_all_three_devices(self):
+        result = fig09_single_tone.run()
+        assert set(result.devices) == {"ti_cc2650", "galaxy_s5", "moto360"}
+        for device in result.devices.values():
+            # Crafted payload collapses the ~1-2 MHz BLE signal into a tone.
+            assert device.tone_bandwidth_hz < device.random_bandwidth_hz / 3.0
+            assert device.tone_peak_offset_hz == pytest.approx(250e3, abs=60e3)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_rssi.run(step_feet=5.0)
+
+    def test_higher_power_more_rssi(self, result):
+        weak = result.curve(0.0, 1.0)
+        strong = result.curve(20.0, 1.0)
+        assert np.all(strong.rssi_dbm > weak.rssi_dbm)
+
+    def test_20dbm_reaches_about_90_feet(self, result):
+        assert result.curve(20.0, 1.0).range_feet >= 80.0
+
+    def test_closer_bluetooth_gives_more_range(self, result):
+        assert result.curve(10.0, 1.0).range_feet >= result.curve(10.0, 3.0).range_feet
+
+    def test_rssi_monotonically_decreasing(self, result):
+        curve = result.curve(10.0, 1.0)
+        assert np.all(np.diff(curve.rssi_dbm) < 0)
+
+
+class TestFig11:
+    def test_rates_have_similar_per(self):
+        result = fig11_per.run(num_locations=30, num_packets=100, tx_power_dbm=0.0)
+        # The two rates behave similarly across the deployment: identical at
+        # most locations (good RSSI), diverging only in the narrow cliff
+        # region, so the typical (median) PERs coincide and the mean gap is
+        # bounded.
+        assert abs(result.median_per[2.0] - result.median_per[11.0]) < 0.1
+        assert result.mean_rate_gap < 0.3
+        # Some locations show high loss (the >30 % tail the paper mentions).
+        assert np.max(result.per_by_rate[2.0]) > 0.1
+
+
+class TestFig12:
+    def test_paper_findings(self):
+        result = fig12_coexistence.run()
+        baseline = result.baseline_mbps
+        # 50 pkt/s: negligible impact for both designs.
+        assert result.throughput("double_sideband", 50.0) > 0.8 * baseline
+        # 650-1000 pkt/s: DSB collapses the flow, SSB does not.
+        assert result.throughput("double_sideband", 1000.0) < 0.3 * baseline
+        assert result.throughput("single_sideband", 1000.0) > 0.9 * baseline
+
+
+class TestFig13:
+    def test_low_ber_out_to_about_18_feet(self):
+        result = fig13_downlink_ber.run()
+        assert 14.0 <= result.range_below_1pct_feet <= 24.0
+        # Beyond the cliff the BER rises sharply.
+        assert result.ber[-1] > 0.2
+
+
+class TestFig14:
+    def test_rssi_distribution(self):
+        result = fig14_zigbee_rssi.run()
+        assert result.detectable_fraction > 0.9
+        assert -95.0 < result.median_rssi_dbm < -55.0
+        values, fractions = result.cdf
+        assert np.all(np.diff(values) >= 0)
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestFig15:
+    def test_contact_lens_range(self):
+        result = fig15_contact_lens.run()
+        assert result.range_by_power[20.0] >= 24.0
+        assert result.range_by_power[20.0] >= result.range_by_power[10.0]
+        for rssi in result.rssi_by_power.values():
+            assert np.all(np.diff(rssi) < 0)
+
+
+class TestFig16:
+    def test_neural_implant_range(self):
+        result = fig16_neural_implant.run()
+        # Tens of inches — far beyond the 1-2 cm of prior implant readers.
+        assert result.range_by_power[10.0] >= 10.0
+        assert result.range_by_power[20.0] >= result.range_by_power[10.0]
+
+
+class TestFig17:
+    def test_card_to_card_range(self):
+        result = fig17_card_to_card.run(messages_per_point=50)
+        assert 20.0 <= result.usable_range_inches <= 36.0
+        assert np.all(np.diff(result.analytic_ber) >= 0)
+
+
+class TestTables:
+    def test_power_budget(self):
+        result = table_power.run()
+        reference = result.reference
+        assert reference.total_uw == pytest.approx(28.0, abs=0.1)
+        for key, value in table_power.PAPER_POWER_UW.items():
+            if key != "total_uw":
+                assert getattr(reference, key) == pytest.approx(value, abs=0.01)
+        assert result.savings_vs_active["zigbee_active_tx"] > 500.0
+
+    def test_packet_sizes(self):
+        result = table_packet_sizes.run()
+        assert result.max_psdu_bytes == table_packet_sizes.PAPER_PACKET_SIZES
+        assert not result.one_mbps_fits
+        assert result.goodput_bps[11.0] > result.goodput_bps[2.0]

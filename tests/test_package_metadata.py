@@ -1,0 +1,69 @@
+"""Tests for package metadata, the exception hierarchy and public imports."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    ConfigurationError,
+    CrcError,
+    DecodeError,
+    LinkBudgetError,
+    PacketFormatError,
+    ReproError,
+    SynchronizationError,
+)
+
+
+class TestMetadata:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            PacketFormatError,
+            DecodeError,
+            SynchronizationError,
+            CrcError,
+            LinkBudgetError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_decode_specialisations(self):
+        assert issubclass(SynchronizationError, DecodeError)
+        assert issubclass(CrcError, DecodeError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise CrcError("boom")
+
+
+class TestPublicImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.utils",
+            "repro.ble",
+            "repro.wifi",
+            "repro.wifi.dsss",
+            "repro.wifi.ofdm",
+            "repro.zigbee",
+            "repro.backscatter",
+            "repro.channel",
+            "repro.core",
+            "repro.apps",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackages_import_and_export(self, module):
+        imported = importlib.import_module(module)
+        assert hasattr(imported, "__all__")
+        for name in imported.__all__:
+            assert hasattr(imported, name), f"{module}.{name} missing"

@@ -1,0 +1,137 @@
+"""Unit and property tests for bit manipulation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    as_bit_array,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    pack_bits,
+    unpack_bits,
+    xor_bits,
+)
+
+
+class TestBytesToBits:
+    def test_single_byte_lsb_first(self):
+        assert bytes_to_bits(b"\x01").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_single_byte_msb_first(self):
+        assert bytes_to_bits(b"\x01", msb_first=True).tolist() == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_empty(self):
+        assert bytes_to_bits(b"").size == 0
+
+    def test_known_pattern(self):
+        # 0xAA = 10101010: LSB first starts with 0.
+        assert bytes_to_bits(b"\xaa").tolist() == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_length(self):
+        assert bytes_to_bits(b"abc").size == 24
+
+
+class TestBitsToBytes:
+    def test_roundtrip_simple(self):
+        assert bits_to_bytes(bytes_to_bits(b"\xde\xad\xbe\xef")) == b"\xde\xad\xbe\xef"
+
+    def test_non_multiple_of_eight_raises(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_msb_roundtrip(self):
+        data = b"\x12\x34"
+        assert bits_to_bytes(bytes_to_bits(data, msb_first=True), msb_first=True) == data
+
+
+class TestIntBits:
+    def test_int_to_bits_lsb(self):
+        assert int_to_bits(5, 4).tolist() == [1, 0, 1, 0]
+
+    def test_int_to_bits_msb(self):
+        assert int_to_bits(5, 4, msb_first=True).tolist() == [0, 1, 0, 1]
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_bits_to_int_roundtrip(self):
+        assert bits_to_int(int_to_bits(1234, 16)) == 1234
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0).size == 0
+
+
+class TestPackUnpack:
+    def test_pack(self):
+        packed = pack_bits([1, 0], [1, 1, 1])
+        assert packed.tolist() == [1, 0, 1, 1, 1]
+
+    def test_pack_empty(self):
+        assert pack_bits().size == 0
+
+    def test_unpack(self):
+        groups = unpack_bits([1, 0, 1, 1, 1, 0], 2, 3)
+        assert groups[0].tolist() == [1, 0]
+        assert groups[1].tolist() == [1, 1, 1]
+        assert groups[2].tolist() == [0]
+
+    def test_unpack_too_long_raises(self):
+        with pytest.raises(ValueError):
+            unpack_bits([1, 0], 3)
+
+
+class TestXorHamming:
+    def test_xor(self):
+        assert xor_bits([1, 0, 1], [1, 1, 0]).tolist() == [0, 1, 1]
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bits([1, 0], [1])
+
+    def test_hamming(self):
+        assert hamming_distance([1, 0, 1, 1], [1, 1, 1, 0]) == 2
+
+    def test_hamming_identical(self):
+        assert hamming_distance([0, 1], [0, 1]) == 0
+
+
+class TestAsBitArray:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            as_bit_array([0, 1, 2])
+
+    def test_flattens(self):
+        assert as_bit_array(np.array([[1, 0], [0, 1]])).tolist() == [1, 0, 0, 1]
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_property_bytes_bits_roundtrip(data):
+    assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_property_bytes_bits_roundtrip_msb(data):
+    assert bits_to_bytes(bytes_to_bits(data, msb_first=True), msb_first=True) == data
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.booleans())
+def test_property_int_bits_roundtrip(value, msb):
+    assert bits_to_int(int_to_bits(value, 32, msb_first=msb), msb_first=msb) == value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=128))
+def test_property_xor_involution(bits):
+    other = np.roll(np.asarray(bits, dtype=np.uint8), 1)
+    assert xor_bits(xor_bits(bits, other), other).tolist() == list(bits)

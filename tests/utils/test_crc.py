@@ -1,0 +1,83 @@
+"""Tests for the generic CRC engine and the standard CRC instances."""
+
+from __future__ import annotations
+
+import binascii
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import bytes_to_bits, int_to_bits
+from repro.utils.crc import CrcEngine, crc16_ccitt, crc24_ble, crc32_ieee
+
+
+class TestCrc32Ieee:
+    def test_matches_zlib(self):
+        data = b"interscatter"
+        assert crc32_ieee.compute(bytes_to_bits(data)) == binascii.crc32(data)
+
+    def test_empty(self):
+        assert crc32_ieee.compute(np.zeros(0, dtype=np.uint8)) == binascii.crc32(b"")
+
+    def test_compute_bytes_helper(self):
+        data = b"\x00\x01\x02\x03"
+        assert crc32_ieee.compute_bytes(data) == binascii.crc32(data)
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_property_matches_zlib(self, data):
+        assert crc32_ieee.compute(bytes_to_bits(data)) == binascii.crc32(data)
+
+
+class TestCrc24Ble:
+    def test_deterministic(self):
+        bits = bytes_to_bits(b"\x02\x0c" + b"\xc0\xff\xee\xc0\xff\xee" + b"hello!")
+        first = crc24_ble.compute(bits)
+        second = crc24_ble.compute(bits)
+        assert first == second
+        assert 0 <= first < 2**24
+
+    def test_differs_on_bit_flip(self):
+        bits = bytes_to_bits(b"\x02\x0chello-world-data")
+        flipped = bits.copy()
+        flipped[10] ^= 1
+        assert crc24_ble.compute(bits) != crc24_ble.compute(flipped)
+
+    def test_check_helper(self):
+        bits = bytes_to_bits(b"payload")
+        crc = crc24_ble.compute(bits)
+        assert crc24_ble.check(bits, crc)
+        assert not crc24_ble.check(bits, crc ^ 1)
+
+
+class TestCrc16:
+    def test_range(self):
+        value = crc16_ccitt.compute(bytes_to_bits(b"802.15.4 frame"))
+        assert 0 <= value < 2**16
+
+    def test_differs_between_inputs(self):
+        a = crc16_ccitt.compute(bytes_to_bits(b"frame-a"))
+        b = crc16_ccitt.compute(bytes_to_bits(b"frame-b"))
+        assert a != b
+
+
+class TestCrcEngine:
+    def test_append_extends_length(self):
+        engine = CrcEngine(width=8, polynomial=0x07, init=0x00, reflect=False)
+        bits = bytes_to_bits(b"ab")
+        appended = engine.append(bits)
+        assert appended.size == bits.size + 8
+
+    def test_non_reflected_known_value(self):
+        # CRC-8 (poly 0x07, init 0) of 0x00 processed MSB-first is 0x00.
+        engine = CrcEngine(width=8, polynomial=0x07, init=0x00, reflect=False)
+        assert engine.compute(int_to_bits(0, 8, msb_first=True)) == 0
+
+    @given(st.binary(min_size=1, max_size=32))
+    def test_property_single_bit_flip_detected(self, data):
+        bits = bytes_to_bits(data)
+        original = crc32_ieee.compute(bits)
+        flipped = bits.copy()
+        flipped[len(flipped) // 2] ^= 1
+        assert crc32_ieee.compute(flipped) != original

@@ -1,0 +1,102 @@
+"""Tests for DSP helpers: power conversions, shifting, AWGN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.dsp import (
+    add_awgn,
+    awgn_noise,
+    db_to_linear,
+    dbm_to_watts,
+    frequency_shift,
+    linear_to_db,
+    normalize_power,
+    rms,
+    signal_power,
+    signal_power_dbm,
+    watts_to_dbm,
+)
+
+
+class TestConversions:
+    def test_db_roundtrip(self):
+        assert db_to_linear(linear_to_db(3.7)) == pytest.approx(3.7, rel=1e-9)
+
+    def test_dbm_watts(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_floor_prevents_log_of_zero(self):
+        assert np.isfinite(linear_to_db(0.0))
+        assert np.isfinite(watts_to_dbm(0.0))
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_property_dbm_roundtrip(self, dbm):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm, abs=1e-6)
+
+
+class TestPower:
+    def test_signal_power_of_unit_tone(self):
+        tone = np.exp(1j * np.linspace(0, 20 * np.pi, 1000))
+        assert signal_power(tone) == pytest.approx(1.0, rel=1e-9)
+
+    def test_rms_of_constant(self):
+        assert rms(np.full(10, 2.0)) == pytest.approx(2.0)
+
+    def test_empty_signal(self):
+        assert signal_power(np.zeros(0)) == 0.0
+        assert rms(np.zeros(0)) == 0.0
+
+    def test_normalize_power(self):
+        signal = np.random.default_rng(0).normal(size=1000) * 5.0
+        normalized = normalize_power(signal, 2.0)
+        assert signal_power(normalized) == pytest.approx(2.0, rel=1e-9)
+
+    def test_normalize_zero_signal_is_noop(self):
+        zeros = np.zeros(8)
+        assert np.array_equal(normalize_power(zeros), zeros)
+
+    def test_signal_power_dbm_unit_amplitude(self):
+        tone = np.ones(100, dtype=complex)
+        assert signal_power_dbm(tone) == pytest.approx(30.0)
+
+
+class TestFrequencyShift:
+    def test_shift_moves_spectral_peak(self):
+        fs = 1e6
+        n = 4096
+        tone = np.exp(2j * np.pi * 50e3 * np.arange(n) / fs)
+        shifted = frequency_shift(tone, 100e3, fs)
+        spectrum = np.abs(np.fft.fft(shifted))
+        freqs = np.fft.fftfreq(n, 1 / fs)
+        assert abs(freqs[np.argmax(spectrum)] - 150e3) < 1e3
+
+    def test_zero_sample_rate_raises(self):
+        with pytest.raises(ValueError):
+            frequency_shift(np.ones(4), 1.0, 0.0)
+
+
+class TestAwgn:
+    def test_noise_power(self, rng):
+        noise = awgn_noise(200_000, 0.25, rng=rng)
+        assert signal_power(noise) == pytest.approx(0.25, rel=0.05)
+
+    def test_real_noise(self, rng):
+        noise = awgn_noise(10_000, 1.0, rng=rng, complex_valued=False)
+        assert not np.iscomplexobj(noise)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            awgn_noise(-1, 1.0)
+
+    def test_add_awgn_snr(self, rng):
+        signal = np.exp(2j * np.pi * 0.01 * np.arange(100_000))
+        noisy = add_awgn(signal, 10.0, rng=rng)
+        noise = noisy - signal
+        snr = signal_power(signal) / signal_power(noise)
+        assert 10 * np.log10(snr) == pytest.approx(10.0, abs=0.5)

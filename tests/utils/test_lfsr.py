@@ -1,0 +1,63 @@
+"""Tests for the LFSR implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.lfsr import FibonacciLfsr, GaloisLfsr
+
+
+class TestFibonacciLfsr:
+    def test_maximal_length_period(self):
+        # x^7 + x^4 + 1 is primitive: period 127 for any non-zero state.
+        lfsr = FibonacciLfsr(taps=(0, 4), state=[1, 0, 0, 0, 0, 0, 0])
+        sequence = lfsr.sequence(254)
+        assert np.array_equal(sequence[:127], sequence[127:])
+        # Not all zeros / not trivially periodic shorter than 127.
+        assert sequence[:127].sum() > 0
+        for period in (1, 7, 21, 63):
+            assert not np.array_equal(sequence[:period], sequence[period : 2 * period])
+
+    def test_whiten_is_involution(self):
+        data = np.random.default_rng(0).integers(0, 2, 100).astype(np.uint8)
+        forward = FibonacciLfsr(taps=(0, 4), state=[1, 1, 0, 1, 0, 0, 1]).whiten(data)
+        recovered = FibonacciLfsr(taps=(0, 4), state=[1, 1, 0, 1, 0, 0, 1]).whiten(forward)
+        assert np.array_equal(recovered, data)
+
+    def test_empty_state_raises(self):
+        with pytest.raises(ValueError):
+            FibonacciLfsr(taps=(0,), state=[])
+
+    def test_bad_tap_raises(self):
+        with pytest.raises(ValueError):
+            FibonacciLfsr(taps=(9,), state=[1, 0, 0])
+
+    def test_negative_length_raises(self):
+        lfsr = FibonacciLfsr(taps=(0, 4), state=[1] * 7)
+        with pytest.raises(ValueError):
+            lfsr.sequence(-1)
+
+    def test_state_property_reflects_progress(self):
+        lfsr = FibonacciLfsr(taps=(0, 4), state=[1, 0, 1, 0, 1, 0, 1])
+        before = lfsr.state
+        lfsr.step()
+        assert lfsr.state != before or len(before) == 1
+
+
+class TestGaloisLfsr:
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValueError):
+            GaloisLfsr(width=7, polynomial=0x48, state=0)
+
+    def test_period_127(self):
+        lfsr = GaloisLfsr(width=7, polynomial=0x48, state=0x01)
+        sequence = lfsr.sequence(254)
+        assert np.array_equal(sequence[:127], sequence[127:])
+
+    @given(st.integers(min_value=1, max_value=127))
+    def test_property_sequence_nonzero(self, state):
+        lfsr = GaloisLfsr(width=7, polynomial=0x48, state=state)
+        assert lfsr.sequence(127).sum() > 0

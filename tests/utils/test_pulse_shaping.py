@@ -1,0 +1,75 @@
+"""Tests for pulse-shaping filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.pulse_shaping import (
+    gaussian_filter_taps,
+    half_sine_pulse,
+    raised_cosine_taps,
+    rect_pulse,
+)
+
+
+class TestGaussianFilter:
+    def test_unit_sum(self):
+        taps = gaussian_filter_taps(0.5, 8)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        taps = gaussian_filter_taps(0.5, 8)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_narrower_bt_means_wider_pulse(self):
+        wide = gaussian_filter_taps(0.3, 8, span_symbols=5)
+        narrow = gaussian_filter_taps(1.0, 8, span_symbols=5)
+        # Lower BT spreads energy further from the centre tap.
+        assert wide.max() < narrow.max()
+
+    def test_invalid_bt(self):
+        with pytest.raises(ValueError):
+            gaussian_filter_taps(0.0, 8)
+
+    def test_invalid_sps(self):
+        with pytest.raises(ValueError):
+            gaussian_filter_taps(0.5, 0)
+
+
+class TestRaisedCosine:
+    def test_unit_sum(self):
+        taps = raised_cosine_taps(0.35, 8)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            raised_cosine_taps(1.5, 8)
+
+    def test_zero_beta_is_sinc(self):
+        taps = raised_cosine_taps(0.0, 4, span_symbols=4)
+        assert np.isfinite(taps).all()
+
+
+class TestHalfSine:
+    def test_starts_at_zero_peaks_in_middle(self):
+        pulse = half_sine_pulse(8)
+        assert pulse[0] == pytest.approx(0.0)
+        assert pulse.max() == pytest.approx(1.0, abs=0.05)
+        assert np.argmax(pulse) == pytest.approx(len(pulse) // 2, abs=1)
+
+    def test_length(self):
+        assert half_sine_pulse(5).size == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            half_sine_pulse(0)
+
+
+class TestRect:
+    def test_all_ones(self):
+        assert np.array_equal(rect_pulse(4), np.ones(4))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            rect_pulse(0)

@@ -1,0 +1,73 @@
+"""Tests for spectrum estimation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.spectrum import (
+    band_power_db,
+    occupied_bandwidth,
+    power_spectral_density,
+    spectral_peak,
+    spectrum_asymmetry_db,
+)
+
+
+@pytest.fixture
+def tone_spectrum():
+    fs = 10e6
+    n = 50_000
+    tone = np.exp(2j * np.pi * 1e6 * np.arange(n) / fs)
+    return power_spectral_density(tone, fs)
+
+
+class TestPowerSpectralDensity:
+    def test_peak_at_tone_frequency(self, tone_spectrum):
+        peak_freq, _ = spectral_peak(tone_spectrum)
+        assert abs(peak_freq - 1e6) < 20e3
+
+    def test_frequencies_sorted(self, tone_spectrum):
+        assert np.all(np.diff(tone_spectrum.frequencies_hz) > 0)
+
+    def test_empty_waveform_raises(self):
+        with pytest.raises(ValueError):
+            power_spectral_density(np.zeros(0), 1e6)
+
+    def test_psd_db_shape(self, tone_spectrum):
+        assert tone_spectrum.psd_db.shape == tone_spectrum.psd.shape
+
+
+class TestOccupiedBandwidth:
+    def test_tone_is_narrow(self, tone_spectrum):
+        assert occupied_bandwidth(tone_spectrum) < 100e3
+
+    def test_noise_is_wide(self, rng):
+        fs = 10e6
+        noise = rng.standard_normal(50_000) + 1j * rng.standard_normal(50_000)
+        spectrum = power_spectral_density(noise, fs)
+        assert occupied_bandwidth(spectrum) > 5e6
+
+    def test_invalid_fraction(self, tone_spectrum):
+        with pytest.raises(ValueError):
+            occupied_bandwidth(tone_spectrum, fraction=0.0)
+
+
+class TestAsymmetry:
+    def test_single_tone_is_asymmetric(self, tone_spectrum):
+        asym = spectrum_asymmetry_db(tone_spectrum, 0.0, 1e6, 100e3)
+        assert asym > 20.0
+
+    def test_symmetric_signal_is_balanced(self, rng):
+        fs = 10e6
+        n = 50_000
+        t = np.arange(n) / fs
+        # A real cosine has equal power at +f and -f.
+        signal = np.cos(2 * np.pi * 1e6 * t).astype(complex)
+        spectrum = power_spectral_density(signal, fs)
+        assert abs(spectrum_asymmetry_db(spectrum, 0.0, 1e6, 100e3)) < 1.0
+
+    def test_band_power_db_monotonic_with_band(self, tone_spectrum):
+        narrow = band_power_db(tone_spectrum, 0.9e6, 1.1e6)
+        wide = band_power_db(tone_spectrum, 0.5e6, 1.5e6)
+        assert wide >= narrow

@@ -1,0 +1,139 @@
+"""Tests for the 802.11b spreading and modulation primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.wifi.dsss.barker import BARKER_LENGTH, BARKER_SEQUENCE, barker_despread, barker_spread
+from repro.wifi.dsss.cck import (
+    CCK_CHIPS_PER_SYMBOL,
+    cck_codeword,
+    cck_codeword_set,
+    cck_decode_symbol,
+)
+from repro.wifi.dsss.dpsk import DpskDemodulator, DpskModulator
+
+
+class TestBarker:
+    def test_sequence_properties(self):
+        assert BARKER_SEQUENCE.size == BARKER_LENGTH == 11
+        assert set(BARKER_SEQUENCE.tolist()) == {1.0, -1.0}
+
+    def test_autocorrelation_peak(self):
+        # Barker codes have off-peak aperiodic autocorrelation magnitude <= 1.
+        full = np.correlate(BARKER_SEQUENCE, BARKER_SEQUENCE, mode="full")
+        peak = full[BARKER_LENGTH - 1]
+        assert peak == pytest.approx(11.0)
+        off_peak = np.delete(full, BARKER_LENGTH - 1)
+        assert np.max(np.abs(off_peak)) <= 1.0 + 1e-9
+
+    def test_spread_despread_roundtrip(self, rng):
+        symbols = np.exp(1j * rng.uniform(0, 2 * np.pi, 50))
+        recovered = barker_despread(barker_spread(symbols))
+        assert np.allclose(recovered, symbols)
+
+    def test_spread_length(self):
+        assert barker_spread(np.ones(3, dtype=complex)).size == 33
+
+    def test_despread_bad_length(self):
+        with pytest.raises(ValueError):
+            barker_despread(np.ones(10, dtype=complex))
+
+    def test_despread_rejects_noise_gain(self, rng):
+        # Despreading provides an 11x processing gain against white noise.
+        symbols = np.ones(200, dtype=complex)
+        chips = barker_spread(symbols)
+        noise = rng.standard_normal(chips.size) + 1j * rng.standard_normal(chips.size)
+        noisy = chips + noise
+        recovered = barker_despread(noisy)
+        error_power = np.mean(np.abs(recovered - symbols) ** 2)
+        assert error_power < np.mean(np.abs(noise) ** 2) / 5.0
+
+
+class TestDpsk:
+    @pytest.mark.parametrize("bits_per_symbol", [1, 2])
+    def test_roundtrip(self, bits_per_symbol, rng):
+        bits = rng.integers(0, 2, 120).astype(np.uint8)
+        modulator = DpskModulator(bits_per_symbol)
+        demodulator = DpskDemodulator(bits_per_symbol)
+        assert np.array_equal(demodulator.demodulate(modulator.modulate(bits)), bits)
+
+    def test_constant_phase_rotation_is_transparent(self, rng):
+        # The §2.3.2 argument: DQPSK ignores a constant constellation rotation.
+        bits = rng.integers(0, 2, 64).astype(np.uint8)
+        symbols = DpskModulator(2).modulate(bits)
+        rotated = symbols * np.exp(1j * np.pi / 4.0)
+        assert np.array_equal(DpskDemodulator(2).demodulate(rotated), bits)
+
+    def test_unit_magnitude(self, rng):
+        bits = rng.integers(0, 2, 32).astype(np.uint8)
+        assert np.allclose(np.abs(DpskModulator(2).modulate(bits)), 1.0)
+
+    def test_invalid_bits_per_symbol(self):
+        with pytest.raises(ConfigurationError):
+            DpskModulator(3)
+
+    def test_odd_bit_count_for_dqpsk(self):
+        with pytest.raises(ValueError):
+            DpskModulator(2).modulate(np.ones(5, dtype=np.uint8))
+
+    def test_empty(self):
+        assert DpskDemodulator(1).demodulate(np.zeros(0, dtype=complex)).size == 0
+
+
+class TestCck:
+    def test_codeword_length_and_magnitude(self):
+        bits = np.array([0, 1, 1, 0, 1, 0, 0, 1], dtype=np.uint8)
+        chips, phase = cck_codeword(bits, rate_mbps=11.0, previous_phase=0.0, symbol_index=0)
+        assert chips.size == CCK_CHIPS_PER_SYMBOL
+        assert np.allclose(np.abs(chips), 1.0)
+
+    def test_codeword_set_sizes(self):
+        assert len(cck_codeword_set(11.0)) == 64
+        assert len(cck_codeword_set(5.5)) == 4
+
+    def test_codewords_distinct(self):
+        table = cck_codeword_set(11.0)
+        keys = list(table)
+        for i in range(0, len(keys), 7):
+            for j in range(i + 1, len(keys), 13):
+                assert not np.allclose(table[keys[i]], table[keys[j]])
+
+    @pytest.mark.parametrize("rate", [5.5, 11.0])
+    def test_encode_decode_roundtrip(self, rate, rng):
+        bits_per_symbol = 8 if rate == 11.0 else 4
+        previous_phase = 0.0
+        decode_phase = 0.0
+        for index in range(20):
+            bits = rng.integers(0, 2, bits_per_symbol).astype(np.uint8)
+            chips, previous_phase = cck_codeword(
+                bits, rate_mbps=rate, previous_phase=previous_phase, symbol_index=index
+            )
+            decoded, decode_phase = cck_decode_symbol(
+                chips, rate_mbps=rate, previous_phase=decode_phase, symbol_index=index
+            )
+            assert np.array_equal(decoded, bits)
+
+    def test_wrong_bit_count(self):
+        with pytest.raises(ConfigurationError):
+            cck_codeword(np.ones(5, dtype=np.uint8), rate_mbps=11.0, previous_phase=0.0, symbol_index=0)
+
+    def test_unsupported_rate(self):
+        with pytest.raises(ConfigurationError):
+            cck_codeword(np.ones(8, dtype=np.uint8), rate_mbps=2.0, previous_phase=0.0, symbol_index=0)
+
+    def test_decode_wrong_chip_count(self):
+        with pytest.raises(ValueError):
+            cck_decode_symbol(np.ones(7, dtype=complex), rate_mbps=11.0, previous_phase=0.0, symbol_index=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=8, max_size=8))
+    def test_property_11mbps_roundtrip(self, bits):
+        bits = np.asarray(bits, dtype=np.uint8)
+        chips, phase = cck_codeword(bits, rate_mbps=11.0, previous_phase=0.3, symbol_index=1)
+        decoded, _ = cck_decode_symbol(chips, rate_mbps=11.0, previous_phase=0.3, symbol_index=1)
+        assert np.array_equal(decoded, bits)

@@ -1,0 +1,126 @@
+"""End-to-end tests for the 802.11b transmitter → receiver chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, SynchronizationError
+from repro.utils.dsp import add_awgn
+from repro.wifi.dsss.frames import WifiDataFrame, mpdu_with_fcs
+from repro.wifi.dsss.receiver import DsssReceiver
+from repro.wifi.dsss.transmitter import CHIP_RATE_HZ, DsssRate, DsssTransmitter
+
+
+class TestDsssRate:
+    def test_from_mbps(self):
+        assert DsssRate.from_mbps(5.5) is DsssRate.RATE_5_5
+
+    def test_unknown_rate(self):
+        with pytest.raises(ConfigurationError):
+            DsssRate.from_mbps(3.0)
+
+    def test_mbps_property(self):
+        assert DsssRate.RATE_11.mbps == 11.0
+
+
+class TestTransmitter:
+    @pytest.mark.parametrize("rate", [1.0, 2.0, 5.5, 11.0])
+    def test_chip_rate_constant(self, rate):
+        tx = DsssTransmitter(rate)
+        packet = tx.encode_frame(WifiDataFrame(payload=b"abcdefgh"))
+        assert packet.chip_rate_hz == CHIP_RATE_HZ
+
+    def test_higher_rate_fewer_chips(self):
+        payload = WifiDataFrame(payload=b"x" * 64)
+        slow = DsssTransmitter(2.0).encode_frame(payload)
+        fast = DsssTransmitter(11.0).encode_frame(payload)
+        assert len(fast) < len(slow)
+
+    def test_air_time_matches_chip_count(self):
+        tx = DsssTransmitter(2.0)
+        packet = tx.encode_frame(WifiDataFrame(payload=b"y" * 30))
+        assert packet.duration_s == pytest.approx(tx.air_time_s(len(packet.psdu)), rel=1e-6)
+
+    def test_unit_magnitude_chips(self):
+        packet = DsssTransmitter(11.0).encode_frame(WifiDataFrame(payload=b"z" * 16))
+        assert np.allclose(np.abs(packet.chips), 1.0)
+
+    def test_empty_psdu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DsssTransmitter(2.0).encode_psdu(b"")
+
+    def test_short_preamble_1mbps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DsssTransmitter(1.0, short_preamble=True)
+
+    def test_max_psdu_for_duration(self):
+        tx = DsssTransmitter(2.0, short_preamble=True)
+        # 248 µs BLE payload window: 38 bytes at 2 Mbps (§2.3.3).
+        assert tx.max_psdu_bytes_for_duration(248e-6) == 38
+
+    def test_plcp_overhead(self):
+        assert DsssTransmitter(2.0).plcp_overhead_s == pytest.approx(192e-6)
+        assert DsssTransmitter(2.0, short_preamble=True).plcp_overhead_s == pytest.approx(96e-6)
+
+
+class TestReceiver:
+    @pytest.mark.parametrize("rate", [1.0, 2.0, 5.5, 11.0])
+    @pytest.mark.parametrize("payload_len", [1, 28, 97])
+    def test_long_preamble_roundtrip(self, rate, payload_len):
+        frame = WifiDataFrame(payload=bytes(range(256))[:payload_len], sequence_number=9)
+        packet = DsssTransmitter(rate).encode_frame(frame)
+        result = DsssReceiver().decode_chips(packet.chips)
+        assert result.crc_ok
+        assert result.payload == frame.payload
+        assert result.rate.mbps == rate
+
+    @pytest.mark.parametrize("rate", [2.0, 5.5, 11.0])
+    def test_short_preamble_roundtrip(self, rate):
+        frame = WifiDataFrame(payload=b"short preamble roundtrip", sequence_number=1)
+        packet = DsssTransmitter(rate, short_preamble=True).encode_frame(frame)
+        result = DsssReceiver(short_preamble=True).decode_chips(packet.chips)
+        assert result.crc_ok
+        assert result.payload == frame.payload
+
+    def test_decodes_at_moderate_snr(self, rng):
+        packet = DsssTransmitter(2.0).encode_frame(WifiDataFrame(payload=b"noisy packet"))
+        noisy = add_awgn(packet.chips, 12.0, rng=rng)
+        result = DsssReceiver().decode_chips(noisy)
+        assert result.crc_ok
+
+    def test_fails_gracefully_at_terrible_snr(self, rng):
+        packet = DsssTransmitter(2.0).encode_frame(WifiDataFrame(payload=b"hopeless"))
+        noisy = add_awgn(packet.chips, -15.0, rng=rng)
+        try:
+            result = DsssReceiver().decode_chips(noisy)
+            assert not result.crc_ok
+        except Exception:
+            pass  # any DecodeError subclass is acceptable
+
+    def test_truncated_waveform(self):
+        with pytest.raises(SynchronizationError):
+            DsssReceiver().decode_chips(np.ones(100, dtype=complex))
+
+    def test_minimal_psdu_roundtrip(self):
+        psdu = mpdu_with_fcs(b"\x01\x02" + b"compact experiment frame")
+        packet = DsssTransmitter(2.0, short_preamble=True).encode_psdu(psdu)
+        result = DsssReceiver(short_preamble=True).decode_chips(packet.chips)
+        assert result.crc_ok
+        assert result.psdu == psdu
+
+    def test_rssi_reported(self):
+        packet = DsssTransmitter(2.0).encode_frame(WifiDataFrame(payload=b"rssi"))
+        result = DsssReceiver().decode_chips(packet.chips * 0.01)
+        assert result.rssi_dbm < 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=60))
+    def test_property_arbitrary_payload_roundtrip(self, payload):
+        frame = WifiDataFrame(payload=payload)
+        packet = DsssTransmitter(11.0).encode_frame(frame)
+        result = DsssReceiver().decode_chips(packet.chips)
+        assert result.crc_ok
+        assert result.payload == payload

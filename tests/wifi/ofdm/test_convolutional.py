@@ -1,0 +1,106 @@
+"""Tests for the 802.11 convolutional code and Viterbi decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.wifi.ofdm.convolutional import (
+    ConvolutionalEncoder,
+    ViterbiDecoder,
+    depuncture,
+    puncture,
+)
+
+
+class TestEncoder:
+    def test_rate_half_output_length(self):
+        encoder = ConvolutionalEncoder()
+        assert encoder.encode(np.ones(10, dtype=np.uint8)).size == 20
+
+    def test_paper_equations_all_zero_history(self):
+        # C1[k] = b[k]^b[k-2]^b[k-3]^b[k-5]^b[k-6]; with zero history a single
+        # one at k=0 produces C1=C2=1.
+        encoder = ConvolutionalEncoder()
+        coded = encoder.encode(np.array([1], dtype=np.uint8))
+        assert coded.tolist() == [1, 1]
+
+    def test_all_zeros_encode_to_all_zeros(self):
+        encoder = ConvolutionalEncoder()
+        assert np.all(encoder.encode(np.zeros(48, dtype=np.uint8)) == 0)
+
+    def test_all_ones_with_ones_history_encode_to_all_ones(self):
+        # The property exploited by the constant-OFDM construction (§2.4).
+        encoder = ConvolutionalEncoder(initial_history=np.ones(6, dtype=np.uint8))
+        assert np.all(encoder.encode(np.ones(48, dtype=np.uint8)) == 1)
+
+    def test_all_ones_without_history_is_not_all_ones(self):
+        encoder = ConvolutionalEncoder()
+        assert not np.all(encoder.encode(np.ones(48, dtype=np.uint8)) == 1)
+
+    def test_history_tracked(self):
+        encoder = ConvolutionalEncoder()
+        encoder.encode(np.array([1, 0, 1, 1, 0, 1], dtype=np.uint8))
+        assert encoder.history == (1, 0, 1, 1, 0, 1)
+
+    def test_bad_history_length(self):
+        with pytest.raises(ConfigurationError):
+            ConvolutionalEncoder(initial_history=np.ones(5, dtype=np.uint8))
+
+
+class TestPuncturing:
+    def test_rate_patterns(self):
+        coded = np.arange(24) % 2
+        assert puncture(coded.astype(np.uint8), "1/2").size == 24
+        assert puncture(coded.astype(np.uint8), "2/3").size == 18
+        assert puncture(coded.astype(np.uint8), "3/4").size == 16
+
+    def test_unknown_rate(self):
+        with pytest.raises(ConfigurationError):
+            puncture(np.zeros(12, dtype=np.uint8), "5/6")
+
+    def test_depuncture_restores_length(self):
+        coded = np.ones(24, dtype=np.uint8)
+        punctured = puncture(coded, "3/4")
+        full, mask = depuncture(punctured, "3/4")
+        assert full.size == 24
+        assert mask.sum() == punctured.size
+
+    def test_wrong_block_size(self):
+        with pytest.raises(ValueError):
+            puncture(np.zeros(13, dtype=np.uint8), "3/4")
+
+
+class TestViterbi:
+    def test_clean_decode(self, rng):
+        data = rng.integers(0, 2, 200).astype(np.uint8)
+        coded = ConvolutionalEncoder().encode(data)
+        assert np.array_equal(ViterbiDecoder().decode(coded), data)
+
+    def test_corrects_bit_errors(self, rng):
+        data = rng.integers(0, 2, 200).astype(np.uint8)
+        coded = ConvolutionalEncoder().encode(data)
+        corrupted = coded.copy()
+        corrupted[[10, 77, 150, 290]] ^= 1
+        assert np.array_equal(ViterbiDecoder().decode(corrupted), data)
+
+    def test_punctured_roundtrip(self, rng):
+        data = rng.integers(0, 2, 144).astype(np.uint8)
+        coded = ConvolutionalEncoder().encode(data)
+        punctured = puncture(coded, "3/4")
+        full, mask = depuncture(punctured, "3/4")
+        assert np.array_equal(ViterbiDecoder().decode(full, known_mask=mask), data)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            ViterbiDecoder().decode(np.zeros(3, dtype=np.uint8))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=10, max_size=80))
+    def test_property_roundtrip(self, bits):
+        data = np.asarray(bits, dtype=np.uint8)
+        coded = ConvolutionalEncoder().encode(data)
+        assert np.array_equal(ViterbiDecoder().decode(coded), data)

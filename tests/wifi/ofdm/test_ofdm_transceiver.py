@@ -1,0 +1,85 @@
+"""End-to-end tests for the 802.11g OFDM transmitter → receiver chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.dsp import add_awgn
+from repro.wifi.ofdm.receiver import OfdmReceiver
+from repro.wifi.ofdm.rates import OfdmRate
+from repro.wifi.ofdm.transmitter import OfdmTransmitter, build_preamble
+
+
+class TestTransmitter:
+    def test_preamble_length(self):
+        # 10 short symbols (160 samples) + guard + 2 long symbols (160) = 320.
+        assert build_preamble().size == 320
+
+    @pytest.mark.parametrize("rate", [6.0, 12.0, 24.0, 36.0, 54.0])
+    def test_symbol_count_matches_formula(self, rate):
+        tx = OfdmTransmitter(rate)
+        psdu = bytes(range(64))
+        waveform = tx.encode_psdu(psdu)
+        assert waveform.num_data_symbols == tx.num_symbols_for_psdu(len(psdu))
+
+    def test_air_time(self):
+        tx = OfdmTransmitter(36.0)
+        waveform = tx.encode_psdu(bytes(100))
+        assert waveform.duration_s == pytest.approx(tx.air_time_s(100), rel=1e-6)
+
+    def test_data_symbol_accessor(self):
+        waveform = OfdmTransmitter(36.0).encode_psdu(bytes(50))
+        assert waveform.data_symbol(0).size == 80
+        with pytest.raises(IndexError):
+            waveform.data_symbol(waveform.num_data_symbols)
+
+    def test_empty_psdu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmTransmitter(36.0).encode_psdu(b"")
+
+    def test_20mhz_sample_rate(self):
+        waveform = OfdmTransmitter(24.0).encode_psdu(bytes(10))
+        assert waveform.sample_rate_hz == 20e6
+
+
+class TestReceiver:
+    @pytest.mark.parametrize("rate", [6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0])
+    def test_roundtrip_all_rates(self, rate):
+        psdu = bytes((7 * i + 3) % 256 for i in range(73))
+        waveform = OfdmTransmitter(rate).encode_psdu(psdu, scrambler_seed=0x2F)
+        result = OfdmReceiver(rate).decode(waveform)
+        assert result.psdu == psdu
+        assert result.scrambler_seed == 0x2F
+
+    def test_seed_recovery_across_seeds(self):
+        psdu = bytes(32)
+        for seed in (0x01, 0x3C, 0x7F):
+            waveform = OfdmTransmitter(36.0).encode_psdu(psdu, scrambler_seed=seed)
+            assert OfdmReceiver(36.0).decode(waveform).scrambler_seed == seed
+
+    def test_decode_with_noise(self, rng):
+        psdu = bytes(range(50))
+        waveform = OfdmTransmitter(12.0).encode_psdu(psdu, scrambler_seed=0x55)
+        noisy_samples = add_awgn(waveform.samples, 25.0, rng=rng)
+        result = OfdmReceiver(12.0).decode(
+            noisy_samples,
+            num_data_symbols=waveform.num_data_symbols,
+            data_start_sample=waveform.data_start_sample,
+            psdu_length_bytes=len(psdu),
+        )
+        assert result.psdu == psdu
+
+    def test_bit_error_reporting(self):
+        psdu = bytes(64)
+        waveform = OfdmTransmitter(36.0).encode_psdu(psdu)
+        result = OfdmReceiver(36.0).decode(waveform, reference_psdu=psdu)
+        assert result.bit_errors_vs == 0
+
+    def test_raw_samples_need_metadata(self):
+        waveform = OfdmTransmitter(36.0).encode_psdu(bytes(16))
+        from repro.exceptions import DecodeError
+
+        with pytest.raises(DecodeError):
+            OfdmReceiver(36.0).decode(waveform.samples)

@@ -1,0 +1,75 @@
+"""Tests for the chipset scrambler-seed behaviour models (§4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wifi.ofdm.scrambler_seeds import (
+    CHIPSET_SEED_MODELS,
+    AtherosIncrementingSeedModel,
+    FixedSeedModel,
+    RandomSeedModel,
+)
+
+
+class TestAtherosModel:
+    def test_increments_by_one(self):
+        model = AtherosIncrementingSeedModel(initial_seed=10)
+        assert [model.next_seed() for _ in range(4)] == [10, 11, 12, 13]
+
+    def test_wraps_within_nonzero_7bit_range(self):
+        model = AtherosIncrementingSeedModel(initial_seed=0x7F)
+        assert model.next_seed() == 0x7F
+        assert model.next_seed() == 0x01
+
+    def test_prediction_matches_actual(self):
+        model = AtherosIncrementingSeedModel(initial_seed=5)
+        predicted = [model.predict(k) for k in range(6)]
+        actual = [model.next_seed() for _ in range(6)]
+        assert predicted == actual
+
+    def test_predictable(self):
+        assert AtherosIncrementingSeedModel().predictable
+
+    def test_invalid_seed(self):
+        with pytest.raises(ConfigurationError):
+            AtherosIncrementingSeedModel(initial_seed=0)
+
+    def test_negative_prediction(self):
+        with pytest.raises(ValueError):
+            AtherosIncrementingSeedModel().predict(-1)
+
+
+class TestFixedModel:
+    def test_constant(self):
+        model = FixedSeedModel(seed=0x3A)
+        assert {model.next_seed() for _ in range(10)} == {0x3A}
+
+    def test_prediction(self):
+        assert FixedSeedModel(seed=0x3A).predict(100) == 0x3A
+
+    def test_invalid_seed(self):
+        with pytest.raises(ConfigurationError):
+            FixedSeedModel(seed=0x80)
+
+
+class TestRandomModel:
+    def test_not_predictable(self):
+        assert not RandomSeedModel(np.random.default_rng(0)).predictable
+
+    def test_seeds_in_range(self):
+        model = RandomSeedModel(np.random.default_rng(0))
+        seeds = [model.next_seed() for _ in range(200)]
+        assert all(1 <= s <= 0x7F for s in seeds)
+        assert len(set(seeds)) > 50
+
+
+class TestRegistry:
+    def test_paper_chipsets_are_incrementing(self):
+        for chipset in ("AR5001G", "AR5007G", "AR9580"):
+            assert CHIPSET_SEED_MODELS[chipset] is AtherosIncrementingSeedModel
+
+    def test_ath5k_fixed_available(self):
+        assert CHIPSET_SEED_MODELS["ath5k_fixed"] is FixedSeedModel

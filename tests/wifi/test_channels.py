@@ -1,0 +1,38 @@
+"""Tests for the Wi-Fi channel map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wifi.channels import (
+    NON_OVERLAPPING_CHANNELS,
+    WIFI_80211B_BANDWIDTH_MHZ,
+    wifi_channel_frequency_mhz,
+)
+
+
+class TestWifiChannels:
+    def test_paper_channels(self):
+        # Fig. 3: channels 1, 6 and 11 at 2412, 2437 and 2462 MHz.
+        assert wifi_channel_frequency_mhz(1) == 2412.0
+        assert wifi_channel_frequency_mhz(6) == 2437.0
+        assert wifi_channel_frequency_mhz(11) == 2462.0
+
+    def test_channel_14_special_case(self):
+        assert wifi_channel_frequency_mhz(14) == 2484.0
+
+    def test_non_overlapping(self):
+        assert NON_OVERLAPPING_CHANNELS == (1, 6, 11)
+        freqs = [wifi_channel_frequency_mhz(c) for c in NON_OVERLAPPING_CHANNELS]
+        for a, b in zip(freqs, freqs[1:]):
+            assert b - a >= WIFI_80211B_BANDWIDTH_MHZ
+
+    def test_invalid_channel(self):
+        with pytest.raises(ConfigurationError):
+            wifi_channel_frequency_mhz(0)
+
+    def test_shift_from_ble38_to_channel11(self):
+        # The frequency plan behind the 35.75 MHz shift: BLE 38 sits 36 MHz
+        # below Wi-Fi channel 11.
+        assert wifi_channel_frequency_mhz(11) - 2426.0 == pytest.approx(36.0)

@@ -1,0 +1,69 @@
+"""Tests for the 802.11 scrambler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.wifi.scrambler import Ieee80211Scrambler, scrambler_keystream
+
+
+class TestScrambler:
+    def test_scramble_is_involution(self, rng):
+        data = rng.integers(0, 2, 500).astype(np.uint8)
+        scrambled = Ieee80211Scrambler(0x5D).scramble(data)
+        recovered = Ieee80211Scrambler(0x5D).scramble(scrambled)
+        assert np.array_equal(recovered, data)
+
+    def test_different_seeds_differ(self):
+        zeros = np.zeros(64, dtype=np.uint8)
+        a = Ieee80211Scrambler(0x11).scramble(zeros)
+        b = Ieee80211Scrambler(0x12).scramble(zeros)
+        assert not np.array_equal(a, b)
+
+    def test_keystream_period_127(self):
+        keystream = Ieee80211Scrambler(0x01).keystream(254)
+        assert np.array_equal(keystream[:127], keystream[127:])
+
+    def test_keystream_balanced(self):
+        # A maximal-length 7-bit LFSR emits 64 ones and 63 zeros per period.
+        keystream = Ieee80211Scrambler(0x2A).keystream(127)
+        assert keystream.sum() == 64
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Ieee80211Scrambler(0)
+
+    def test_large_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Ieee80211Scrambler(0x80)
+
+    def test_reset_restores_sequence(self):
+        scrambler = Ieee80211Scrambler(0x33)
+        first = scrambler.keystream(32)
+        scrambler.reset()
+        assert np.array_equal(scrambler.keystream(32), first)
+
+    def test_reset_with_new_seed(self):
+        scrambler = Ieee80211Scrambler(0x33)
+        scrambler.reset(0x44)
+        assert scrambler.seed == 0x44
+
+    def test_keystream_helper(self):
+        assert np.array_equal(scrambler_keystream(0x7F, 16), Ieee80211Scrambler(0x7F).keystream(16))
+
+    @given(st.integers(min_value=1, max_value=127))
+    def test_property_all_seeds_produce_nonzero_keystreams(self, seed):
+        keystream = scrambler_keystream(seed, 127)
+        assert 0 < keystream.sum() < 127
+
+    @given(st.integers(min_value=1, max_value=127), st.integers(min_value=1, max_value=127))
+    def test_property_seed_recoverable_from_first_seven_bits(self, seed, other):
+        # The downlink relies on inverting the scrambler from the SERVICE field.
+        first = scrambler_keystream(seed, 7)
+        second = scrambler_keystream(other, 7)
+        if seed != other:
+            assert not np.array_equal(first, second)

@@ -1,0 +1,119 @@
+"""Tests for 802.15.4 chip sequences, channels and packet framing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, CrcError, PacketFormatError
+from repro.zigbee.channels import ZIGBEE_CHANNELS, zigbee_channel_frequency_mhz
+from repro.zigbee.chips import CHIP_SEQUENCES, CHIPS_PER_SYMBOL, chips_to_symbol, symbol_to_chips
+from repro.zigbee.packet import (
+    MAX_PSDU_BYTES,
+    ZigbeeFrame,
+    build_phy_frame,
+    parse_phy_frame,
+)
+
+
+class TestChannels:
+    def test_sixteen_channels(self):
+        assert len(ZIGBEE_CHANNELS) == 16
+
+    def test_paper_channel_14(self):
+        # §4.5: backscatter lands on channel 14 = 2.420 GHz.
+        assert zigbee_channel_frequency_mhz(14) == 2420.0
+
+    def test_5mhz_spacing(self):
+        assert zigbee_channel_frequency_mhz(12) - zigbee_channel_frequency_mhz(11) == 5.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            zigbee_channel_frequency_mhz(10)
+
+
+class TestChipSequences:
+    def test_sixteen_sequences_of_32_chips(self):
+        assert len(CHIP_SEQUENCES) == 16
+        assert all(seq.size == CHIPS_PER_SYMBOL for seq in CHIP_SEQUENCES.values())
+
+    def test_sequences_distinct(self):
+        for a in range(16):
+            for b in range(a + 1, 16):
+                assert not np.array_equal(CHIP_SEQUENCES[a], CHIP_SEQUENCES[b])
+
+    def test_sequences_nearly_orthogonal(self):
+        # Distinct sequences differ in a large number of chip positions.
+        for a in range(8):
+            for b in range(a + 1, 8):
+                distance = np.count_nonzero(CHIP_SEQUENCES[a] != CHIP_SEQUENCES[b])
+                assert distance >= 12
+
+    def test_symbol_roundtrip_clean(self):
+        for symbol in range(16):
+            decoded, distance = chips_to_symbol(symbol_to_chips(symbol))
+            assert decoded == symbol
+            assert distance == 0
+
+    def test_symbol_roundtrip_with_chip_errors(self, rng):
+        for symbol in range(16):
+            chips = symbol_to_chips(symbol)
+            corrupted = chips.copy()
+            corrupted[rng.choice(32, size=4, replace=False)] ^= 1
+            decoded, distance = chips_to_symbol(corrupted)
+            assert decoded == symbol
+            assert distance == 4
+
+    def test_invalid_symbol(self):
+        with pytest.raises(ConfigurationError):
+            symbol_to_chips(16)
+
+    def test_wrong_chip_count(self):
+        with pytest.raises(ValueError):
+            chips_to_symbol(np.zeros(31, dtype=np.uint8))
+
+    @given(st.integers(min_value=0, max_value=15))
+    def test_property_roundtrip(self, symbol):
+        decoded, _ = chips_to_symbol(symbol_to_chips(symbol))
+        assert decoded == symbol
+
+
+class TestPacket:
+    def test_frame_roundtrip(self):
+        frame = ZigbeeFrame(payload=b"interscatter zigbee", sequence_number=7)
+        parsed = ZigbeeFrame.parse(frame.mac_frame())
+        assert parsed.payload == b"interscatter zigbee"
+        assert parsed.sequence_number == 7
+        assert parsed.pan_id == frame.pan_id
+
+    def test_fcs_detects_corruption(self):
+        psdu = bytearray(ZigbeeFrame(payload=b"x" * 10).mac_frame())
+        psdu[12] ^= 0x01
+        with pytest.raises(CrcError):
+            ZigbeeFrame.parse(bytes(psdu))
+
+    def test_payload_size_limit(self):
+        with pytest.raises(PacketFormatError):
+            ZigbeeFrame(payload=b"x" * (MAX_PSDU_BYTES))
+
+    def test_phy_frame_roundtrip(self):
+        psdu = ZigbeeFrame(payload=b"ppdu").mac_frame()
+        assert parse_phy_frame(build_phy_frame(psdu)) == psdu
+
+    def test_phy_frame_bad_preamble(self):
+        ppdu = bytearray(build_phy_frame(b"x" * 12))
+        ppdu[0] = 0xFF
+        with pytest.raises(PacketFormatError):
+            parse_phy_frame(bytes(ppdu))
+
+    def test_phy_frame_bad_sfd(self):
+        ppdu = bytearray(build_phy_frame(b"x" * 12))
+        ppdu[4] = 0x00
+        with pytest.raises(PacketFormatError):
+            parse_phy_frame(bytes(ppdu))
+
+    def test_phy_frame_empty_psdu(self):
+        with pytest.raises(PacketFormatError):
+            build_phy_frame(b"")

@@ -1,0 +1,96 @@
+"""Tests for the O-QPSK modem and the ZigBee transmitter/receiver chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DecodeError
+from repro.utils.dsp import add_awgn
+from repro.zigbee.oqpsk import CHIP_RATE_HZ, OqpskDemodulator, OqpskModulator, OqpskWaveform
+from repro.zigbee.receiver import ZigbeeReceiver
+from repro.zigbee.transmitter import ZIGBEE_BIT_RATE_BPS, ZigbeeFrame, ZigbeeTransmitter, bytes_to_chips
+
+
+class TestOqpsk:
+    def test_chip_rate(self):
+        assert CHIP_RATE_HZ == 2e6
+
+    def test_roundtrip(self, rng):
+        chips = rng.integers(0, 2, 256).astype(np.uint8)
+        modulator = OqpskModulator(4)
+        demodulator = OqpskDemodulator(4)
+        recovered = demodulator.demodulate(modulator.modulate(chips))
+        assert np.array_equal(recovered, chips)
+
+    def test_roundtrip_with_noise(self, rng):
+        chips = rng.integers(0, 2, 256).astype(np.uint8)
+        modulator = OqpskModulator(4)
+        waveform = modulator.modulate(chips)
+        noisy = OqpskWaveform(
+            samples=add_awgn(waveform.samples, 15.0, rng=rng),
+            sample_rate_hz=waveform.sample_rate_hz,
+            num_chips=waveform.num_chips,
+        )
+        recovered = OqpskDemodulator(4).demodulate(noisy)
+        assert np.count_nonzero(recovered != chips) <= 2
+
+    def test_odd_chip_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OqpskModulator(4).modulate(np.ones(7, dtype=np.uint8))
+
+    def test_odd_oversampling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OqpskModulator(3)
+
+    def test_duration(self):
+        waveform = OqpskModulator(4).modulate(np.ones(64, dtype=np.uint8))
+        assert waveform.duration_s == pytest.approx((64 + 2) / CHIP_RATE_HZ, rel=0.1)
+
+
+class TestZigbeeChain:
+    def test_bit_rate_constant(self):
+        assert ZIGBEE_BIT_RATE_BPS == 250e3
+
+    def test_bytes_to_chips_length(self):
+        assert bytes_to_chips(b"\x00").size == 64
+
+    def test_full_packet_roundtrip(self):
+        frame = ZigbeeFrame(payload=b"backscattered 802.15.4 frame", sequence_number=99)
+        packet = ZigbeeTransmitter().encode_frame(frame)
+        result = ZigbeeReceiver().decode_waveform(packet.waveform)
+        assert result.crc_ok
+        assert result.frame is not None
+        assert result.frame.payload == frame.payload
+        assert result.mean_chip_errors == 0.0
+
+    def test_roundtrip_with_noise(self, rng):
+        frame = ZigbeeFrame(payload=b"noisy zigbee", sequence_number=5)
+        packet = ZigbeeTransmitter().encode_frame(frame)
+        noisy = OqpskWaveform(
+            samples=add_awgn(packet.waveform.samples, 12.0, rng=rng),
+            sample_rate_hz=packet.waveform.sample_rate_hz,
+            num_chips=packet.waveform.num_chips,
+        )
+        result = ZigbeeReceiver().decode_waveform(noisy)
+        assert result.crc_ok
+
+    def test_air_time(self):
+        tx = ZigbeeTransmitter()
+        packet = tx.encode_frame(ZigbeeFrame(payload=b"x" * 20))
+        assert packet.duration_s == pytest.approx(tx.air_time_s(len(packet.psdu)), rel=0.05)
+
+    def test_decode_rejects_tiny_input(self):
+        with pytest.raises(DecodeError):
+            ZigbeeReceiver().decode_chips(np.zeros(64, dtype=np.uint8))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=40))
+    def test_property_payload_roundtrip(self, payload):
+        frame = ZigbeeFrame(payload=payload, sequence_number=1)
+        packet = ZigbeeTransmitter().encode_frame(frame)
+        result = ZigbeeReceiver().decode_waveform(packet.waveform)
+        assert result.crc_ok
+        assert result.frame.payload == payload
