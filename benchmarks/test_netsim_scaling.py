@@ -1,0 +1,69 @@
+"""Benchmark for the MAC-scaling sweep — fleet size × MAC policy.
+
+Goes beyond the paper's single-tag evaluation: sweeps contact-lens fleets
+from 1 to 200 devices under the four MAC policies and asserts the classic
+medium-access findings — ALOHA degrades as the fleet grows, slotting beats
+pure ALOHA while random access still works at all, and carrier sensing /
+TDMA polling keep delivering after both ALOHA variants have collapsed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import mac_scaling
+
+FLEET_SIZES = (1, 10, 50, 100, 200)
+
+#: Index of the 50-device point: the channel is heavily loaded but not yet
+#: past saturation, which is where slotting shows its textbook advantage.
+HIGH_LOAD = 2
+
+
+def test_mac_scaling(benchmark, paper_report):
+    result = benchmark.pedantic(
+        mac_scaling.run,
+        kwargs={"fleet_sizes": FLEET_SIZES, "duration_s": 2.0, "period_s": 0.02},
+        rounds=1,
+        iterations=1,
+    )
+
+    aloha = result.delivery_ratio["aloha"]
+    slotted = result.delivery_ratio["slotted_aloha"]
+    csma = result.delivery_ratio["csma"]
+    tdma = result.delivery_ratio["tdma"]
+
+    # A lone tag delivers essentially everything under any policy.
+    for mac in result.macs:
+        assert result.delivery_ratio[mac][0] > 0.95
+
+    # Contention degrades pure ALOHA as the fleet grows…
+    assert aloha[-1] < 0.1 < aloha[0]
+    # …slotting roughly doubles what survives at high load…
+    assert slotted[HIGH_LOAD] > aloha[HIGH_LOAD]
+    assert np.mean(result.throughput_bps["slotted_aloha"]) > np.mean(
+        result.throughput_bps["aloha"]
+    )
+    # …and listen-before-talk / downlink polling still deliver after both
+    # ALOHA variants have collapsed, with almost no attempt-level loss.
+    assert csma[-1] > 5 * max(aloha[-1], slotted[-1])
+    assert tdma[-1] > 5 * max(aloha[-1], slotted[-1])
+    assert float(np.max(result.attempt_per["csma"])) < 0.05
+    assert float(np.max(result.attempt_per["tdma"])) < 0.05
+
+    # More devices keep the medium busier.
+    for mac in result.macs:
+        assert result.utilization[mac][-1] > result.utilization[mac][0]
+
+    rows = []
+    for mac in result.macs:
+        rows.append(
+            (
+                f"{mac} @ {int(result.fleet_sizes[-1])} devices",
+                "ALOHA collapses; CSMA/TDMA keep delivering",
+                f"delivery {result.delivery_ratio[mac][-1]:.2f}, "
+                f"goodput {result.throughput_bps[mac][-1] / 1e3:.0f} kbps, "
+                f"attempt PER {result.attempt_per[mac][-1]:.2f}",
+            )
+        )
+    paper_report("MAC scaling - fleet size x policy (beyond the paper)", rows)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fleet simulation: 60 contact lenses share one single-tone carrier.
+
+The paper's experiments use one tag and one Bluetooth carrier source; this
+walkthrough uses :mod:`repro.netsim` to ask the multi-device question its
+applications imply — what happens when a whole fleet of smart contact
+lenses backscatters the same carrier?  It runs the same 60-device scenario
+under four MAC policies, prints aggregate and per-device metrics for each,
+and then re-runs every scenario at the same seed to demonstrate that the
+discrete-event simulator is fully deterministic.
+
+Run with::
+
+    python examples/fleet_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.netsim import FleetScenario, FleetSimulator
+
+#: Fleet size (≥ 50 lenses around one smart watch).
+NUM_DEVICES = 60
+
+#: Packet interval pushing the shared channel to ~50% offered load, where
+#: the MAC policies visibly separate.
+PERIOD_S = 0.02
+
+#: Simulated horizon per scenario.
+DURATION_S = 3.0
+
+SEED = 2016
+
+MACS = ("aloha", "slotted_aloha", "csma", "tdma")
+
+
+def simulate(mac: str):
+    """Run the 60-lens scenario under one MAC policy."""
+    scenario = FleetScenario(
+        profile="contact_lens",
+        num_devices=NUM_DEVICES,
+        mac=mac,
+        duration_s=DURATION_S,
+        period_s=PERIOD_S,
+        seed=SEED,
+    )
+    return FleetSimulator(scenario).run()
+
+
+def main() -> None:
+    print("=== Interscatter fleet simulation ===")
+    print(
+        f"{NUM_DEVICES} smart contact lenses, one shared carrier, "
+        f"{DURATION_S:.0f} s horizon, one packet per lens every "
+        f"{PERIOD_S * 1e3:.0f} ms\n"
+    )
+
+    first_pass = {}
+    for mac in MACS:
+        metrics = simulate(mac)
+        first_pass[mac] = metrics.fingerprint()
+        print(f"--- MAC policy: {mac} ---")
+        print(metrics.format_report(per_device_rows=5))
+        print()
+
+    print("--- determinism check (same seed, fresh simulators) ---")
+    for mac in MACS:
+        identical = simulate(mac).fingerprint() == first_pass[mac]
+        print(f"{mac:14s} second run identical: {identical}")
+        if not identical:
+            raise SystemExit(f"non-deterministic run for MAC {mac!r}")
+    print("\nAll scenarios replayed bit-identically at the same seed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ Module                      Paper artefact
 ``fig17_card_to_card``      Fig. 17 — card-to-card BER vs distance
 ``table_power``             §3      — 28 µW IC power breakdown
 ``table_packet_sizes``      §2.3.3  — Wi-Fi payload per BLE advertisement
+``mac_scaling``             beyond  — fleet size × MAC policy sweep
 =========================  ============================================
 """
 
@@ -35,6 +36,7 @@ from repro.experiments import (
     fig15_contact_lens,
     fig16_neural_implant,
     fig17_card_to_card,
+    mac_scaling,
     table_packet_sizes,
     table_power,
 )
@@ -50,6 +52,7 @@ __all__ = [
     "fig15_contact_lens",
     "fig16_neural_implant",
     "fig17_card_to_card",
+    "mac_scaling",
     "table_packet_sizes",
     "table_power",
 ]

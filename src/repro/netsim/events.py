@@ -1,0 +1,127 @@
+"""Deterministic discrete-event scheduler for the fleet simulator.
+
+A classic event-queue/simulated-clock kernel: callbacks are scheduled at
+absolute simulation times and executed in time order, with insertion order
+breaking ties so that two runs of the same scenario replay the exact same
+event sequence.  All randomness lives in the callers (which draw from one
+seeded :class:`numpy.random.Generator`), so a seed fully determines a run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Event", "EventScheduler"]
+
+
+class Event:
+    """Handle to a scheduled callback.
+
+    Attributes
+    ----------
+    time_s:
+        Absolute simulation time the callback fires at.
+    seq:
+        Monotonic insertion counter, used to break timestamp ties.
+    cancelled:
+        Whether :meth:`cancel` was called; cancelled events are skipped.
+    """
+
+    __slots__ = ("time_s", "seq", "callback", "cancelled")
+
+    def __init__(self, time_s: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time_s = time_s
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_s, self.seq) < (other.time_s, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time_s:.6f}, seq={self.seq}, {state})"
+
+
+class EventScheduler:
+    """Event queue plus simulated clock.
+
+    The scheduler never touches wall-clock time or global random state:
+    :meth:`run` pops events in ``(time, insertion order)`` order and invokes
+    their callbacks, which may schedule further events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+
+    # ---------------------------------------------------------------- status
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------ API
+    def schedule(self, delay_s: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* to run ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise ConfigurationError(f"cannot schedule {delay_s} s in the past")
+        return self.schedule_at(self._now + delay_s, callback)
+
+    def schedule_at(self, time_s: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* at the absolute simulation time ``time_s``."""
+        if time_s < self._now:
+            raise ConfigurationError(
+                f"cannot schedule at {time_s} s; clock is already at {self._now} s"
+            )
+        event = Event(time_s, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_s
+            event.callback()
+            return True
+        return False
+
+    def run(self, until_s: float | None = None, *, max_events: int | None = None) -> int:
+        """Run events until the queue drains or the clock would pass ``until_s``.
+
+        Events scheduled beyond ``until_s`` are left in the queue and the
+        clock is advanced to exactly ``until_s``.  Returns the number of
+        events executed.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return executed
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_s is not None and head.time_s > until_s:
+                break
+            self.step()
+            executed += 1
+        if until_s is not None and until_s > self._now:
+            self._now = until_s
+        return executed

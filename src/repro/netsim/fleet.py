@@ -1,0 +1,452 @@
+"""Fleet scenarios: N interscatter devices sharing one single-tone carrier.
+
+A :class:`FleetScenario` names an application profile (traffic shape +
+antenna/tissue drawn from :mod:`repro.apps`), a fleet size, a MAC policy
+and a seed; :class:`FleetSimulator` then
+
+1. places the devices on concentric rings around the carrier source using
+   :mod:`repro.channel.geometry` positions, with ring scale matched to the
+   profile's physical range (contact lenses live tens of centimetres from
+   the watch, implants centimetres from the headset),
+2. evaluates each device's two-hop :class:`~repro.channel.link_budget.
+   BackscatterLinkBudget` once (the fleet is static, so RSSI per device is
+   a constant of the scenario),
+3. drives per-device traffic generators and MAC instances over the shared
+   medium with one seeded RNG and one event queue, and
+4. returns :class:`~repro.netsim.metrics.FleetMetrics`.
+
+Runs are fully deterministic in the scenario seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.apps.card_to_card import CARD_PAYLOAD_BITS
+from repro.apps.contact_lens import ContactLensReading
+from repro.apps.neural_implant import NeuralFrame
+from repro.channel.geometry import Position
+from repro.channel.link_budget import BackscatterLinkBudget
+from repro.channel.noise import NoiseModel
+from repro.channel.propagation import PathLossModel
+from repro.core.downlink import InterscatterDownlink
+from repro.core.timing import InterscatterTiming
+from repro.netsim.events import EventScheduler
+from repro.netsim.mac import (
+    CsmaBackoff,
+    MacProtocol,
+    Packet,
+    PureAloha,
+    SlottedAloha,
+    TdmaPolling,
+    POLL_BITS,
+    make_mac,
+)
+from repro.netsim.medium import SharedMedium
+from repro.netsim.metrics import DeviceStats, FleetMetrics
+
+__all__ = [
+    "TrafficProfile",
+    "PROFILES",
+    "contact_lens_profile",
+    "neural_implant_profile",
+    "card_to_card_profile",
+    "ring_placement",
+    "FleetScenario",
+    "SimDevice",
+    "FleetSimulator",
+]
+
+#: Minimal 802.11b MAC header + FCS the apps prepend to their payloads.
+MAC_OVERHEAD_BYTES = 6
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Traffic + physical profile of one device class.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier (also used in metrics).
+    payload_bytes:
+        Application payload per packet; the synthesized PSDU adds
+        :data:`MAC_OVERHEAD_BYTES` and is clipped to the packet-in-packet
+        budget of the profile's Wi-Fi rate.
+    period_s:
+        Mean packet (or burst) interval per device.
+    wifi_rate_mbps:
+        802.11b rate of the synthesized packets.
+    burst_size:
+        Packets generated per traffic event (card swipes arrive in bursts).
+    jitter_fraction:
+        Uniform ±jitter applied to each interval, as a fraction of it.
+    tag_antenna / tissue:
+        Link-budget inputs from the corresponding app prototype.
+    inner_radius_m / ring_spacing_m:
+        Placement geometry: radius of the first device ring around the
+        carrier source and the spacing of subsequent rings.
+    receiver_offset_m:
+        Distance from the carrier source to the fleet's Wi-Fi receiver.
+    """
+
+    name: str
+    payload_bytes: int
+    period_s: float
+    wifi_rate_mbps: float = 2.0
+    burst_size: int = 1
+    jitter_fraction: float = 0.1
+    tag_antenna: str = "monopole_2dbi"
+    tissue: str | None = None
+    inner_radius_m: float = 0.5
+    ring_spacing_m: float = 0.25
+    receiver_offset_m: float = 0.5
+
+
+def contact_lens_profile(*, period_s: float = 0.25) -> TrafficProfile:
+    """Glucose telemetry from smart contact lenses near a smart watch."""
+    payload = len(ContactLensReading(glucose_mmol_per_l=5.5, sequence=0).encode())
+    return TrafficProfile(
+        name="contact_lens",
+        payload_bytes=payload,
+        period_s=period_s,
+        wifi_rate_mbps=2.0,
+        tag_antenna="contact_lens_loop",
+        tissue="contact_lens_saline",
+        inner_radius_m=0.25,
+        ring_spacing_m=0.15,
+        receiver_offset_m=0.3,
+    )
+
+
+def neural_implant_profile(
+    *, period_s: float = 0.05, num_channels: int = 8, samples_per_channel: int = 8
+) -> TrafficProfile:
+    """ECoG frame streaming from implanted neural recorders."""
+    frame = NeuralFrame(
+        channel_samples=np.zeros((num_channels, samples_per_channel), dtype=np.int16),
+        sequence=0,
+    )
+    return TrafficProfile(
+        name="neural_implant",
+        payload_bytes=len(frame.encode()),
+        period_s=period_s,
+        wifi_rate_mbps=11.0,
+        tag_antenna="neural_implant_loop",
+        tissue="muscle_0_75_inch",
+        inner_radius_m=0.06,
+        ring_spacing_m=0.02,
+        receiver_offset_m=0.05,
+    )
+
+
+def card_to_card_profile(*, period_s: float = 1.0, burst_size: int = 4) -> TrafficProfile:
+    """Bursty payment exchanges between credit-card form-factor devices."""
+    payload = math.ceil(CARD_PAYLOAD_BITS / 8)
+    return TrafficProfile(
+        name="card_to_card",
+        payload_bytes=payload,
+        period_s=period_s,
+        wifi_rate_mbps=2.0,
+        burst_size=burst_size,
+        tag_antenna="credit_card_trace",
+        tissue=None,
+        inner_radius_m=0.2,
+        ring_spacing_m=0.15,
+        receiver_offset_m=0.25,
+    )
+
+
+#: Registry of the Section-5 application profiles.
+PROFILES = {
+    "contact_lens": contact_lens_profile,
+    "neural_implant": neural_implant_profile,
+    "card_to_card": card_to_card_profile,
+}
+
+
+def ring_placement(
+    num_devices: int,
+    *,
+    inner_radius_m: float,
+    ring_spacing_m: float,
+    per_first_ring: int = 8,
+) -> list[Position]:
+    """Deterministic concentric-ring placement around the origin.
+
+    Ring ``k`` (1-based) has radius ``inner + (k-1)·spacing`` and holds
+    ``per_first_ring·k`` devices, evenly spaced in angle with a half-step
+    twist per ring so devices do not line up radially.
+    """
+    if num_devices < 1:
+        raise ConfigurationError("num_devices must be at least 1")
+    if inner_radius_m <= 0 or ring_spacing_m <= 0:
+        raise ConfigurationError("placement radii must be positive")
+    positions: list[Position] = []
+    ring = 1
+    while len(positions) < num_devices:
+        radius = inner_radius_m + (ring - 1) * ring_spacing_m
+        capacity = per_first_ring * ring
+        count = min(capacity, num_devices - len(positions))
+        twist = math.pi / capacity * (ring - 1)
+        for i in range(count):
+            angle = 2.0 * math.pi * i / capacity + twist
+            positions.append(
+                Position(radius * math.cos(angle), radius * math.sin(angle))
+            )
+        ring += 1
+    return positions
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One reproducible multi-device experiment configuration.
+
+    Attributes
+    ----------
+    profile:
+        Device class (a :class:`TrafficProfile` or a name from
+        :data:`PROFILES`).
+    num_devices:
+        Fleet size.
+    mac:
+        MAC policy name from :data:`repro.netsim.mac.MAC_POLICIES`.
+    duration_s:
+        Simulated horizon.
+    seed:
+        Seed of the single RNG driving traffic jitter, backoffs, PER draws
+        and poll losses.
+    source_power_dbm:
+        Transmit power of the shared single-tone carrier.
+    period_s:
+        Optional override of the profile's packet interval (the scaling
+        experiments use it to push offered load).
+    mac_params:
+        Extra keyword arguments forwarded to the MAC constructor.
+    """
+
+    profile: TrafficProfile | str = "contact_lens"
+    num_devices: int = 10
+    mac: str = "slotted_aloha"
+    duration_s: float = 5.0
+    seed: int = 2016
+    source_power_dbm: float = 20.0
+    period_s: float | None = None
+    mac_params: dict = field(default_factory=dict)
+
+    def resolved_profile(self) -> TrafficProfile:
+        """The concrete profile, with any period override applied."""
+        profile = self.profile
+        if isinstance(profile, str):
+            try:
+                profile = PROFILES[profile]()
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"unknown profile {self.profile!r}; available: {sorted(PROFILES)}"
+                ) from exc
+        if self.period_s is not None:
+            profile = replace(profile, period_s=self.period_s)
+        return profile
+
+
+class SimDevice:
+    """One placed device: geometry, link budget and MAC instance."""
+
+    def __init__(
+        self,
+        device_id: int,
+        position: Position,
+        *,
+        rssi_dbm: float,
+        incident_power_dbm: float,
+        psdu_bytes: int,
+        air_time_s: float,
+        rate_mbps: float,
+        mac: MacProtocol,
+        stats: DeviceStats,
+    ) -> None:
+        self.device_id = device_id
+        self.position = position
+        self.rssi_dbm = rssi_dbm
+        self.incident_power_dbm = incident_power_dbm
+        self.psdu_bytes = psdu_bytes
+        self.air_time_s = air_time_s
+        self.rate_mbps = rate_mbps
+        self.mac = mac
+        self.stats = stats
+        self.sequence = 0
+
+
+class FleetSimulator:
+    """Runs one :class:`FleetScenario` end to end."""
+
+    #: Safety margin added to MAC slots over the raw packet air time.
+    SLOT_GUARD_FRACTION = 0.05
+
+    def __init__(self, scenario: FleetScenario) -> None:
+        if scenario.num_devices < 1:
+            raise ConfigurationError("num_devices must be at least 1")
+        if scenario.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        self.scenario = scenario
+        self.profile = scenario.resolved_profile()
+        self.rng = np.random.default_rng(scenario.seed)
+        self.scheduler = EventScheduler()
+        self.metrics = FleetMetrics()
+
+        timing = InterscatterTiming(wifi_rate_mbps=self.profile.wifi_rate_mbps)
+        budget_bytes = timing.max_wifi_psdu_bytes()
+        psdu_bytes = min(self.profile.payload_bytes + MAC_OVERHEAD_BYTES, budget_bytes)
+        if psdu_bytes <= 0:
+            raise ConfigurationError(
+                f"no Wi-Fi payload fits at {self.profile.wifi_rate_mbps} Mbps"
+            )
+        self._air_time_s = timing.wifi_air_time_s(psdu_bytes)
+        slot_s = self._air_time_s * (1.0 + self.SLOT_GUARD_FRACTION)
+
+        link_budget = BackscatterLinkBudget(
+            source_power_dbm=scenario.source_power_dbm,
+            tag_antenna=self.profile.tag_antenna,
+            tissue=self.profile.tissue,
+            path_loss=PathLossModel(path_loss_exponent=2.0),
+            noise=NoiseModel(bandwidth_hz=22e6),
+        )
+        # The medium must judge packets against the same receiver the link
+        # budget models, so it inherits that noise floor and sensitivity.
+        self.medium = SharedMedium(
+            noise=link_budget.noise,
+            receiver_sensitivity_dbm=link_budget.receiver_sensitivity_dbm,
+        )
+        receiver = Position(0.0, self.profile.receiver_offset_m)
+        positions = ring_placement(
+            scenario.num_devices,
+            inner_radius_m=self.profile.inner_radius_m,
+            ring_spacing_m=self.profile.ring_spacing_m,
+        )
+        downlink = InterscatterDownlink(rng=np.random.default_rng(scenario.seed))
+        origin = Position(0.0, 0.0)
+
+        self.nodes: list[SimDevice] = []
+        for device_id, position in enumerate(positions):
+            link = link_budget.evaluate(
+                position.distance_to(origin), position.distance_to(receiver)
+            )
+            mac = self._make_mac(
+                device_id,
+                slot_s=slot_s,
+                downlink=downlink,
+                poll_distance_m=position.distance_to(receiver),
+            )
+            stats = self.metrics.add_device(device_id, self.profile.name, link.rssi_dbm)
+            node = SimDevice(
+                device_id,
+                position,
+                rssi_dbm=link.rssi_dbm,
+                incident_power_dbm=link.incident_power_dbm,
+                psdu_bytes=psdu_bytes,
+                air_time_s=self._air_time_s,
+                rate_mbps=self.profile.wifi_rate_mbps,
+                mac=mac,
+                stats=stats,
+            )
+            mac.bind(node, self)
+            self.nodes.append(node)
+
+    # ------------------------------------------------------------- MAC setup
+    def _make_mac(
+        self,
+        device_id: int,
+        *,
+        slot_s: float,
+        downlink: InterscatterDownlink,
+        poll_distance_m: float,
+    ) -> MacProtocol:
+        name = self.scenario.mac
+        params = dict(self.scenario.mac_params)
+        if name == PureAloha.name:
+            params.setdefault("base_backoff_s", 4.0 * slot_s)
+        elif name == SlottedAloha.name:
+            params.setdefault("slot_s", slot_s)
+        elif name == CsmaBackoff.name:
+            params.setdefault("backoff_slot_s", slot_s / 4.0)
+        elif name == TdmaPolling.name:
+            ber, _ = downlink.link_bit_error_rate(poll_distance_m)
+            params.setdefault("slot_index", device_id)
+            params.setdefault("num_slots", self.scenario.num_devices)
+            params.setdefault("slot_s", slot_s)
+            params.setdefault("poll_success_prob", float((1.0 - ber) ** POLL_BITS))
+        return make_mac(name, **params)
+
+    # --------------------------------------------------------------- traffic
+    def _schedule_arrival(self, node: SimDevice, delay_s: float) -> None:
+        self.scheduler.schedule(delay_s, lambda: self._arrive(node))
+
+    def _arrive(self, node: SimDevice) -> None:
+        profile = self.profile
+        for _ in range(profile.burst_size):
+            node.sequence += 1
+            packet = Packet(
+                device_id=node.device_id,
+                sequence=node.sequence,
+                psdu_bytes=node.psdu_bytes,
+                created_s=self.scheduler.now,
+            )
+            node.stats.generated += 1
+            if not node.mac.packet_arrived(packet):
+                node.stats.queue_dropped += 1
+        jitter = profile.jitter_fraction * float(self.rng.uniform(-1.0, 1.0))
+        self._schedule_arrival(node, profile.period_s * (1.0 + jitter))
+
+    # ----------------------------------------------------- MAC-facing service
+    def transmit(self, node: SimDevice, packet: Packet, done) -> None:
+        """Put *packet* on the air; *done(packet, outcome)* fires at its end."""
+        packet.attempts += 1
+        node.stats.attempted += 1
+        tx = self.medium.begin(
+            device_id=node.device_id,
+            rssi_dbm=node.rssi_dbm,
+            duration_s=node.air_time_s,
+            psdu_bytes=packet.psdu_bytes,
+            rate_mbps=node.rate_mbps,
+            now=self.scheduler.now,
+        )
+
+        def finish() -> None:
+            outcome = self.medium.end(tx, now=self.scheduler.now, rng=self.rng)
+            if outcome.collided:
+                node.stats.collided += 1
+            done(packet, outcome)
+
+        self.scheduler.schedule(node.air_time_s, finish)
+
+    def record_delivery(self, node: SimDevice, packet: Packet) -> None:
+        """Credit a decoded packet to its device."""
+        node.stats.delivered += 1
+        node.stats.bytes_delivered += packet.psdu_bytes
+        node.stats.latencies_s.append(self.scheduler.now - packet.created_s)
+
+    def record_drop(self, node: SimDevice, packet: Packet) -> None:
+        """Account a packet the MAC gave up on."""
+        node.stats.dropped += 1
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> FleetMetrics:
+        """Execute the scenario and return the collected metrics."""
+        for node in self.nodes:
+            node.mac.start()
+            # Desynchronise first arrivals across the fleet.
+            self._schedule_arrival(
+                node, float(self.rng.uniform(0.0, self.profile.period_s))
+            )
+        self.scheduler.run(until_s=self.scenario.duration_s)
+        self.medium.finalize(self.scenario.duration_s)
+        self.metrics.finalize(
+            duration_s=self.scenario.duration_s,
+            busy_time_s=self.medium.busy_time_s,
+            airtime_s=self.medium.airtime_s,
+        )
+        return self.metrics

@@ -1,0 +1,216 @@
+"""Per-device and aggregate metrics for fleet simulations.
+
+The simulator feeds one :class:`DeviceStats` per device; at the end of a
+run :class:`FleetMetrics` rolls them up into the aggregate numbers the
+scaling experiments plot — throughput, delivery ratio, attempt-level PER,
+medium utilization and latency percentiles.  ``fingerprint()`` condenses a
+whole run into a hashable tuple so tests (and the example walkthrough) can
+assert bit-identical results across runs at the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DeviceStats", "AggregateMetrics", "FleetMetrics"]
+
+
+@dataclass
+class DeviceStats:
+    """Counters for one device in the fleet.
+
+    Attributes
+    ----------
+    generated:
+        Packets produced by the application.
+    queue_dropped:
+        Packets refused because the MAC queue was full.
+    attempted:
+        Transmission attempts (retries included).
+    collided:
+        Attempts that overlapped another transmission.
+    delivered / dropped:
+        Packets that decoded at the receiver / were abandoned by the MAC.
+    bytes_delivered:
+        Payload volume of delivered packets.
+    latencies_s:
+        Generation-to-delivery latency of each delivered packet.
+    """
+
+    device_id: int
+    profile: str
+    rssi_dbm: float = 0.0
+    generated: int = 0
+    queue_dropped: int = 0
+    attempted: int = 0
+    collided: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_delivered: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction of everything the application generated."""
+        return self.delivered / self.generated if self.generated else 0.0
+
+    @property
+    def attempt_per(self) -> float:
+        """Fraction of transmission attempts that failed."""
+        if not self.attempted:
+            return 0.0
+        return 1.0 - self.delivered / self.attempted
+
+    def throughput_bps(self, duration_s: float) -> float:
+        """Delivered goodput over the run."""
+        return self.bytes_delivered * 8.0 / duration_s if duration_s > 0 else 0.0
+
+    def mean_latency_s(self) -> float:
+        """Mean delivery latency (0 when nothing was delivered)."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.mean(self.latencies_s))
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Fleet-wide rollup of one simulation run.
+
+    Attributes
+    ----------
+    throughput_bps:
+        Total delivered goodput.
+    delivery_ratio:
+        Delivered / generated across the fleet.
+    attempt_per:
+        Failed fraction of all transmission attempts.
+    utilization:
+        Fraction of the run during which the medium was busy.
+    offered_airtime_s:
+        Sum of all transmission air times (exceeds the busy time when
+        transmissions overlap — the gap is the collision load).
+    latency_p50_s / latency_p90_s / latency_p99_s:
+        Delivery-latency percentiles over every delivered packet
+        (0 when nothing was delivered).
+    """
+
+    num_devices: int
+    duration_s: float
+    generated: int
+    queue_dropped: int
+    attempted: int
+    collided: int
+    delivered: int
+    dropped: int
+    throughput_bps: float
+    delivery_ratio: float
+    attempt_per: float
+    utilization: float
+    offered_airtime_s: float
+    latency_p50_s: float
+    latency_p90_s: float
+    latency_p99_s: float
+
+
+class FleetMetrics:
+    """Collects per-device statistics and produces the aggregate view."""
+
+    def __init__(self) -> None:
+        self.devices: dict[int, DeviceStats] = {}
+        self.duration_s = 0.0
+        self.busy_time_s = 0.0
+        self.offered_airtime_s = 0.0
+
+    # -------------------------------------------------------------- recording
+    def add_device(self, device_id: int, profile: str, rssi_dbm: float) -> DeviceStats:
+        """Register a device and return its stats record."""
+        stats = DeviceStats(device_id=device_id, profile=profile, rssi_dbm=rssi_dbm)
+        self.devices[device_id] = stats
+        return stats
+
+    def finalize(self, *, duration_s: float, busy_time_s: float, airtime_s: float) -> None:
+        """Record the run horizon and the medium's activity ledger."""
+        self.duration_s = duration_s
+        self.busy_time_s = busy_time_s
+        self.offered_airtime_s = airtime_s
+
+    # -------------------------------------------------------------- reporting
+    def aggregate(self) -> AggregateMetrics:
+        """Roll every device up into fleet-wide metrics."""
+        stats = list(self.devices.values())
+        generated = sum(s.generated for s in stats)
+        attempted = sum(s.attempted for s in stats)
+        delivered = sum(s.delivered for s in stats)
+        latencies = [lat for s in stats for lat in s.latencies_s]
+        if latencies:
+            p50, p90, p99 = (
+                float(v) for v in np.percentile(latencies, [50.0, 90.0, 99.0])
+            )
+        else:
+            p50 = p90 = p99 = 0.0
+        return AggregateMetrics(
+            num_devices=len(stats),
+            duration_s=self.duration_s,
+            generated=generated,
+            queue_dropped=sum(s.queue_dropped for s in stats),
+            attempted=attempted,
+            collided=sum(s.collided for s in stats),
+            delivered=delivered,
+            dropped=sum(s.dropped for s in stats),
+            throughput_bps=sum(s.throughput_bps(self.duration_s) for s in stats),
+            delivery_ratio=delivered / generated if generated else 0.0,
+            attempt_per=1.0 - delivered / attempted if attempted else 0.0,
+            utilization=(
+                min(self.busy_time_s / self.duration_s, 1.0) if self.duration_s else 0.0
+            ),
+            offered_airtime_s=self.offered_airtime_s,
+            latency_p50_s=p50,
+            latency_p90_s=p90,
+            latency_p99_s=p99,
+        )
+
+    def fingerprint(self) -> tuple:
+        """Exact per-device digest for determinism checks."""
+        return tuple(
+            (
+                s.device_id,
+                s.generated,
+                s.queue_dropped,
+                s.attempted,
+                s.collided,
+                s.delivered,
+                s.dropped,
+                s.bytes_delivered,
+                float(sum(s.latencies_s)),
+            )
+            for s in sorted(self.devices.values(), key=lambda s: s.device_id)
+        )
+
+    def format_report(self, *, per_device_rows: int = 5) -> str:
+        """Human-readable aggregate + head-of-fleet table."""
+        agg = self.aggregate()
+        lines = [
+            f"devices={agg.num_devices}  duration={agg.duration_s:.2f}s  "
+            f"generated={agg.generated}  delivered={agg.delivered}  "
+            f"dropped={agg.dropped}  queue_dropped={agg.queue_dropped}",
+            f"delivery_ratio={agg.delivery_ratio:.3f}  attempt_per={agg.attempt_per:.3f}  "
+            f"throughput={agg.throughput_bps / 1e3:.1f} kbps  "
+            f"utilization={agg.utilization:.3f}",
+            f"latency p50/p90/p99 = {agg.latency_p50_s * 1e3:.2f} / "
+            f"{agg.latency_p90_s * 1e3:.2f} / {agg.latency_p99_s * 1e3:.2f} ms",
+            f"{'id':>4} {'rssi':>7} {'gen':>5} {'del':>5} {'ratio':>6} "
+            f"{'coll':>5} {'lat(ms)':>8}",
+        ]
+        for stats in sorted(self.devices.values(), key=lambda s: s.device_id)[
+            :per_device_rows
+        ]:
+            lines.append(
+                f"{stats.device_id:>4} {stats.rssi_dbm:>7.1f} {stats.generated:>5} "
+                f"{stats.delivered:>5} {stats.delivery_ratio:>6.3f} {stats.collided:>5} "
+                f"{stats.mean_latency_s() * 1e3:>8.2f}"
+            )
+        if len(self.devices) > per_device_rows:
+            lines.append(f"   … {len(self.devices) - per_device_rows} more devices")
+        return "\n".join(lines)

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig15_contact_lens,
     fig16_neural_implant,
     fig17_card_to_card,
+    mac_scaling,
     table_packet_sizes,
     table_power,
 )
@@ -145,3 +146,18 @@ class TestTables:
         assert result.max_psdu_bytes == table_packet_sizes.PAPER_PACKET_SIZES
         assert not result.one_mbps_fits
         assert result.goodput_bps[11.0] > result.goodput_bps[2.0]
+
+
+class TestMacScaling:
+    def test_sweep_shapes_and_contention(self):
+        result = mac_scaling.run(
+            fleet_sizes=(1, 30), macs=("aloha", "tdma"), duration_s=1.0
+        )
+        assert result.macs == ("aloha", "tdma")
+        for series in (result.delivery_ratio, result.throughput_bps, result.attempt_per):
+            assert set(series) == {"aloha", "tdma"}
+            assert all(v.shape == (2,) for v in series.values())
+        # Contention costs ALOHA attempts; polling stays collision-free.
+        assert result.attempt_per["aloha"][1] > result.attempt_per["aloha"][0]
+        assert result.attempt_per["tdma"][1] < 0.05
+        assert result.utilization["aloha"][1] > result.utilization["aloha"][0]

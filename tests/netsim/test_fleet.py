@@ -1,0 +1,136 @@
+"""Fleet scenarios: placement, profiles, determinism and MAC comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.netsim import (
+    PROFILES,
+    FleetScenario,
+    FleetSimulator,
+    ring_placement,
+)
+
+
+def test_ring_placement_is_deterministic_and_distinct():
+    a = ring_placement(40, inner_radius_m=0.25, ring_spacing_m=0.15)
+    b = ring_placement(40, inner_radius_m=0.25, ring_spacing_m=0.15)
+    assert a == b
+    assert len(set((p.x, p.y) for p in a)) == 40
+    radii = [np.hypot(p.x, p.y) for p in a]
+    # First ring holds 8 devices at the inner radius, later rings move out.
+    assert radii[:8] == pytest.approx([0.25] * 8)
+    assert max(radii) > 0.25
+
+
+def test_profiles_build_and_carry_app_payloads():
+    lens = PROFILES["contact_lens"]()
+    implant = PROFILES["neural_implant"]()
+    card = PROFILES["card_to_card"]()
+    assert lens.payload_bytes == 8  # ContactLensReading.encode()
+    assert implant.payload_bytes == 8 + 8 * 8 * 2  # NeuralFrame header + int16 samples
+    assert card.payload_bytes == 3  # 18-bit payment payload
+    assert card.burst_size > 1
+    assert implant.wifi_rate_mbps == 11.0
+
+
+def test_unknown_profile_and_mac_raise():
+    with pytest.raises(ConfigurationError):
+        FleetScenario(profile="smart_toaster").resolved_profile()
+    with pytest.raises(ConfigurationError):
+        FleetSimulator(FleetScenario(mac="token_ring", num_devices=2))
+
+
+def test_same_seed_reproduces_bit_identical_metrics():
+    scenario = FleetScenario(
+        profile="contact_lens", num_devices=25, mac="slotted_aloha",
+        duration_s=1.0, period_s=0.02, seed=77,
+    )
+    first = FleetSimulator(scenario).run()
+    second = FleetSimulator(scenario).run()
+    assert first.fingerprint() == second.fingerprint()
+    assert first.aggregate() == second.aggregate()
+
+
+def test_different_seeds_diverge():
+    def run(seed):
+        return FleetSimulator(
+            FleetScenario(
+                profile="contact_lens", num_devices=25, mac="aloha",
+                duration_s=1.0, period_s=0.02, seed=seed,
+            )
+        ).run()
+
+    assert run(1).fingerprint() != run(2).fingerprint()
+
+
+def test_counters_are_consistent():
+    metrics = FleetSimulator(
+        FleetScenario(
+            profile="card_to_card", num_devices=12, mac="csma",
+            duration_s=1.0, seed=5,
+        )
+    ).run()
+    agg = metrics.aggregate()
+    assert agg.num_devices == 12
+    assert agg.generated > 0
+    # Everything generated is delivered, dropped, refused or still queued.
+    still_queued = agg.generated - agg.queue_dropped - agg.delivered - agg.dropped
+    assert still_queued >= 0
+    assert agg.attempted >= agg.delivered
+    assert 0.0 <= agg.delivery_ratio <= 1.0
+    assert 0.0 <= agg.utilization <= 1.0
+    for stats in metrics.devices.values():
+        assert stats.delivered <= stats.generated
+        assert len(stats.latencies_s) == stats.delivered
+        assert all(lat >= 0.0 for lat in stats.latencies_s)
+
+
+def test_slotted_aloha_beats_pure_aloha_at_high_load():
+    def delivery(mac: str) -> float:
+        return (
+            FleetSimulator(
+                FleetScenario(
+                    profile="contact_lens", num_devices=60, mac=mac,
+                    duration_s=2.0, period_s=0.02, seed=2016,
+                )
+            )
+            .run()
+            .aggregate()
+            .delivery_ratio
+        )
+
+    pure = delivery("aloha")
+    slotted = delivery("slotted_aloha")
+    assert pure < 0.5  # the channel really is heavily loaded
+    assert slotted > 1.5 * pure
+
+
+def test_tdma_polling_is_collision_free_when_saturated():
+    sim = FleetSimulator(
+        FleetScenario(
+            profile="contact_lens", num_devices=30, mac="tdma",
+            duration_s=1.0, period_s=0.004, seed=9,
+        )
+    )
+    metrics = sim.run()
+    assert sim.medium.collisions == 0
+    assert metrics.aggregate().collided == 0
+
+
+def test_lone_device_delivers_nearly_everything():
+    for mac in ("aloha", "slotted_aloha", "csma", "tdma"):
+        agg = (
+            FleetSimulator(
+                FleetScenario(
+                    profile="contact_lens", num_devices=1, mac=mac,
+                    duration_s=1.0, period_s=0.02, seed=3,
+                )
+            )
+            .run()
+            .aggregate()
+        )
+        assert agg.delivery_ratio > 0.95, mac
+        assert agg.collided == 0

@@ -1,0 +1,106 @@
+"""Shared medium: collision/capture accounting and utilization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.netsim.medium import SharedMedium
+
+
+@pytest.fixture
+def medium() -> SharedMedium:
+    return SharedMedium()
+
+
+def _begin(medium, *, device_id=0, rssi=-60.0, duration=150e-6, now=0.0):
+    return medium.begin(
+        device_id=device_id,
+        rssi_dbm=rssi,
+        duration_s=duration,
+        psdu_bytes=14,
+        rate_mbps=2.0,
+        now=now,
+    )
+
+
+def test_clean_transmission_delivers(medium, rng):
+    tx = _begin(medium, rssi=-60.0)
+    assert medium.busy
+    outcome = medium.end(tx, now=150e-6, rng=rng)
+    assert not medium.busy
+    assert outcome.delivered
+    assert not outcome.collided
+    # With no interference the SINR is the plain link SNR.
+    assert outcome.sinr_db == pytest.approx(medium.noise.snr_db(-60.0), abs=1e-6)
+    assert outcome.packet_error_rate < 1e-6
+
+
+def test_sub_sensitivity_packet_never_delivers(medium, rng):
+    tx = _begin(medium, rssi=-100.0)
+    outcome = medium.end(tx, now=150e-6, rng=rng)
+    assert not outcome.delivered
+
+
+def test_equal_power_overlap_corrupts_both(medium, rng):
+    a = _begin(medium, device_id=1, rssi=-60.0, now=0.0)
+    b = _begin(medium, device_id=2, rssi=-60.0, now=50e-6)
+    out_a = medium.end(a, now=150e-6, rng=rng)
+    out_b = medium.end(b, now=200e-6, rng=rng)
+    assert out_a.collided and out_b.collided
+    # Equal powers → SINR ≈ 0 dB → the PER model saturates.
+    assert out_a.sinr_db < 1.0
+    assert out_a.packet_error_rate > 0.99
+    assert not out_a.delivered and not out_b.delivered
+    assert medium.collisions == 2
+
+
+def test_strong_packet_captures_over_weak(medium, rng):
+    strong = _begin(medium, device_id=1, rssi=-50.0, now=0.0)
+    weak = _begin(medium, device_id=2, rssi=-85.0, now=50e-6)
+    out_strong = medium.end(strong, now=150e-6, rng=rng)
+    out_weak = medium.end(weak, now=200e-6, rng=rng)
+    assert out_strong.collided and out_weak.collided
+    assert out_strong.delivered  # 35 dB above the interferer: capture
+    assert not out_weak.delivered
+
+
+def test_peak_interference_covers_sequential_overlaps(medium, rng):
+    # Two interferers that never overlap each other still both raise the
+    # victim's ledger; the peak is taken over concurrent power, so the
+    # victim sees one interferer's worth at its worst instant.
+    victim = _begin(medium, device_id=1, rssi=-60.0, duration=500e-6, now=0.0)
+    first = _begin(medium, device_id=2, rssi=-60.0, duration=100e-6, now=0.0)
+    medium.end(first, now=100e-6, rng=rng)
+    second = _begin(medium, device_id=3, rssi=-60.0, duration=100e-6, now=200e-6)
+    medium.end(second, now=300e-6, rng=rng)
+    assert victim.peak_interference_w == pytest.approx(first.signal_w)
+    out = medium.end(victim, now=500e-6, rng=rng)
+    assert out.collided and not out.delivered
+
+
+def test_busy_time_tracks_union_of_intervals(medium, rng):
+    a = _begin(medium, device_id=1, duration=100e-6, now=0.0)
+    b = _begin(medium, device_id=2, duration=100e-6, now=50e-6)
+    medium.end(a, now=100e-6, rng=rng)
+    medium.end(b, now=150e-6, rng=rng)
+    c = _begin(medium, device_id=3, duration=100e-6, now=300e-6)
+    medium.end(c, now=400e-6, rng=rng)
+    # Union: [0, 150µs] + [300µs, 400µs] = 250 µs; airtime sums to 300 µs.
+    assert medium.busy_time_s == pytest.approx(250e-6)
+    assert medium.airtime_s == pytest.approx(300e-6)
+    assert medium.utilization(1e-3) == pytest.approx(0.25)
+
+
+def test_finalize_accounts_in_flight_transmission(medium, rng):
+    _begin(medium, device_id=1, duration=1.0, now=0.0)
+    medium.finalize(0.25)
+    assert medium.busy_time_s == pytest.approx(0.25)
+
+
+def test_ending_unknown_transmission_raises(medium, rng):
+    tx = _begin(medium)
+    medium.end(tx, now=150e-6, rng=rng)
+    with pytest.raises(ConfigurationError):
+        medium.end(tx, now=200e-6, rng=rng)

@@ -1,0 +1,1 @@
+"""Test package marker (keeps same-basename test modules importable)."""
