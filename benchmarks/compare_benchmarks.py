@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files and fail on median-time regressions.
+
+Usage::
+
+    python benchmarks/compare_benchmarks.py BASELINE.json CURRENT.json \
+        [--threshold 1.30] [--absolute]
+
+The committed ``benchmarks/baseline.json`` was produced on one machine and
+CI runs on another, so absolute medians are not comparable.  By default the
+script therefore *normalises* each benchmark's ``current / baseline`` median
+ratio by the geometric mean of all ratios — a uniform machine-speed factor
+cancels out exactly, and only benchmarks that slowed down *relative to the
+rest of the suite* by more than ``--threshold`` fail the gate.  To reject
+transient load spikes on shared runners, a benchmark must exceed the
+threshold on **both** its median and its minimum round time to count as a
+regression.  Pass ``--absolute`` to compare raw ratios instead (useful when
+both files come from the same machine).
+
+Refreshing the baseline after an intentional performance change::
+
+    PYTHONPATH=src python -m pytest benchmarks --benchmark-json=benchmarks/baseline.json
+
+then commit the regenerated file together with the change that explains it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_stats(path: str) -> dict[str, tuple[float, float]]:
+    """Map benchmark fullname → (median, min) seconds from a pytest-benchmark JSON."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        entry["fullname"]: (float(entry["stats"]["median"]), float(entry["stats"]["min"]))
+        for entry in payload.get("benchmarks", [])
+    }
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compare(
+    baseline: dict[str, tuple[float, float]],
+    current: dict[str, tuple[float, float]],
+    *,
+    threshold: float,
+    absolute: bool,
+) -> int:
+    """Print a comparison table; return the number of regressions.
+
+    A benchmark counts as regressed only when *both* its median and its
+    minimum round time exceed the threshold: a genuine slowdown shifts the
+    whole timing distribution, while a transient load spike on the runner
+    inflates the median but leaves the minimum untouched.
+    """
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("error: no common benchmarks between the two files", file=sys.stderr)
+        return 1
+    for name in sorted(set(baseline) - set(current)):
+        print(f"warning: benchmark disappeared from the current run: {name}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: new benchmark without a baseline entry: {name}")
+
+    median_ratios = {name: current[name][0] / baseline[name][0] for name in common}
+    min_ratios = {name: current[name][1] / baseline[name][1] for name in common}
+    median_scale = min_scale = 1.0
+    if not absolute:
+        median_scale = _geomean(list(median_ratios.values()))
+        min_scale = _geomean(list(min_ratios.values()))
+        print(f"machine-speed normalisation factor (geometric mean ratio): {median_scale:.3f}")
+
+    regressions = 0
+    width = max(len(name) for name in common)
+    print(f"{'benchmark'.ljust(width)} | baseline | current  | median | min")
+    for name in common:
+        norm_median = median_ratios[name] / median_scale
+        norm_min = min_ratios[name] / min_scale
+        flag = ""
+        if norm_median > threshold and norm_min > threshold:
+            regressions += 1
+            flag = f"  REGRESSION (> {threshold:.2f}x)"
+        elif norm_median > threshold:
+            flag = "  noisy median, min within bounds"
+        print(
+            f"{name.ljust(width)} | {baseline[name][0] * 1e3:7.2f}ms | "
+            f"{current[name][0] * 1e3:7.2f}ms | {norm_median:5.2f}x | {norm_min:5.2f}x{flag}"
+        )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.30,
+        help="maximum tolerated (normalised) median slowdown factor (default 1.30)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw ratios without machine-speed normalisation",
+    )
+    args = parser.parse_args(argv)
+
+    regressions = compare(
+        load_stats(args.baseline),
+        load_stats(args.current),
+        threshold=args.threshold,
+        absolute=args.absolute,
+    )
+    if regressions:
+        print(f"\nFAIL: {regressions} benchmark(s) regressed beyond {args.threshold:.2f}x")
+        return 1
+    print("\nOK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

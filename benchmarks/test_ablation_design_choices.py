@@ -21,7 +21,7 @@ from repro.backscatter.power import InterscatterPowerModel
 from repro.core.device import InterscatterDevice
 from repro.core.timing import InterscatterTiming
 from repro.utils.spectrum import power_spectral_density
-from repro.wifi.ofdm.constant_ofdm import ConstantOfdmCrafter, symbol_peak_to_average
+from repro.wifi.ofdm.constant_ofdm import ConstantOfdmCrafter
 from repro.wifi.ofdm.rates import OfdmRate
 
 

@@ -9,7 +9,10 @@ contribution — generating Wi-Fi and ZigBee packets by backscattering
 Bluetooth transmissions — living in :mod:`repro.core`.  The proof-of-concept
 applications from Section 5 of the paper are in :mod:`repro.apps` and every
 table/figure of the evaluation has a corresponding driver in
-:mod:`repro.experiments`.
+:mod:`repro.experiments`.  :mod:`repro.mc` is the batched Monte-Carlo
+engine (vectorised bit-exact PHY kernels, whole-batch sweeps, PER-table
+link abstraction) and :mod:`repro.netsim` the discrete-event fleet
+simulator built on top of it.
 
 Quickstart
 ----------

@@ -12,7 +12,7 @@ from tens of feet to tens of inches.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -16,7 +16,7 @@ the backscatter tag's envelope detector.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.utils.bits import bits_to_bytes, bytes_to_bits
+from repro.utils.bits import bits_to_bytes
 from repro.ble.packet import (
     ANDROID_CONTROLLABLE_PAYLOAD_BYTES,
     MAX_ADV_DATA_BYTES,

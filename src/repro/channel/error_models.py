@@ -15,6 +15,7 @@ import numpy as np
 from scipy import special
 
 from repro.exceptions import ConfigurationError
+from repro.utils.dsp import scalar_or_array as _scalar_or_array
 
 __all__ = [
     "qfunc",
@@ -37,79 +38,87 @@ def qfunc(x: np.ndarray | float) -> np.ndarray | float:
     return 0.5 * special.erfc(np.asarray(x, dtype=float) / np.sqrt(2.0))
 
 
-def _ebn0_from_snr(snr_db: float, bit_rate_bps: float, bandwidth_hz: float) -> float:
+def _ebn0_from_snr(
+    snr_db: float | np.ndarray, bit_rate_bps: float, bandwidth_hz: float
+) -> float | np.ndarray:
     """Convert an in-band SNR to Eb/N0 given the bit rate and noise bandwidth."""
     if bit_rate_bps <= 0 or bandwidth_hz <= 0:
         raise ConfigurationError("bit rate and bandwidth must be positive")
-    return snr_db + 10.0 * np.log10(bandwidth_hz / bit_rate_bps)
+    return np.asarray(snr_db, dtype=float) + 10.0 * np.log10(bandwidth_hz / bit_rate_bps)
 
 
-def ber_dbpsk(snr_db: float, *, bit_rate_bps: float = 1e6, bandwidth_hz: float = 22e6) -> float:
+def ber_dbpsk(
+    snr_db: float | np.ndarray, *, bit_rate_bps: float = 1e6, bandwidth_hz: float = 22e6
+) -> float | np.ndarray:
     """DBPSK bit error rate (802.11b 1 Mbps / 5.5 Mbps CCK approximation)."""
     ebn0_db = _ebn0_from_snr(snr_db, bit_rate_bps, bandwidth_hz)
     ebn0 = 10.0 ** (ebn0_db / 10.0)
-    return float(np.clip(0.5 * np.exp(-ebn0), 0.0, 0.5))
+    return _scalar_or_array(np.clip(0.5 * np.exp(-ebn0), 0.0, 0.5), snr_db)
 
 
-def ber_dqpsk(snr_db: float, *, bit_rate_bps: float = 2e6, bandwidth_hz: float = 22e6) -> float:
+def ber_dqpsk(
+    snr_db: float | np.ndarray, *, bit_rate_bps: float = 2e6, bandwidth_hz: float = 22e6
+) -> float | np.ndarray:
     """DQPSK bit error rate (802.11b 2 Mbps / 11 Mbps CCK approximation)."""
     ebn0_db = _ebn0_from_snr(snr_db, bit_rate_bps, bandwidth_hz)
     ebn0 = 10.0 ** (ebn0_db / 10.0)
     # Standard DQPSK approximation via the Marcum-Q bound; the simpler
     # exponential bound is adequate for reproducing PER *shapes*.
-    return float(np.clip(0.5 * np.exp(-0.59 * 2.0 * ebn0), 0.0, 0.5))
+    return _scalar_or_array(np.clip(0.5 * np.exp(-0.59 * 2.0 * ebn0), 0.0, 0.5), snr_db)
 
 
-def ber_oqpsk_dsss(snr_db: float, *, bit_rate_bps: float = 250e3, bandwidth_hz: float = 2e6) -> float:
+def ber_oqpsk_dsss(
+    snr_db: float | np.ndarray, *, bit_rate_bps: float = 250e3, bandwidth_hz: float = 2e6
+) -> float | np.ndarray:
     """802.15.4 O-QPSK/DSSS bit error rate (coherent QPSK with spreading gain)."""
     ebn0_db = _ebn0_from_snr(snr_db, bit_rate_bps, bandwidth_hz)
     ebn0 = 10.0 ** (ebn0_db / 10.0)
-    return float(np.clip(qfunc(np.sqrt(2.0 * ebn0)), 0.0, 0.5))
+    return _scalar_or_array(np.clip(qfunc(np.sqrt(2.0 * ebn0)), 0.0, 0.5), snr_db)
 
 
-def ber_ook_envelope(snr_db: float) -> float:
+def ber_ook_envelope(snr_db: float | np.ndarray) -> float | np.ndarray:
     """Non-coherent on-off-keying BER for the peak-detector downlink."""
-    snr = 10.0 ** (snr_db / 10.0)
-    return float(np.clip(0.5 * np.exp(-snr / 4.0), 0.0, 0.5))
+    snr = 10.0 ** (np.asarray(snr_db, dtype=float) / 10.0)
+    return _scalar_or_array(np.clip(0.5 * np.exp(-snr / 4.0), 0.0, 0.5), snr_db)
 
 
-def packet_error_rate(bit_error_rate: float, packet_bits: int) -> float:
+def packet_error_rate(bit_error_rate: float | np.ndarray, packet_bits: int) -> float | np.ndarray:
     """PER for independent bit errors."""
     if packet_bits <= 0:
         raise ConfigurationError("packet_bits must be positive")
-    ber = float(np.clip(bit_error_rate, 0.0, 1.0))
-    return float(1.0 - (1.0 - ber) ** packet_bits)
+    ber = np.clip(np.asarray(bit_error_rate, dtype=float), 0.0, 1.0)
+    return _scalar_or_array(1.0 - (1.0 - ber) ** packet_bits, bit_error_rate)
 
 
 def wifi_packet_error_rate(
-    snr_db: float,
+    snr_db: float | np.ndarray,
     *,
     rate_mbps: float,
     payload_bytes: int,
     header_bytes: int = 28,
-) -> float:
+) -> float | np.ndarray:
     """802.11b packet error rate, accounting for the 1 Mbps PLCP preamble/header.
 
     Both the 2 Mbps and the 11 Mbps interscatter packets carry their PLCP
     preamble and header at 1 Mbps DBPSK, which is why the paper observes
     similar PERs for the two rates at the small payload sizes that fit in a
-    BLE advertisement (§4.2).
+    BLE advertisement (§4.2).  Broadcasts over arrays of SNRs.
     """
     if payload_bytes <= 0:
         raise ConfigurationError("payload_bytes must be positive")
     preamble_header_bits = 192  # long PLCP preamble + header at 1 Mbps
-    header_ber = ber_dbpsk(snr_db, bit_rate_bps=1e6)
+    header_ber = np.asarray(ber_dbpsk(snr_db, bit_rate_bps=1e6))
     header_ok = (1.0 - header_ber) ** preamble_header_bits
 
     payload_bits = (payload_bytes + header_bytes) * 8
     if rate_mbps in (1.0, 5.5):
-        payload_ber = ber_dbpsk(snr_db, bit_rate_bps=rate_mbps * 1e6)
+        payload_ber = np.asarray(ber_dbpsk(snr_db, bit_rate_bps=rate_mbps * 1e6))
     elif rate_mbps in (2.0, 11.0):
-        payload_ber = ber_dqpsk(snr_db, bit_rate_bps=rate_mbps * 1e6)
+        payload_ber = np.asarray(ber_dqpsk(snr_db, bit_rate_bps=rate_mbps * 1e6))
     else:
         raise ConfigurationError(f"unsupported 802.11b rate {rate_mbps}")
     payload_ok = (1.0 - payload_ber) ** payload_bits
-    return float(1.0 - header_ok * payload_ok)
+    return _scalar_or_array(1.0 - header_ok * payload_ok, snr_db)
 
 
 def required_snr_db(rate_mbps: float) -> float:

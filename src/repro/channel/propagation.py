@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import LinkBudgetError
+from repro.utils.dsp import scalar_or_array as _scalar_or_array
 
 __all__ = ["free_space_path_loss_db", "log_distance_path_loss_db", "PathLossModel"]
 
@@ -14,45 +15,47 @@ __all__ = ["free_space_path_loss_db", "log_distance_path_loss_db", "PathLossMode
 SPEED_OF_LIGHT_M_S = 299_792_458.0
 
 
-def free_space_path_loss_db(distance_m: float, frequency_hz: float = 2.45e9) -> float:
-    """Friis free-space path loss in dB.
+def free_space_path_loss_db(
+    distance_m: float | np.ndarray, frequency_hz: float = 2.45e9
+) -> float | np.ndarray:
+    """Friis free-space path loss in dB.  Broadcasts over distance arrays.
 
     A minimum distance of 1 cm is enforced so the near-field singularity
     does not produce negative losses for the very short implant links.
     """
-    if distance_m < 0:
+    if np.any(np.asarray(distance_m) < 0):
         raise LinkBudgetError("distance must be non-negative")
     if frequency_hz <= 0:
         raise LinkBudgetError("frequency must be positive")
-    distance = max(distance_m, 0.01)
+    distance = np.maximum(np.asarray(distance_m, dtype=float), 0.01)
     wavelength = SPEED_OF_LIGHT_M_S / frequency_hz
-    return float(20.0 * np.log10(4.0 * np.pi * distance / wavelength))
+    return _scalar_or_array(20.0 * np.log10(4.0 * np.pi * distance / wavelength), distance_m)
 
 
 def log_distance_path_loss_db(
-    distance_m: float,
+    distance_m: float | np.ndarray,
     *,
     frequency_hz: float = 2.45e9,
     reference_distance_m: float = 1.0,
     path_loss_exponent: float = 2.1,
-    shadowing_db: float = 0.0,
-) -> float:
+    shadowing_db: float | np.ndarray = 0.0,
+) -> float | np.ndarray:
     """Log-distance path loss with optional shadowing.
 
     Indoor line-of-sight 2.4 GHz exponents of 1.8-2.2 match office corridors
-    like those in the paper's range experiments.
+    like those in the paper's range experiments.  Broadcasts over distance
+    (and per-link shadowing) arrays.
     """
-    if distance_m < 0:
+    if np.any(np.asarray(distance_m) < 0):
         raise LinkBudgetError("distance must be non-negative")
-    distance = max(distance_m, 0.01)
+    distance = np.maximum(np.asarray(distance_m, dtype=float), 0.01)
     reference_loss = free_space_path_loss_db(reference_distance_m, frequency_hz)
-    if distance <= reference_distance_m:
-        return float(free_space_path_loss_db(distance, frequency_hz) + shadowing_db)
-    return float(
-        reference_loss
-        + 10.0 * path_loss_exponent * np.log10(distance / reference_distance_m)
-        + shadowing_db
+    near = np.asarray(free_space_path_loss_db(distance, frequency_hz))
+    far = reference_loss + 10.0 * path_loss_exponent * np.log10(
+        np.maximum(distance, reference_distance_m) / reference_distance_m
     )
+    loss = np.where(distance <= reference_distance_m, near, far) + shadowing_db
+    return _scalar_or_array(loss, np.asarray(distance_m) + np.asarray(shadowing_db))
 
 
 @dataclass(frozen=True)

@@ -22,9 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
 from repro.utils.bits import as_bit_array
-from repro.utils.dsp import add_awgn, db_to_linear, dbm_to_watts
+from repro.utils.dsp import add_awgn
 from repro.backscatter.detector import PeakDetectorReceiver
 from repro.channel.error_models import ber_ook_envelope
 from repro.channel.link_budget import DirectLinkBudget

@@ -12,7 +12,7 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -92,7 +92,9 @@ class InterscatterLink:
         rng: np.random.Generator | None = None,
     ) -> None:
         self._rng = rng if rng is not None else np.random.default_rng(23)
-        self.timing = InterscatterTiming(wifi_rate_mbps=wifi_rate_mbps if target in ("wifi", UplinkTarget.WIFI_80211B) else 2.0)
+        self.timing = InterscatterTiming(
+            wifi_rate_mbps=wifi_rate_mbps if target in ("wifi", UplinkTarget.WIFI_80211B) else 2.0
+        )
         self.tone_source = BluetoothToneSource(
             bluetooth_device, tx_power_dbm=bluetooth_power_dbm, rng=self._rng
         )

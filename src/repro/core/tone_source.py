@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ble.channels import advertising_channel
-from repro.ble.devices import BleDeviceProfile, DEVICE_PROFILES
+from repro.ble.devices import BleDeviceProfile
 from repro.ble.radio import BleTransmission, BleTransmitter
 from repro.ble.single_tone import SingleTonePayload, craft_single_tone_payload
 

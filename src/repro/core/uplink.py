@@ -27,7 +27,7 @@ would be slow, the uplink exposes two granularities:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ble.devices import DEVICE_PROFILES
 from repro.core.tone_source import BluetoothToneSource
 from repro.utils.spectrum import (
     PowerSpectrum,

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ble.devices import TX_POWER_LEVELS_DBM
-from repro.channel.geometry import distance_feet, fig10_geometry
+from repro.channel.geometry import fig10_geometry
 from repro.channel.link_budget import BackscatterLinkBudget
 
 __all__ = ["RssiCurve", "RssiVsDistanceResult", "run"]

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.channel.geometry import feet_to_meters
 from repro.core.downlink import InterscatterDownlink
 
@@ -49,20 +50,37 @@ def run(
     tx_power_dbm: float = 20.0,
     message_bits: int = 512,
     seed: int = 13,
+    engine: str = "scalar",
 ) -> DownlinkBerResult:
-    """Evaluate the downlink BER across distance."""
+    """Evaluate the downlink BER across distance.
+
+    ``engine="scalar"`` (default) keeps the original per-distance
+    :meth:`InterscatterDownlink.simulate_link` loop, bit-identical to
+    historical seeds; ``"batch"`` draws every distance's bit errors as one
+    vectorised binomial over the analytic BER curve.
+    """
+    if engine not in ("scalar", "batch"):
+        raise ConfigurationError(f"unknown engine {engine!r}; use 'scalar' or 'batch'")
     rng = np.random.default_rng(seed)
     downlink = InterscatterDownlink(rng=rng)
     distances = np.arange(1.0, max_distance_feet + step_feet, step_feet)
     ber = np.empty(distances.size)
     rssi = np.empty(distances.size)
     bits = rng.integers(0, 2, message_bits).astype(np.uint8)
-    for index, distance in enumerate(distances):
-        result = downlink.simulate_link(
-            bits, feet_to_meters(float(distance)), tx_power_dbm=tx_power_dbm, rng=rng
-        )
-        ber[index] = result.bit_error_rate
-        rssi[index] = result.rssi_dbm if result.rssi_dbm is not None else np.nan
+    if engine == "batch":
+        analytic = np.empty(distances.size)
+        for index, distance in enumerate(distances):
+            analytic[index], rssi[index] = downlink.link_bit_error_rate(
+                feet_to_meters(float(distance)), tx_power_dbm=tx_power_dbm
+            )
+        ber = rng.binomial(message_bits, analytic, size=distances.size) / message_bits
+    else:
+        for index, distance in enumerate(distances):
+            result = downlink.simulate_link(
+                bits, feet_to_meters(float(distance)), tx_power_dbm=tx_power_dbm, rng=rng
+            )
+            ber[index] = result.bit_error_rate
+            rssi[index] = result.rssi_dbm if result.rssi_dbm is not None else np.nan
     below = np.where(ber < 0.01)[0]
     range_feet = float(distances[below[-1]]) if below.size else 0.0
     return DownlinkBerResult(

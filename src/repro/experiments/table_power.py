@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.backscatter.power import ACTIVE_RADIO_POWER_UW, InterscatterPowerModel, PowerBreakdown
 

@@ -1,0 +1,173 @@
+"""Batched bit-level PHY kernels: mapping, interleaving, scrambling, puncturing.
+
+Every function here operates on a whole batch (leading axis) at once and is
+bit-exact with the scalar implementation it mirrors:
+
+* :func:`map_batch` / :func:`demap_batch` ↔ :mod:`repro.wifi.ofdm.mapping`
+  (the demapper's nearest-level quantiser keeps the scalar ``argmin``
+  tie-break: a point exactly between two levels snaps to the lower one);
+* :func:`interleave_batch` / :func:`deinterleave_batch` ↔
+  :mod:`repro.wifi.ofdm.interleaver`;
+* :func:`scramble_batch` ↔ :class:`repro.wifi.scrambler.Ieee80211Scrambler`
+  (keystreams are cached per seed — the x^7+x^4+1 LFSR has only 127 states);
+* :func:`puncture_batch` / :func:`depuncture_batch` ↔ the pattern masks of
+  :mod:`repro.wifi.ofdm.convolutional`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.wifi.ofdm.convolutional import PUNCTURE_PATTERNS
+from repro.wifi.ofdm.interleaver import interleaver_permutation
+from repro.wifi.ofdm.mapping import Modulation, _axis_table
+from repro.wifi.scrambler import Ieee80211Scrambler
+
+__all__ = [
+    "map_batch",
+    "demap_batch",
+    "interleave_batch",
+    "deinterleave_batch",
+    "scramble_batch",
+    "puncture_batch",
+    "depuncture_batch",
+]
+
+
+def _as_matrix(bits: np.ndarray, dtype=np.uint8) -> np.ndarray:
+    arr = np.asarray(bits)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected a [N, L] matrix, got shape {arr.shape}")
+    return arr.astype(dtype, copy=False)
+
+
+def _axis_tables(bits_per_axis: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(levels ascending, bits-per-level aligned to them, level by bit-group index)."""
+    table = _axis_table(bits_per_axis)
+    levels = np.array(sorted(table.values()))
+    inverse = {v: k for k, v in table.items()}
+    level_bits = np.array([inverse[float(level)] for level in levels], dtype=np.uint8)
+    by_index = np.zeros(1 << bits_per_axis)
+    for bits, level in table.items():
+        index = 0
+        for position, bit in enumerate(bits):
+            index |= bit << (bits_per_axis - 1 - position)
+        by_index[index] = level
+    return levels, level_bits, by_index
+
+
+def map_batch(bits: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Map coded bits ``[N, L]`` to constellation points ``[N, L / bps]``."""
+    arr = _as_matrix(bits)
+    n, length = arr.shape
+    bps = modulation.bits_per_symbol
+    if length % bps != 0:
+        raise ConfigurationError(f"bit count {length} not a multiple of {bps}")
+    groups = arr.reshape(n, -1, bps)
+    if modulation is Modulation.BPSK:
+        return (2.0 * groups[:, :, 0].astype(float) - 1.0).astype(complex)
+    half = bps // 2
+    _, _, by_index = _axis_tables(half)
+    weights = 1 << np.arange(half - 1, -1, -1)
+    i_index = groups[:, :, :half].astype(np.int64) @ weights
+    q_index = groups[:, :, half:].astype(np.int64) @ weights
+    return modulation.normalization * (by_index[i_index] + 1j * by_index[q_index])
+
+
+def demap_batch(symbols: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Hard-decision demap ``[N, S]`` points back to coded bits ``[N, S * bps]``."""
+    sym = _as_matrix(symbols, dtype=complex)
+    n, count = sym.shape
+    bps = modulation.bits_per_symbol
+    if modulation is Modulation.BPSK:
+        return (sym.real > 0).astype(np.uint8)
+    half = bps // 2
+    levels, level_bits, _ = _axis_tables(half)
+    midpoints = (levels[:-1] + levels[1:]) / 2.0
+    scaled = sym / modulation.normalization
+    # side='left': a point exactly on a midpoint picks the lower level, the
+    # same choice the scalar demapper's first-occurrence argmin makes.
+    i_bits = level_bits[np.searchsorted(midpoints, scaled.real, side="left")]
+    q_bits = level_bits[np.searchsorted(midpoints, scaled.imag, side="left")]
+    out = np.empty((n, count, bps), dtype=np.uint8)
+    out[:, :, :half] = i_bits
+    out[:, :, half:] = q_bits
+    return out.reshape(n, count * bps)
+
+
+def interleave_batch(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+    """Interleave each row (one OFDM symbol's coded bits) of ``[N, n_cbps]``."""
+    arr = _as_matrix(bits)
+    perm = interleaver_permutation(arr.shape[1], bits_per_subcarrier)
+    out = np.zeros_like(arr)
+    out[:, perm] = arr
+    return out
+
+
+def deinterleave_batch(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+    """Invert :func:`interleave_batch` row-wise."""
+    arr = _as_matrix(bits)
+    perm = interleaver_permutation(arr.shape[1], bits_per_subcarrier)
+    return arr[:, perm]
+
+
+_KEYSTREAM_CACHE: dict[int, np.ndarray] = {}
+
+
+def _keystream(seed: int, length: int) -> np.ndarray:
+    cached = _KEYSTREAM_CACHE.get(seed)
+    if cached is None or cached.size < length:
+        cached = Ieee80211Scrambler(seed).keystream(max(length, 256))
+        _KEYSTREAM_CACHE[seed] = cached
+    return cached[:length]
+
+
+def scramble_batch(bits: np.ndarray, seeds: int | np.ndarray) -> np.ndarray:
+    """Scramble (or descramble) ``[N, L]`` bit rows.
+
+    ``seeds`` is one shared 7-bit seed or a per-row array of them.
+    """
+    arr = _as_matrix(bits)
+    n, length = arr.shape
+    if np.isscalar(seeds):
+        return np.bitwise_xor(arr, _keystream(int(seeds), length)[None, :])
+    seed_arr = np.asarray(seeds, dtype=np.int64).ravel()
+    if seed_arr.size != n:
+        raise ConfigurationError(f"need one seed per row: {seed_arr.size} != {n}")
+    keystreams = np.stack([_keystream(int(seed), length) for seed in seed_arr])
+    return np.bitwise_xor(arr, keystreams)
+
+
+def puncture_batch(coded_bits: np.ndarray, rate: str) -> np.ndarray:
+    """Puncture each row of rate-1/2 coded bits up to 2/3 or 3/4."""
+    if rate not in PUNCTURE_PATTERNS:
+        raise ConfigurationError(f"unknown coding rate {rate!r}")
+    pattern = PUNCTURE_PATTERNS[rate]
+    coded = _as_matrix(coded_bits)
+    if coded.shape[1] % pattern.size != 0:
+        raise ValueError(
+            f"coded bit count {coded.shape[1]} not a multiple of puncture block {pattern.size}"
+        )
+    mask = np.tile(pattern, coded.shape[1] // pattern.size).astype(bool)
+    return coded[:, mask]
+
+
+def depuncture_batch(punctured_bits: np.ndarray, rate: str) -> tuple[np.ndarray, np.ndarray]:
+    """Re-insert erasures row-wise; returns ``(bits[N, L], known_mask[L])``."""
+    if rate not in PUNCTURE_PATTERNS:
+        raise ConfigurationError(f"unknown coding rate {rate!r}")
+    pattern = PUNCTURE_PATTERNS[rate]
+    punctured = _as_matrix(punctured_bits)
+    kept_per_block = int(np.sum(pattern))
+    if punctured.shape[1] % kept_per_block != 0:
+        raise ValueError(
+            f"punctured bit count {punctured.shape[1]} not a multiple of {kept_per_block}"
+        )
+    blocks = punctured.shape[1] // kept_per_block
+    mask = np.tile(pattern, blocks).astype(bool)
+    full = np.zeros((punctured.shape[0], blocks * pattern.size), dtype=np.uint8)
+    full[:, mask] = punctured
+    return full, mask

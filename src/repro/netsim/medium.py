@@ -108,6 +108,13 @@ class SharedMedium:
     capture_threshold_db:
         Minimum SINR for a packet that overlapped another transmission to
         capture the receiver; below it the packet is corrupted outright.
+    link_abstraction:
+        Optional :class:`repro.mc.link_abstraction.LinkAbstraction`.  When
+        set, packet fates come from its memoised PER-vs-SINR tables (one
+        lookup + one Bernoulli draw per packet) instead of evaluating the
+        analytic PHY error model per packet — the fast path that makes
+        1000-device fleets cheap.  ``None`` (the default) keeps the exact
+        per-packet evaluation.
     """
 
     def __init__(
@@ -116,10 +123,12 @@ class SharedMedium:
         noise: NoiseModel | None = None,
         receiver_sensitivity_dbm: float = -94.0,
         capture_threshold_db: float = 10.0,
+        link_abstraction=None,
     ) -> None:
         self.noise = noise if noise is not None else NoiseModel(bandwidth_hz=22e6)
         self.receiver_sensitivity_dbm = receiver_sensitivity_dbm
         self.capture_threshold_db = capture_threshold_db
+        self.link_abstraction = link_abstraction
         self._noise_w = dbm_to_watts(self.noise.noise_floor_dbm)
         self._active: list[Transmission] = []
         self._busy_since: float | None = None
@@ -201,6 +210,10 @@ class SharedMedium:
         collided = tx.peak_interference_w > 0.0
         if collided and sinr_db < self.capture_threshold_db:
             per = 1.0
+        elif self.link_abstraction is not None:
+            per = self.link_abstraction.per(
+                sinr_db, rate_mbps=tx.rate_mbps, payload_bytes=tx.psdu_bytes
+            )
         else:
             per = wifi_packet_error_rate(
                 sinr_db, rate_mbps=tx.rate_mbps, payload_bytes=tx.psdu_bytes

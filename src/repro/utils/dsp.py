@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "scalar_or_array",
     "db_to_linear",
     "linear_to_db",
     "dbm_to_watts",
@@ -22,6 +23,18 @@ __all__ = [
     "awgn_noise",
     "add_awgn",
 ]
+
+
+def scalar_or_array(value: np.ndarray, reference) -> float | np.ndarray:
+    """Return ``float(value)`` when *reference* is scalar, *value* otherwise.
+
+    The numeric models that broadcast over arrays (error models, path loss)
+    use this so scalar callers keep getting plain floats while the batched
+    Monte-Carlo engine gets arrays through unchanged.
+    """
+    if np.ndim(reference) == 0:
+        return float(value)
+    return value
 
 
 def db_to_linear(db: float | np.ndarray) -> float | np.ndarray:

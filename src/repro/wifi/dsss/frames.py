@@ -8,12 +8,11 @@ the collision-avoidance optimisations of §2.3.3 and the coexistence model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.exceptions import PacketFormatError
-from repro.utils.bits import bytes_to_bits, bits_to_bytes, int_to_bits, bits_to_int
+from repro.utils.bits import bytes_to_bits
 from repro.utils.crc import crc32_ieee
 
 __all__ = ["WifiDataFrame", "build_rts_frame", "build_cts_frame", "mpdu_with_fcs", "verify_fcs"]
@@ -112,7 +111,9 @@ def verify_fcs(mpdu: bytes) -> bool:
     return int.from_bytes(fcs_bytes, "little") == expected
 
 
-def build_rts_frame(duration_us: int, receiver: bytes = BROADCAST_ADDRESS, transmitter: bytes = b"\x02interS"[:6]) -> bytes:
+def build_rts_frame(
+    duration_us: int, receiver: bytes = BROADCAST_ADDRESS, transmitter: bytes = b"\x02interS"[:6]
+) -> bytes:
     """Build an RTS control frame (20 bytes including FCS)."""
     if len(receiver) != 6 or len(transmitter) != 6:
         raise PacketFormatError("RTS addresses must be 6 bytes")

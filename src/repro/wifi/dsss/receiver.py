@@ -32,7 +32,7 @@ from repro.wifi.dsss.plcp import (
     PlcpHeader,
     parse_plcp_header,
 )
-from repro.wifi.dsss.transmitter import CHIP_RATE_HZ, DsssRate
+from repro.wifi.dsss.transmitter import DsssRate
 
 __all__ = ["DsssDecodeResult", "DsssReceiver"]
 

@@ -17,7 +17,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.utils.bits import bytes_to_bits
 from repro.wifi.scrambler import Ieee80211Scrambler
-from repro.wifi.dsss.barker import BARKER_LENGTH, barker_spread
+from repro.wifi.dsss.barker import barker_spread
 from repro.wifi.dsss.cck import CCK_CHIPS_PER_SYMBOL, cck_codeword
 from repro.wifi.dsss.dpsk import DpskModulator
 from repro.wifi.dsss.frames import WifiDataFrame

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import DecodeError
-from repro.utils.bits import bits_to_bytes, bits_to_int
+from repro.utils.bits import bits_to_bytes
 from repro.wifi.scrambler import Ieee80211Scrambler
 from repro.wifi.ofdm.convolutional import ViterbiDecoder, depuncture
 from repro.wifi.ofdm.interleaver import deinterleave

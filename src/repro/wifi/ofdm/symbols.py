@@ -12,7 +12,6 @@ the basis of the AM downlink.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.exceptions import CrcError, PacketFormatError
-from repro.utils.bits import bits_to_bytes, bytes_to_bits
+from repro.utils.bits import bytes_to_bits
 from repro.utils.crc import crc16_ccitt
 
 __all__ = [

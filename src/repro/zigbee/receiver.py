@@ -15,7 +15,7 @@ from repro.exceptions import DecodeError, PacketFormatError
 from repro.utils.dsp import signal_power, watts_to_dbm
 from repro.zigbee.chips import CHIPS_PER_SYMBOL, chips_to_symbol
 from repro.zigbee.oqpsk import OqpskDemodulator, OqpskWaveform
-from repro.zigbee.packet import SFD_BYTE, ZigbeeFrame, parse_phy_frame
+from repro.zigbee.packet import ZigbeeFrame, parse_phy_frame
 
 __all__ = ["ZigbeeDecodeResult", "ZigbeeReceiver"]
 

@@ -7,13 +7,11 @@ import pytest
 
 from repro.backscatter.ssb import SingleSidebandModulator
 from repro.ble.gfsk import GfskModulator
-from repro.ble.packet import AdvertisingPacket
 from repro.ble.single_tone import craft_single_tone_payload
 from repro.core.downlink import InterscatterDownlink
 from repro.core.link import InterscatterLink
 from repro.core.uplink import InterscatterUplink, UplinkTarget
 from repro.utils.dsp import add_awgn
-from repro.utils.spectrum import power_spectral_density, spectral_peak
 from repro.wifi.dsss.receiver import DsssReceiver
 from repro.wifi.dsss.transmitter import CHIP_RATE_HZ, DsssTransmitter
 from repro.wifi.dsss.frames import mpdu_with_fcs

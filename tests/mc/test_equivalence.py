@@ -1,0 +1,203 @@
+"""Property-style scalar/vector equivalence tests for the repro.mc kernels.
+
+Every batched kernel must be *bit-identical* to the scalar implementation it
+replaces — including tie-breaking inside the Viterbi survivor selection and
+the demapper's nearest-level quantiser.  Each test sweeps randomised
+codewords/symbols and compares row by row against the scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mc import (
+    BatchViterbiDecoder,
+    deinterleave_batch,
+    demap_batch,
+    depuncture_batch,
+    encode_batch,
+    interleave_batch,
+    map_batch,
+    puncture_batch,
+    scramble_batch,
+)
+from repro.wifi.ofdm.convolutional import (
+    ConvolutionalEncoder,
+    PUNCTURE_PATTERNS,
+    ViterbiDecoder,
+    depuncture,
+    puncture,
+)
+from repro.wifi.ofdm.interleaver import deinterleave, interleave
+from repro.wifi.ofdm.mapping import Modulation, demap_symbols, map_bits
+from repro.wifi.scrambler import Ieee80211Scrambler
+
+
+@pytest.fixture(scope="module")
+def batch_viterbi() -> BatchViterbiDecoder:
+    return BatchViterbiDecoder()
+
+
+@pytest.fixture(scope="module")
+def scalar_viterbi() -> ViterbiDecoder:
+    return ViterbiDecoder()
+
+
+class TestEncoderEquivalence:
+    def test_random_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, (16, 120), dtype=np.uint8)
+        batched = encode_batch(bits)
+        for row, reference in zip(batched, bits):
+            assert np.array_equal(row, ConvolutionalEncoder().encode(reference))
+
+    def test_history_preload_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, (8, 48), dtype=np.uint8)
+        histories = rng.integers(0, 2, (8, 6), dtype=np.uint8)
+        batched = encode_batch(bits, initial_history=histories)
+        for row, reference, history in zip(batched, bits, histories):
+            assert np.array_equal(
+                row, ConvolutionalEncoder(initial_history=history).encode(reference)
+            )
+
+    def test_all_ones_constant_symbol_property(self):
+        # The §2.4 invariant the downlink relies on: all-ones input with
+        # all-ones history stays all ones through the encoder.
+        ones = np.ones((1, 64), dtype=np.uint8)
+        out = encode_batch(ones, initial_history=np.ones(6, dtype=np.uint8))
+        assert np.all(out == 1)
+
+
+class TestViterbiEquivalence:
+    @pytest.mark.parametrize("flip_probability", [0.0, 0.02, 0.08, 0.2])
+    def test_bit_identical_across_noise_levels(
+        self, batch_viterbi, scalar_viterbi, flip_probability
+    ):
+        rng = np.random.default_rng(int(flip_probability * 1000) + 3)
+        bits = rng.integers(0, 2, (12, 96), dtype=np.uint8)
+        coded = encode_batch(bits)
+        noisy = coded ^ (rng.random(coded.shape) < flip_probability).astype(np.uint8)
+        decoded = batch_viterbi.decode_batch(noisy)
+        for row, reference in zip(decoded, noisy):
+            assert np.array_equal(row, scalar_viterbi.decode(reference))
+
+    @pytest.mark.parametrize("rate", sorted(PUNCTURE_PATTERNS))
+    def test_bit_identical_across_puncturing_patterns(
+        self, batch_viterbi, scalar_viterbi, rate
+    ):
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, (10, 96), dtype=np.uint8)
+        noisy = encode_batch(bits) ^ (rng.random((10, 192)) < 0.05).astype(np.uint8)
+        full_batch, mask_batch = depuncture_batch(puncture_batch(noisy, rate), rate)
+        decoded = batch_viterbi.decode_batch(full_batch, known_mask=mask_batch)
+        for index in range(bits.shape[0]):
+            full, mask = depuncture(puncture(noisy[index], rate), rate)
+            assert np.array_equal(full_batch[index], full)
+            assert np.array_equal(mask_batch, mask)
+            assert np.array_equal(decoded[index], scalar_viterbi.decode(full, known_mask=mask))
+
+    def test_initial_state_matches_scalar(self, batch_viterbi, scalar_viterbi):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, (4, 48), dtype=np.uint8)
+        noisy = encode_batch(bits) ^ (rng.random((4, 96)) < 0.1).astype(np.uint8)
+        for initial_state in (0, 17, 63):
+            decoded = batch_viterbi.decode_batch(noisy, initial_state=initial_state)
+            for row, reference in zip(decoded, noisy):
+                assert np.array_equal(
+                    row, scalar_viterbi.decode(reference, initial_state=initial_state)
+                )
+
+    def test_recovers_clean_codewords(self, batch_viterbi):
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2, (6, 200), dtype=np.uint8)
+        assert np.array_equal(batch_viterbi.decode_batch(encode_batch(bits)), bits)
+
+    def test_rejects_odd_length(self, batch_viterbi):
+        with pytest.raises(ValueError):
+            batch_viterbi.decode_batch(np.zeros((2, 5), dtype=np.uint8))
+
+
+class TestMappingEquivalence:
+    @pytest.mark.parametrize("modulation", list(Modulation))
+    def test_map_matches_scalar(self, modulation):
+        rng = np.random.default_rng(11)
+        bits = rng.integers(0, 2, (10, 48 * modulation.bits_per_symbol), dtype=np.uint8)
+        batched = map_batch(bits, modulation)
+        for row, reference in zip(batched, bits):
+            assert np.allclose(row, map_bits(reference, modulation))
+
+    @pytest.mark.parametrize("modulation", list(Modulation))
+    def test_demap_matches_scalar_under_noise(self, modulation):
+        rng = np.random.default_rng(13)
+        bits = rng.integers(0, 2, (10, 48 * modulation.bits_per_symbol), dtype=np.uint8)
+        symbols = map_batch(bits, modulation)
+        noisy = symbols + 0.4 * (
+            rng.standard_normal(symbols.shape) + 1j * rng.standard_normal(symbols.shape)
+        )
+        batched = demap_batch(noisy, modulation)
+        for row, reference in zip(batched, noisy):
+            assert np.array_equal(row, demap_symbols(reference, modulation))
+
+    @pytest.mark.parametrize("modulation", [Modulation.QAM16, Modulation.QAM64])
+    def test_demap_tie_break_on_level_midpoints(self, modulation):
+        # Points exactly between two levels must snap the same way the
+        # scalar argmin does (to the lower level).
+        half = modulation.bits_per_symbol // 2
+        edge = (1.0 + 3.0) / 2.0 * modulation.normalization
+        symbols = np.array([[edge + 1j * edge, -edge - 1j * edge, 0.0 + 0.0j]])
+        assert np.array_equal(
+            demap_batch(symbols, modulation)[0], demap_symbols(symbols[0], modulation)
+        )
+        assert half in (2, 3)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(17)
+        for modulation in Modulation:
+            bits = rng.integers(0, 2, (4, 24 * modulation.bits_per_symbol), dtype=np.uint8)
+            assert np.array_equal(demap_batch(map_batch(bits, modulation), modulation), bits)
+
+
+class TestInterleaverEquivalence:
+    @pytest.mark.parametrize("n_cbps,n_bpsc", [(48, 1), (96, 2), (192, 4), (288, 6)])
+    def test_matches_scalar(self, n_cbps, n_bpsc):
+        rng = np.random.default_rng(19)
+        bits = rng.integers(0, 2, (8, n_cbps), dtype=np.uint8)
+        interleaved = interleave_batch(bits, n_bpsc)
+        deinterleaved = deinterleave_batch(bits, n_bpsc)
+        for index in range(bits.shape[0]):
+            assert np.array_equal(interleaved[index], interleave(bits[index], n_bpsc))
+            assert np.array_equal(deinterleaved[index], deinterleave(bits[index], n_bpsc))
+        assert np.array_equal(deinterleave_batch(interleaved, n_bpsc), bits)
+
+
+class TestScramblerEquivalence:
+    def test_per_row_seeds_match_scalar(self):
+        rng = np.random.default_rng(23)
+        bits = rng.integers(0, 2, (16, 257), dtype=np.uint8)
+        seeds = rng.integers(1, 128, 16)
+        scrambled = scramble_batch(bits, seeds)
+        for row, reference, seed in zip(scrambled, bits, seeds):
+            assert np.array_equal(row, Ieee80211Scrambler(int(seed)).scramble(reference))
+
+    def test_shared_seed_and_involution(self):
+        rng = np.random.default_rng(29)
+        bits = rng.integers(0, 2, (4, 300), dtype=np.uint8)
+        scrambled = scramble_batch(bits, 0x5D)
+        assert np.array_equal(scramble_batch(scrambled, 0x5D), bits)
+        assert np.array_equal(scrambled[0], Ieee80211Scrambler(0x5D).scramble(bits[0]))
+
+
+class TestFullChainEquivalence:
+    @pytest.mark.parametrize("rate", ["1/2", "2/3", "3/4"])
+    def test_scramble_encode_puncture_chain(self, rate):
+        """The composed batched TX chain equals the composed scalar TX chain."""
+        rng = np.random.default_rng(31)
+        bits = rng.integers(0, 2, (6, 96), dtype=np.uint8)
+        seeds = rng.integers(1, 128, 6)
+        batched = puncture_batch(encode_batch(scramble_batch(bits, seeds)), rate)
+        for index in range(bits.shape[0]):
+            scrambled = Ieee80211Scrambler(int(seeds[index])).scramble(bits[index])
+            reference = puncture(ConvolutionalEncoder().encode(scrambled), rate)
+            assert np.array_equal(batched[index], reference)

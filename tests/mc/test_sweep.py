@@ -1,0 +1,89 @@
+"""Tests for the batched Monte-Carlo sweep driver and its pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.channel.error_models import wifi_packet_error_rate
+from repro.mc import (
+    AnalyticWifiPerPipeline,
+    CodedOfdmPipeline,
+    OokBerPipeline,
+    run_sweep,
+)
+from repro.wifi.ofdm.rates import OfdmRate
+
+
+class TestRunSweep:
+    def test_deterministic_in_seed(self):
+        pipeline = AnalyticWifiPerPipeline(rate_mbps=2.0, payload_bytes=31)
+        points = np.array([-6.0, -2.0, 2.0])
+        first = run_sweep(points, 500, pipeline, seed=42)
+        second = run_sweep(points, 500, pipeline, seed=42)
+        assert np.array_equal(first.error_rate, second.error_rate)
+        assert np.array_equal(first.snr_db, points)
+        assert first.trials == 500
+
+    def test_chunking_preserves_results(self):
+        pipeline = AnalyticWifiPerPipeline(rate_mbps=2.0, payload_bytes=31)
+        points = np.array([-4.0, 0.0])
+        whole = run_sweep(points, 400, pipeline, seed=7)
+        chunked = run_sweep(points, 400, pipeline, seed=7, max_batch=64)
+        # Same RNG, same total draws, same per-point statistics.
+        assert np.allclose(whole.error_rate, chunked.error_rate)
+
+    def test_matches_analytic_per_within_noise(self):
+        pipeline = AnalyticWifiPerPipeline(rate_mbps=2.0, payload_bytes=31)
+        points = np.array([-8.0, -5.0, -3.0])
+        sweep = run_sweep(points, 4000, pipeline, seed=3)
+        exact = np.asarray(
+            wifi_packet_error_rate(points, rate_mbps=2.0, payload_bytes=31)
+        )
+        assert np.all(np.abs(sweep.error_rate - exact) < 4.0 * sweep.std_error + 1e-3)
+
+    def test_error_rate_monotone_in_snr(self):
+        sweep = run_sweep(
+            np.linspace(-10.0, 2.0, 7),
+            2000,
+            AnalyticWifiPerPipeline(rate_mbps=11.0, payload_bytes=77),
+            seed=5,
+        )
+        assert np.all(np.diff(sweep.error_rate) <= 0.05)
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(np.array([0.0]), 0, AnalyticWifiPerPipeline(2.0, 31))
+
+
+class TestOokBerPipeline:
+    def test_tracks_analytic_curve(self):
+        sweep = run_sweep(
+            np.array([-2.0, 4.0, 10.0]), 300, OokBerPipeline(bits_per_trial=256), seed=11
+        )
+        assert sweep.error_rate[0] > sweep.error_rate[-1]
+        assert 0.0 <= sweep.error_rate[-1] < 0.2
+
+
+class TestCodedOfdmPipeline:
+    def test_per_cliff_with_snr(self):
+        """The full batched chain decodes cleanly at high SNR, fails at low."""
+        pipeline = CodedOfdmPipeline(OfdmRate.RATE_12, num_symbols=2)
+        sweep = run_sweep(np.array([-4.0, 20.0]), 60, pipeline, seed=13)
+        assert sweep.error_rate[0] > 0.5
+        assert sweep.error_rate[-1] == 0.0
+
+    def test_ber_statistic_below_per(self):
+        per_pipe = CodedOfdmPipeline(OfdmRate.RATE_12, num_symbols=2, statistic="per")
+        ber_pipe = CodedOfdmPipeline(OfdmRate.RATE_12, num_symbols=2, statistic="ber")
+        per = per_pipe.run_batch(4.0, 50, np.random.default_rng(1))
+        ber = ber_pipe.run_batch(4.0, 50, np.random.default_rng(1))
+        assert np.all(ber <= per + 1e-12)
+
+    def test_rate_parameter_coercion_and_validation(self):
+        assert CodedOfdmPipeline(36.0).rate is OfdmRate.RATE_36
+        with pytest.raises(ConfigurationError):
+            CodedOfdmPipeline(OfdmRate.RATE_12, statistic="nope")
+        with pytest.raises(ConfigurationError):
+            CodedOfdmPipeline(OfdmRate.RATE_12, num_symbols=0)

@@ -1,0 +1,74 @@
+"""Tests for the CI benchmark-regression compare script."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "compare_benchmarks.py"
+
+
+def _payload(entries: dict[str, tuple[float, float]]) -> dict:
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"median": median, "min": minimum}}
+            for name, (median, minimum) in entries.items()
+        ]
+    }
+
+
+def _run(tmp_path: Path, baseline: dict, current: dict, *extra: str):
+    baseline_path = tmp_path / "baseline.json"
+    current_path = tmp_path / "current.json"
+    baseline_path.write_text(json.dumps(baseline))
+    current_path.write_text(json.dumps(current))
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(baseline_path), str(current_path), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_identical_runs_pass(tmp_path):
+    payload = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8)})
+    result = _run(tmp_path, payload, payload)
+    assert result.returncode == 0
+    assert "OK" in result.stdout
+
+
+def test_uniform_machine_slowdown_is_normalised_away(tmp_path):
+    baseline = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8), "c": (3.0, 2.7)})
+    current = _payload({"a": (2.0, 1.8), "b": (4.0, 3.6), "c": (6.0, 5.4)})
+    result = _run(tmp_path, baseline, current)
+    assert result.returncode == 0
+
+
+def test_single_benchmark_regression_fails(tmp_path):
+    baseline = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8), "c": (3.0, 2.7)})
+    current = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8), "c": (9.0, 8.1)})
+    result = _run(tmp_path, baseline, current)
+    assert result.returncode == 1
+    assert "REGRESSION" in result.stdout
+
+
+def test_noisy_median_with_stable_min_passes(tmp_path):
+    baseline = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8), "c": (3.0, 2.7)})
+    current = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8), "c": (9.0, 2.7)})
+    result = _run(tmp_path, baseline, current)
+    assert result.returncode == 0
+    assert "noisy median" in result.stdout
+
+
+def test_absolute_mode_flags_uniform_slowdown(tmp_path):
+    baseline = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8)})
+    current = _payload({"a": (2.0, 1.8), "b": (4.0, 3.6)})
+    result = _run(tmp_path, baseline, current, "--absolute")
+    assert result.returncode == 1
+
+
+def test_disjoint_benchmark_sets_error(tmp_path):
+    result = _run(tmp_path, _payload({"a": (1.0, 0.9)}), _payload({"b": (1.0, 0.9)}))
+    assert result.returncode == 1

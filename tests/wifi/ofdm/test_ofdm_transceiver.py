@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.utils.dsp import add_awgn
 from repro.wifi.ofdm.receiver import OfdmReceiver
-from repro.wifi.ofdm.rates import OfdmRate
 from repro.wifi.ofdm.transmitter import OfdmTransmitter, build_preamble
 
 
