@@ -9,9 +9,10 @@ Usage::
 The committed ``benchmarks/baseline.json`` was produced on one machine and
 CI runs on another, so absolute medians are not comparable.  By default the
 script therefore *normalises* each benchmark's ``current / baseline`` median
-ratio by the geometric mean of all ratios — a uniform machine-speed factor
-cancels out exactly, and only benchmarks that slowed down *relative to the
-rest of the suite* by more than ``--threshold`` fail the gate.  To reject
+ratio by the median of all ratios — a uniform machine-speed factor cancels
+out exactly (and a few order-of-magnitude speedups cannot drag the centre),
+so only benchmarks that slowed down *relative to the rest of the suite* by
+more than ``--threshold`` fail the gate.  To reject
 transient load spikes on shared runners, a benchmark must exceed the
 threshold on **both** its median and its minimum round time to count as a
 regression.  Pass ``--absolute`` to compare raw ratios instead (useful when
@@ -20,16 +21,17 @@ both files come from the same machine).
 Refreshing the baseline after an intentional performance change::
 
     PYTHONPATH=src python -m pytest benchmarks --benchmark-json=benchmarks/baseline.json
+    python benchmarks/compare_benchmarks.py --slim benchmarks/baseline.json
 
 then commit the regenerated file together with the change that explains it.
+The ``--slim`` pass strips pytest-benchmark's raw per-round samples (several
+MB) down to the per-benchmark medians/minimums the gate actually reads.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import math
-import sys
 
 
 def load_stats(path: str) -> dict[str, tuple[float, float]]:
@@ -42,8 +44,12 @@ def load_stats(path: str) -> dict[str, tuple[float, float]]:
     }
 
 
-def _geomean(values: list[float]) -> float:
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
 def compare(
@@ -62,8 +68,11 @@ def compare(
     """
     common = sorted(set(baseline) & set(current))
     if not common:
-        print("error: no common benchmarks between the two files", file=sys.stderr)
-        return 1
+        raise SystemExit(
+            "error: no common benchmarks between the two files — "
+            "was the baseline refreshed after a benchmark rename? "
+            "(see --slim / the refresh procedure in the module docstring)"
+        )
     for name in sorted(set(baseline) - set(current)):
         print(f"warning: benchmark disappeared from the current run: {name}")
     for name in sorted(set(current) - set(baseline)):
@@ -73,9 +82,12 @@ def compare(
     min_ratios = {name: current[name][1] / baseline[name][1] for name in common}
     median_scale = min_scale = 1.0
     if not absolute:
-        median_scale = _geomean(list(median_ratios.values()))
-        min_scale = _geomean(list(min_ratios.values()))
-        print(f"machine-speed normalisation factor (geometric mean ratio): {median_scale:.3f}")
+        # Median of ratios, not geometric mean: a couple of benchmarks sped
+        # up 80x by an optimisation PR must not drag the centre down and
+        # flag every *unchanged* benchmark as a relative regression.
+        median_scale = _median(list(median_ratios.values()))
+        min_scale = _median(list(min_ratios.values()))
+        print(f"machine-speed normalisation factor (median ratio): {median_scale:.3f}")
 
     regressions = 0
     width = max(len(name) for name in common)
@@ -96,10 +108,35 @@ def compare(
     return regressions
 
 
+def slim(path: str) -> None:
+    """Rewrite *path* keeping only the stats the regression gate reads."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    slimmed = {
+        "machine_info": payload.get("machine_info", {}),
+        "datetime": payload.get("datetime"),
+        "benchmarks": [
+            {
+                "fullname": entry["fullname"],
+                "stats": {
+                    "median": entry["stats"]["median"],
+                    "min": entry["stats"]["min"],
+                    "rounds": entry["stats"].get("rounds"),
+                },
+            }
+            for entry in payload.get("benchmarks", [])
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(slimmed, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"slimmed {path}: kept median/min for {len(slimmed['benchmarks'])} benchmarks")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument("baseline", help="committed baseline JSON (or file to slim with --slim)")
+    parser.add_argument("current", nargs="?", help="freshly produced benchmark JSON")
     parser.add_argument(
         "--threshold",
         type=float,
@@ -111,7 +148,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="compare raw ratios without machine-speed normalisation",
     )
+    parser.add_argument(
+        "--slim",
+        action="store_true",
+        help="rewrite BASELINE in place, stripping raw samples down to the gated stats",
+    )
     args = parser.parse_args(argv)
+
+    if args.slim:
+        slim(args.baseline)
+        return 0
+    if args.current is None:
+        parser.error("CURRENT is required unless --slim is given")
 
     regressions = compare(
         load_stats(args.baseline),

@@ -79,12 +79,21 @@ class PathLossModel:
     reference_distance_m: float = 1.0
     shadowing_sigma_db: float = 0.0
 
-    def loss_db(self, distance_m: float, *, rng: np.random.Generator | None = None) -> float:
-        """Path loss for one link realisation."""
-        shadowing = 0.0
+    def loss_db(
+        self, distance_m: float | np.ndarray, *, rng: np.random.Generator | None = None
+    ) -> float | np.ndarray:
+        """Path loss, one independent link realisation per element.
+
+        Broadcasts over distance arrays with an *independent* shadowing draw
+        per element (the batched Monte-Carlo engine relies on this); scalar
+        callers consume exactly one draw, as before.
+        """
+        shadowing: float | np.ndarray = 0.0
         if self.shadowing_sigma_db > 0:
             generator = rng if rng is not None else np.random.default_rng()
-            shadowing = float(generator.normal(0.0, self.shadowing_sigma_db))
+            shadowing = generator.normal(
+                0.0, self.shadowing_sigma_db, size=np.shape(distance_m)
+            )
         return log_distance_path_loss_db(
             distance_m,
             frequency_hz=self.frequency_hz,

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.link_budget import BackscatterLinkBudget, DirectLinkBudget
-from repro.channel.propagation import log_distance_path_loss_db
 from repro.channel.tissue import tissue_attenuation_db
 
 __all__ = ["BatchLinkResult", "backscatter_link_batch", "direct_rssi_batch"]
@@ -45,23 +44,12 @@ def _shadowed_loss_db(
     *,
     rng: np.random.Generator | None,
 ) -> np.ndarray:
-    """Path loss for an array of realisations under *model*'s shadowing."""
-    distance = np.asarray(distance_m, dtype=float)
-    shadowing: float | np.ndarray = 0.0
-    if model.shadowing_sigma_db > 0:
-        # Mirror PathLossModel.loss_db: an omitted rng still draws shadowing
-        # (from an unseeded generator) rather than silently disabling it.
-        generator = rng if rng is not None else np.random.default_rng()
-        shadowing = generator.normal(0.0, model.shadowing_sigma_db, size=distance.shape)
-    return np.asarray(
-        log_distance_path_loss_db(
-            distance,
-            frequency_hz=model.frequency_hz,
-            reference_distance_m=model.reference_distance_m,
-            path_loss_exponent=model.path_loss_exponent,
-            shadowing_db=shadowing,
-        )
-    )
+    """Path loss for an array of realisations under *model*'s shadowing.
+
+    ``PathLossModel.loss_db`` broadcasts with one independent shadowing draw
+    per element, so the batch path is a plain delegation.
+    """
+    return np.asarray(model.loss_db(np.asarray(distance_m, dtype=float), rng=rng))
 
 
 def backscatter_link_batch(

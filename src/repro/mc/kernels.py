@@ -35,13 +35,17 @@ __all__ = [
 ]
 
 
-def _as_matrix(bits: np.ndarray, dtype=np.uint8) -> np.ndarray:
+def _as_matrix(bits: np.ndarray, dtype=np.uint8, *, validate_bits: bool = False) -> np.ndarray:
+    """Coerce input to a 2-D matrix ``[N, L]`` (1-D input becomes one row)."""
     arr = np.asarray(bits)
     if arr.ndim == 1:
         arr = arr[None, :]
     if arr.ndim != 2:
         raise ConfigurationError(f"expected a [N, L] matrix, got shape {arr.shape}")
-    return arr.astype(dtype, copy=False)
+    arr = arr.astype(dtype, copy=False)
+    if validate_bits and arr.size and arr.max(initial=0) > 1:
+        raise ValueError("bit arrays may only contain 0 and 1")
+    return arr
 
 
 def _axis_tables(bits_per_axis: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

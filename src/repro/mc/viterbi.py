@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.mc.kernels import _as_matrix
 from repro.wifi.ofdm.convolutional import (
     CONSTRAINT_LENGTH,
     _G1_TAPS,
@@ -34,15 +35,7 @@ _HISTORY_BITS = CONSTRAINT_LENGTH - 1
 
 def _as_bit_matrix(bits: np.ndarray) -> np.ndarray:
     """Coerce input to a 2-D ``uint8`` 0/1 matrix ``[N, L]``."""
-    arr = np.asarray(bits)
-    if arr.ndim == 1:
-        arr = arr[None, :]
-    if arr.ndim != 2:
-        raise ConfigurationError(f"expected a [N, L] bit matrix, got shape {arr.shape}")
-    arr = arr.astype(np.uint8, copy=False)
-    if arr.size and arr.max(initial=0) > 1:
-        raise ValueError("bit arrays may only contain 0 and 1")
-    return arr
+    return _as_matrix(bits, validate_bits=True)
 
 
 def encode_batch(bits: np.ndarray, *, initial_history: np.ndarray | None = None) -> np.ndarray:

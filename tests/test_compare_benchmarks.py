@@ -69,6 +69,21 @@ def test_absolute_mode_flags_uniform_slowdown(tmp_path):
     assert result.returncode == 1
 
 
+def test_large_speedups_do_not_flag_unchanged_benchmarks(tmp_path):
+    # Two benchmarks sped up 80x; the others are untouched.  A geometric-mean
+    # centre would report the untouched ones as relative regressions.
+    entries = {f"b{i}": (1.0, 0.9) for i in range(8)}
+    baseline = _payload(entries)
+    faster = dict(entries)
+    faster["b0"] = (1.0 / 80.0, 0.9 / 80.0)
+    faster["b1"] = (1.0 / 80.0, 0.9 / 80.0)
+    result = _run(tmp_path, baseline, _payload(faster))
+    assert result.returncode == 0
+    assert "REGRESSION" not in result.stdout
+
+
 def test_disjoint_benchmark_sets_error(tmp_path):
     result = _run(tmp_path, _payload({"a": (1.0, 0.9)}), _payload({"b": (1.0, 0.9)}))
     assert result.returncode == 1
+    assert "no common benchmarks" in result.stderr
+    assert "regressed" not in result.stdout
