@@ -1,14 +1,16 @@
 """Benchmark harness configuration.
 
-Every benchmark regenerates one table or figure of the paper via its driver
-in :mod:`repro.experiments`, asserts the qualitative finding, and prints the
-headline rows (paper vs measured) so that ``pytest benchmarks/
---benchmark-only -s`` doubles as a report generator.
+Every benchmark regenerates one table or figure of the paper through the
+experiment registry (:mod:`repro.api`), asserts the qualitative finding,
+and prints the headline rows (paper vs measured) so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as a report generator.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.api import Runner
 
 
 def report(title: str, rows: list[tuple[str, str, str]]) -> None:
@@ -24,3 +26,9 @@ def report(title: str, rows: list[tuple[str, str, str]]) -> None:
 def paper_report():
     """Fixture handing benchmarks the report printer."""
     return report
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    """One registry-backed runner shared by every figure/table benchmark."""
+    return Runner()

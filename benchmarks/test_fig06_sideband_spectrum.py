@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from repro.experiments import fig06_sideband
-
-
-def test_fig06_sideband_spectrum(benchmark, paper_report):
-    result = benchmark(fig06_sideband.run)
+def test_fig06_sideband_spectrum(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig06").payload)
 
     assert result.ssb_image_rejection_db > 10.0
     assert abs(result.dsb_image_rejection_db) < 3.0

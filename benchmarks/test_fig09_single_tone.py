@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from repro.experiments import fig09_single_tone
-
-
-def test_fig09_single_tone(benchmark, paper_report):
-    result = benchmark(fig09_single_tone.run)
+def test_fig09_single_tone(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig09").payload)
 
     rows = []
     for name, device in result.devices.items():

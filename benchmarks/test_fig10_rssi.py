@@ -4,11 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments import fig10_rssi
-
-
-def test_fig10_rssi_vs_distance(benchmark, paper_report):
-    result = benchmark(lambda: fig10_rssi.run(step_feet=3.0))
+def test_fig10_rssi_vs_distance(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig10", params={"step_feet": 3.0}).payload)
 
     strongest = result.curve(20.0, 1.0)
     weakest = result.curve(0.0, 1.0)

@@ -4,11 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments import fig11_per
-
-
-def test_fig11_packet_error_rate_cdf(benchmark, paper_report):
-    result = benchmark(lambda: fig11_per.run(num_locations=40, num_packets=200))
+def test_fig11_packet_error_rate_cdf(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig11", params={"num_locations": 40, "num_packets": 200}).payload)
 
     assert abs(result.median_per[2.0] - result.median_per[11.0]) < 0.1
     assert result.mean_rate_gap < 0.3

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from repro.experiments import fig12_coexistence
-
-
-def test_fig12_coexistence(benchmark, paper_report):
-    result = benchmark(fig12_coexistence.run)
+def test_fig12_coexistence(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig12").payload)
 
     baseline = result.baseline_mbps
     assert result.throughput("double_sideband", 50.0) > 0.8 * baseline

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from repro.experiments import fig13_downlink_ber
-
-
-def test_fig13_downlink_ber(benchmark, paper_report):
-    result = benchmark(fig13_downlink_ber.run)
+def test_fig13_downlink_ber(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig13").payload)
 
     assert 14.0 <= result.range_below_1pct_feet <= 24.0
     assert result.ber[0] < 0.01

@@ -3,11 +3,8 @@
 from __future__ import annotations
 
 
-from repro.experiments import fig14_zigbee_rssi
-
-
-def test_fig14_zigbee_rssi_cdf(benchmark, paper_report):
-    result = benchmark(fig14_zigbee_rssi.run)
+def test_fig14_zigbee_rssi_cdf(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig14").payload)
 
     assert result.detectable_fraction > 0.9
     assert -95.0 < result.median_rssi_dbm < -55.0

@@ -3,11 +3,8 @@
 from __future__ import annotations
 
 
-from repro.experiments import fig15_contact_lens
-
-
-def test_fig15_contact_lens_rssi(benchmark, paper_report):
-    result = benchmark(fig15_contact_lens.run)
+def test_fig15_contact_lens_rssi(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig15").payload)
 
     assert result.range_by_power[20.0] >= 24.0
     assert result.range_by_power[20.0] >= result.range_by_power[10.0]

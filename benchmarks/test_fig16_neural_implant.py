@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from repro.experiments import fig16_neural_implant
-
-
-def test_fig16_neural_implant_rssi(benchmark, paper_report):
-    result = benchmark(fig16_neural_implant.run)
+def test_fig16_neural_implant_rssi(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig16").payload)
 
     assert result.range_by_power[10.0] >= 10.0
     assert result.range_by_power[20.0] >= result.range_by_power[10.0]

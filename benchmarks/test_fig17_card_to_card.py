@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from repro.experiments import fig17_card_to_card
-
-
-def test_fig17_card_to_card_ber(benchmark, paper_report):
-    result = benchmark(lambda: fig17_card_to_card.run(messages_per_point=100))
+def test_fig17_card_to_card_ber(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("fig17", params={"messages_per_point": 100}).payload)
 
     assert 20.0 <= result.usable_range_inches <= 36.0
     assert result.measured_ber[0] < 0.05

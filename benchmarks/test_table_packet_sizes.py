@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from repro.experiments import table_packet_sizes
-
-
-def test_table_packet_sizes(benchmark, paper_report):
-    result = benchmark(table_packet_sizes.run)
+def test_table_packet_sizes(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("table_packet_sizes").payload)
 
     assert result.max_psdu_bytes == {2.0: 38, 5.5: 104, 11.0: 209}
     assert not result.one_mbps_fits

@@ -4,11 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import table_power
 
-
-def test_table_power_budget(benchmark, paper_report):
-    result = benchmark(table_power.run)
+def test_table_power_budget(benchmark, paper_report, runner):
+    result = benchmark(lambda: runner.run("table_power").payload)
 
     reference = result.reference
     assert reference.frequency_synthesizer_uw == pytest.approx(9.69, abs=0.01)

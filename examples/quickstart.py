@@ -6,7 +6,10 @@ This walks the full interscatter pipeline at the waveform level:
 1. craft a BLE advertising payload that whitens into a single tone,
 2. backscatter it through the single-sideband modulator with an 802.11b
    baseband, and
-3. decode the resulting packet with a commodity-style Wi-Fi receiver.
+3. decode the resulting packet with a commodity-style Wi-Fi receiver,
+
+then pulls the paper's packet-size and power tables through the unified
+experiment registry (``repro.api``) instead of recomputing them by hand.
 
 Run with::
 
@@ -17,10 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import Runner
 from repro.core import InterscatterLink, InterscatterUplink
-from repro.core.timing import max_wifi_payload_bytes
 from repro.core.tone_source import BluetoothToneSource
-from repro.backscatter.power import InterscatterPowerModel
 
 
 def main() -> None:
@@ -45,10 +47,11 @@ def main() -> None:
     print(f"Commodity receiver decoded it: crc_ok={result.crc_ok}, "
           f"payload={result.payload!r}\n")
 
-    # --- Packet sizes and power, straight from the paper's numbers.
-    sizes = {rate: max_wifi_payload_bytes(rate) for rate in (2.0, 5.5, 11.0)}
-    print(f"Wi-Fi bytes per BLE advertisement: {sizes}")
-    power = InterscatterPowerModel().reference_breakdown()
+    # --- Packet sizes and power, through the experiment registry.
+    runner = Runner()
+    sizes = runner.run("table_packet_sizes").payload
+    print(f"Wi-Fi bytes per BLE advertisement: {sizes.max_psdu_bytes}")
+    power = runner.run("table_power").payload.reference
     print(f"Tag power while generating 2 Mbps Wi-Fi: {power.total_uw:.1f} µW "
           f"(synth {power.frequency_synthesizer_uw:.2f}, "
           f"baseband {power.baseband_processor_uw:.2f}, "

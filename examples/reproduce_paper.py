@@ -1,31 +1,24 @@
 #!/usr/bin/env python3
-"""Run every experiment driver and print a paper-vs-measured summary.
+"""Run every experiment in the registry and print a paper-vs-measured summary.
 
-This is the script behind EXPERIMENTS.md: it executes the driver for every
-table and figure in the paper's evaluation and prints the headline numbers
-next to what the paper reports.
+This is the script behind EXPERIMENTS.md: it walks the experiment registry
+(every table and figure of the paper's evaluation, plus the beyond-paper
+MAC scaling sweep), executes each driver through the unified
+:class:`repro.api.Runner` and prints the headline numbers next to what the
+paper reports.
 
 Run with::
 
     python examples/reproduce_paper.py
+
+or, equivalently, from the shell::
+
+    python -m repro run --all
 """
 
 from __future__ import annotations
 
-from repro.experiments import (
-    fig06_sideband,
-    fig09_single_tone,
-    fig10_rssi,
-    fig11_per,
-    fig12_coexistence,
-    fig13_downlink_ber,
-    fig14_zigbee_rssi,
-    fig15_contact_lens,
-    fig16_neural_implant,
-    fig17_card_to_card,
-    table_packet_sizes,
-    table_power,
-)
+from repro.api import Runner, iter_experiments
 
 
 def heading(text: str) -> None:
@@ -33,86 +26,15 @@ def heading(text: str) -> None:
 
 
 def main() -> None:
-    heading("Fig. 6 - single-sideband vs double-sideband backscatter spectrum")
-    r6 = fig06_sideband.run()
-    print(f"paper:    DSB shows a mirror copy, SSB eliminates it")
-    print(f"measured: SSB sideband asymmetry {r6.ssb_image_rejection_db:+.1f} dB, "
-          f"DSB {r6.dsb_image_rejection_db:+.1f} dB")
-
-    heading("Fig. 9 - single-tone transmissions from commodity Bluetooth devices")
-    r9 = fig09_single_tone.run()
-    for device, result in r9.devices.items():
-        print(f"{device:12s}: random payload {result.random_bandwidth_hz/1e3:7.0f} kHz occupied, "
-              f"crafted payload {result.tone_bandwidth_hz/1e3:6.0f} kHz, "
-              f"tone at {result.tone_peak_offset_hz/1e3:+.0f} kHz")
-
-    heading("Fig. 10 - Wi-Fi RSSI vs distance and Bluetooth TX power")
-    r10 = fig10_rssi.run()
-    for separation in (1.0, 3.0):
-        for power in (0.0, 4.0, 10.0, 20.0):
-            curve = r10.curve(power, separation)
-            print(f"BT-tag {separation:.0f} ft, {power:4.0f} dBm: "
-                  f"RSSI {curve.rssi_dbm[0]:6.1f} dBm at {curve.distances_feet[0]:.0f} ft, "
-                  f"{curve.rssi_dbm[-1]:6.1f} dBm at {curve.distances_feet[-1]:.0f} ft, "
-                  f"range {curve.range_feet:.0f} ft")
-    print("paper: ~90 ft of range at 20 dBm with the devices 1 ft apart")
-
-    heading("Fig. 11 - packet error rate CDF (2 vs 11 Mbps)")
-    r11 = fig11_per.run()
-    print(f"median PER: 2 Mbps {r11.median_per[2.0]:.3f}, 11 Mbps {r11.median_per[11.0]:.3f}")
-    print(f"mean |PER(2) - PER(11)| across locations: {r11.mean_rate_gap:.3f}")
-    print("paper: the two rates show similar loss; PER exceeds 0.3 at the lowest RSSIs")
-
-    heading("Fig. 12 - iperf throughput under backscatter interference")
-    r12 = fig12_coexistence.run()
-    for rate in r12.rates_pps:
-        print(f"{rate:6.0f} pkt/s: baseline {r12.throughput('baseline', rate):5.1f} Mbps, "
-              f"SSB {r12.throughput('single_sideband', rate):5.1f} Mbps, "
-              f"DSB {r12.throughput('double_sideband', rate):5.1f} Mbps")
-    print("paper: negligible impact at 50 pkt/s; DSB collapses the flow at 650-1000 pkt/s")
-
-    heading("Fig. 13 - downlink BER (802.11g AM -> peak detector)")
-    r13 = fig13_downlink_ber.run()
-    print(f"BER < 1% out to {r13.range_below_1pct_feet:.0f} ft (paper: ~18 ft)")
-
-    heading("Fig. 14 - ZigBee RSSI CDF")
-    r14 = fig14_zigbee_rssi.run()
-    print(f"RSSI spans {r14.cdf[0][0]:.1f} to {r14.cdf[0][-1]:.1f} dBm, "
-          f"median {r14.median_rssi_dbm:.1f} dBm, "
-          f"{100*r14.detectable_fraction:.0f}% of packets above CC2531 sensitivity")
-    print("paper: RSSI between roughly -95 and -55 dBm over five locations up to 15 ft")
-
-    heading("Fig. 15 - smart contact lens RSSI")
-    r15 = fig15_contact_lens.run()
-    for power, reach in r15.range_by_power.items():
-        print(f"{power:4.0f} dBm Bluetooth: usable range {reach:.0f} inches")
-    print("paper: more than 24 inches of range; RSSI -72 to -86 dBm over the sweep")
-
-    heading("Fig. 16 - implanted neural recorder RSSI")
-    r16 = fig16_neural_implant.run()
-    for power, reach in r16.range_by_power.items():
-        print(f"{power:4.0f} dBm Bluetooth: usable range {reach:.0f} inches")
-    print("paper: tens of inches of range through 0.75 in of tissue, far beyond the 1-2 cm of prior readers")
-
-    heading("Fig. 17 - card-to-card BER")
-    r17 = fig17_card_to_card.run()
-    print(f"usable range (BER < 20%): {r17.usable_range_inches:.0f} inches (paper: ~30 inches)")
-
-    heading("Section 3 - interscatter IC power")
-    tp = table_power.run()
-    ref = tp.reference
-    print(f"frequency synthesizer: {ref.frequency_synthesizer_uw:.2f} µW (paper 9.69)")
-    print(f"baseband processor:    {ref.baseband_processor_uw:.2f} µW (paper 8.51)")
-    print(f"backscatter modulator: {ref.backscatter_modulator_uw:.2f} µW (paper 9.79)")
-    print(f"total:                 {ref.total_uw:.2f} µW (paper ~28)")
-    print(f"energy per generated Wi-Fi bit: {tp.energy_per_bit_nj*1e3:.1f} pJ/bit")
-
-    heading("Section 2.3.3 - Wi-Fi payload per Bluetooth advertisement")
-    ts = table_packet_sizes.run()
-    print(f"max PSDU bytes: {ts.max_psdu_bytes} (paper: 38/104/209)")
-    print(f"useful 1 Mbps packet fits: {ts.one_mbps_fits} (paper: no)")
-    goodput_kbps = {rate: round(bps / 1e3, 1) for rate, bps in ts.goodput_bps.items()}
-    print(f"goodput at one advertisement per 20 ms (kbps): {goodput_kbps}")
+    runner = Runner()
+    for experiment in iter_experiments():
+        heading(experiment.title)
+        # The beyond-paper sweeps use their reduced smoke parameters so the
+        # report stays quick; the paper artefacts run at full fidelity.
+        params = dict(experiment.fast_params) if experiment.artifact is None else {}
+        result = runner.run(experiment.name, params=params)
+        for line in experiment.summarize(result.payload):
+            print(line)
 
 
 if __name__ == "__main__":

@@ -12,7 +12,9 @@ table/figure of the evaluation has a corresponding driver in
 :mod:`repro.experiments`.  :mod:`repro.mc` is the batched Monte-Carlo
 engine (vectorised bit-exact PHY kernels, whole-batch sweeps, PER-table
 link abstraction) and :mod:`repro.netsim` the discrete-event fleet
-simulator built on top of it.
+simulator built on top of it.  :mod:`repro.api` is the unified front door:
+an experiment registry, an engine-dispatching :class:`~repro.api.Runner`,
+a JSON-serializable result envelope and the ``python -m repro`` CLI.
 
 Quickstart
 ----------
@@ -22,6 +24,12 @@ Quickstart
 >>> result = link.transmit(payload=b"hello from a contact lens!")
 >>> result.crc_ok
 True
+
+Or reproduce a whole paper artefact through the registry:
+
+>>> from repro.api import Runner
+>>> Runner().run("table_packet_sizes").payload.max_psdu_bytes[2.0]
+38
 """
 
 from repro.version import __version__

@@ -1,0 +1,66 @@
+"""``repro.api`` — the unified experiment front door.
+
+One declarative pipeline replaces the 13 bespoke driver signatures the
+examples, benchmarks and tests used to wire up by hand:
+
+* **Registry** (:mod:`repro.api.registry`): every experiment self-registers
+  with a stable name, parameter schema, supported engines and fast smoke
+  parameters; :func:`get_experiment` / :func:`experiment_names` discover
+  them.
+* **Specs** (:mod:`repro.api.spec`): :class:`ExperimentSpec` describes one
+  run as data (name + params + engine + seed), so scenario grids live in
+  configuration.
+* **Runner** (:mod:`repro.api.runner`): :class:`Runner` owns the seeding
+  policy and engine dispatch and executes specs singly or as batches.
+* **Results** (:mod:`repro.api.result`): every run returns a uniform
+  :class:`Result` envelope that round-trips through strict JSON with the
+  driver's native payload dataclass reconstructed intact.
+* **CLI** (:mod:`repro.api.cli`): ``python -m repro list | info | run``
+  reproduces the whole paper from the shell.
+
+Quickstart
+----------
+
+>>> from repro.api import Runner
+>>> result = Runner(seed=11).run("fig11", engine="batch")
+>>> round(result.payload.median_per[2.0], 3) >= 0.0
+True
+"""
+
+from repro.api.placement import distance_grid, empirical_cdf, furthest_reach, shadowed_backscatter_budget
+from repro.api.registry import (
+    Experiment,
+    Parameter,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    load_registry,
+    register,
+)
+from repro.api.result import SCHEMA_VERSION, Result, validate_result_dict
+from repro.api.runner import Runner
+from repro.api.serialization import decode, encode, payload_equal, validate_encoded
+from repro.api.spec import ExperimentSpec
+
+__all__ = [
+    "distance_grid",
+    "empirical_cdf",
+    "furthest_reach",
+    "shadowed_backscatter_budget",
+    "Experiment",
+    "Parameter",
+    "experiment_names",
+    "get_experiment",
+    "iter_experiments",
+    "load_registry",
+    "register",
+    "SCHEMA_VERSION",
+    "Result",
+    "validate_result_dict",
+    "Runner",
+    "decode",
+    "encode",
+    "payload_equal",
+    "validate_encoded",
+    "ExperimentSpec",
+]

@@ -1,0 +1,193 @@
+"""``python -m repro`` — reproduce the paper from the shell.
+
+Subcommands
+-----------
+
+``list``
+    One line per registered experiment: name, engines, paper artefact,
+    title.  ``--json`` emits the same as machine-readable JSON.
+``info NAME``
+    Title, module, engines and the full parameter schema with defaults.
+``run NAME [NAME ...]``
+    Execute experiments through the :class:`repro.api.Runner` and print
+    each one's headline summary.  ``--engine``/``--seed`` set the dispatch
+    policy, ``--set key=value`` overrides individual parameters
+    (values are parsed as Python literals), ``--fast`` applies each
+    experiment's reduced smoke parameters, ``--json PATH`` writes a single
+    result envelope and ``--json-dir DIR`` one ``<name>.json`` per result.
+``run --all``
+    The same for every registered experiment — the whole paper in one
+    command.  ``--validate`` round-trips every envelope through the JSON
+    schema and fails on any mismatch (the CI smoke job runs this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.api.registry import Experiment, get_experiment, iter_experiments
+from repro.api.result import Result, validate_result_dict
+from repro.api.runner import Runner
+from repro.exceptions import ReproError
+
+__all__ = ["main"]
+
+
+def _parse_override(text: str) -> tuple[str, Any]:
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified front door to the paper's experiments (registry, runner, JSON results).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list every registered experiment")
+    list_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    info_parser = sub.add_parser("info", help="show one experiment's schema")
+    info_parser.add_argument("name", help="experiment name (see `list`)")
+
+    run_parser = sub.add_parser("run", help="run one, several or all experiments")
+    run_parser.add_argument("names", nargs="*", help="experiment names (see `list`)")
+    run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
+    run_parser.add_argument("--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path)")
+    run_parser.add_argument("--seed", type=int, default=None, help="seed override for seedable experiments")
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        metavar="KEY=VALUE",
+        type=_parse_override,
+        action="append",
+        default=[],
+        help="parameter override (repeatable; value parsed as a Python literal)",
+    )
+    run_parser.add_argument("--fast", action="store_true", help="use each experiment's reduced smoke parameters")
+    run_parser.add_argument("--json", dest="json_path", default=None, help="write the result envelope to this file")
+    run_parser.add_argument("--json-dir", default=None, help="write one <name>.json envelope per result here")
+    run_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every envelope against the result schema and check the JSON round trip",
+    )
+    run_parser.add_argument("--quiet", action="store_true", help="suppress per-experiment summaries")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    experiments = iter_experiments()
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": e.name,
+                        "title": e.title,
+                        "artifact": e.artifact,
+                        "engines": list(e.engines),
+                        "module": e.module,
+                    }
+                    for e in experiments
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    width = max(len(e.name) for e in experiments)
+    engines_width = max(len(",".join(e.engines)) for e in experiments)
+    for experiment in experiments:
+        engines = ",".join(experiment.engines)
+        print(f"{experiment.name.ljust(width)}  {engines.ljust(engines_width)}  {experiment.title}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.name)
+    print(f"{experiment.name} — {experiment.title}")
+    if experiment.description:
+        print(experiment.description)
+    print(f"module:  {experiment.module}")
+    print(f"engines: {', '.join(experiment.engines)}")
+    print(f"artifact: {experiment.artifact or '(beyond the paper)'}")
+    print("parameters:")
+    for parameter in experiment.parameters:
+        print(f"  {parameter.name} = {parameter.default!r}")
+    if experiment.fast_params:
+        print(f"fast parameters (--fast): {experiment.fast_params}")
+    return 0
+
+
+def _check_envelope(result: Result) -> None:
+    document = json.loads(result.to_json())
+    validate_result_dict(document)
+    restored = Result.from_dict(document)
+    if not restored.same_payload(result):
+        raise ReproError(f"result for {result.experiment!r} did not survive the JSON round trip")
+
+
+def _emit(result: Result, experiment: Experiment, args: argparse.Namespace) -> None:
+    if args.validate:
+        _check_envelope(result)
+    if args.json_dir:
+        directory = Path(args.json_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{result.experiment}.json").write_text(result.to_json(indent=2))
+    if args.json_path:
+        Path(args.json_path).write_text(result.to_json(indent=2))
+    if not args.quiet:
+        print(f"== {experiment.title} [{result.engine}, {result.runtime_s:.2f} s] ==")
+        if experiment.summarize is not None:
+            for line in experiment.summarize(result.payload):
+                print(f"  {line}")
+        if args.validate:
+            print("  result envelope validated against the schema")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.all == bool(args.names):
+        print("error: give experiment names or --all (not both)", file=sys.stderr)
+        return 2
+    names = [e.name for e in iter_experiments()] if args.all else args.names
+    if args.json_path and len(names) > 1:
+        print("error: --json takes a single experiment; use --json-dir for several", file=sys.stderr)
+        return 2
+    overrides = dict(args.overrides)
+    if overrides and len(names) > 1:
+        print("error: --set applies to a single experiment", file=sys.stderr)
+        return 2
+    runner = Runner(seed=args.seed, engine=args.engine)
+    for name in names:
+        experiment = get_experiment(name)
+        params = dict(experiment.fast_params) if args.fast else {}
+        params.update(overrides)
+        result = runner.run(name, params=params)
+        _emit(result, experiment, args)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        return _cmd_run(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,141 @@
+"""The engine-dispatching experiment runner.
+
+The :class:`Runner` is the one execution path for every registered
+experiment.  It owns the two policies the bespoke drivers used to each
+carry on their own:
+
+* **Seeding** — an explicit ``params["seed"]`` wins, then the spec's seed,
+  then the runner's, then the driver's signature default.  Experiments
+  without a ``seed`` parameter are deterministic and record ``seed=None``.
+* **Engine dispatch** — the requested engine must be one the experiment
+  registered; anything else raises
+  :class:`~repro.exceptions.ConfigurationError` (never a silent scalar
+  fallback).  Drivers with a native ``engine`` keyword receive it; for
+  scalar-only drivers ``scalar`` is implied.
+
+Runs come back as :class:`repro.api.result.Result` envelopes, and
+:meth:`Runner.run_batch` executes a list of
+:class:`~repro.api.spec.ExperimentSpec` in order, so a scenario grid is
+just data.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Sequence
+
+from repro.api.registry import Experiment, iter_experiments
+from repro.api.result import Result
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Runner"]
+
+
+class Runner:
+    """Executes registered experiments uniformly.
+
+    Parameters
+    ----------
+    seed:
+        Default seed applied to every seedable experiment this runner
+        executes (unless a spec or params override it).  ``None`` keeps
+        each driver's own default, which reproduces the historical runs.
+    engine:
+        Default engine for every run; ``None`` uses each experiment's
+        first registered engine (``scalar`` everywhere today).
+    """
+
+    def __init__(self, *, seed: int | None = None, engine: str | None = None):
+        self.seed = seed
+        self.engine = engine
+
+    def run(
+        self,
+        experiment: str | ExperimentSpec,
+        *,
+        params: dict[str, Any] | None = None,
+        engine: str | None = None,
+        seed: int | None = None,
+    ) -> Result:
+        """Run one experiment and wrap its payload in a :class:`Result`.
+
+        ``experiment`` may be a registry name (with optional keyword
+        overrides) or a ready-made :class:`ExperimentSpec`.
+        """
+        if isinstance(experiment, ExperimentSpec):
+            spec = experiment
+            if params or engine or seed is not None:
+                spec = ExperimentSpec(
+                    experiment=spec.experiment,
+                    params={**spec.params, **(params or {})},
+                    engine=engine or spec.engine,
+                    seed=seed if seed is not None else spec.seed,
+                )
+        else:
+            spec = ExperimentSpec(experiment=experiment, params=dict(params or {}), engine=engine, seed=seed)
+        return self._execute(spec)
+
+    def run_batch(self, specs: Iterable[ExperimentSpec]) -> list[Result]:
+        """Execute a list of specs in order."""
+        return [self._execute(spec) for spec in specs]
+
+    def run_all(self, *, fast: bool = False, names: Sequence[str] | None = None) -> list[Result]:
+        """Run every registered experiment (optionally with fast parameters).
+
+        ``names`` restricts the sweep; an unknown name raises rather than
+        being silently skipped.
+        """
+        registered = [experiment.name for experiment in iter_experiments()]
+        if names is not None:
+            unknown = sorted(set(names) - set(registered))
+            if unknown:
+                raise ConfigurationError(f"unknown experiment(s) {unknown}; available: {registered}")
+        results = []
+        for experiment in iter_experiments():
+            if names is not None and experiment.name not in names:
+                continue
+            params = dict(experiment.fast_params) if fast else {}
+            results.append(self.run(experiment.name, params=params))
+        return results
+
+    def _execute(self, spec: ExperimentSpec) -> Result:
+        experiment = spec.resolve()
+        call_params, effective_engine, effective_seed = self._resolve_call(spec, experiment)
+        start = time.perf_counter()
+        payload = experiment.run(**call_params)
+        runtime = time.perf_counter() - start
+        recorded = {name: value for name, value in call_params.items() if name != "engine"}
+        return Result(
+            experiment=experiment.name,
+            engine=effective_engine,
+            seed=effective_seed,
+            params=recorded,
+            runtime_s=runtime,
+            payload=payload,
+        )
+
+    def _resolve_call(
+        self, spec: ExperimentSpec, experiment: Experiment
+    ) -> tuple[dict[str, Any], str, int | None]:
+        params = dict(spec.params)
+
+        engine = spec.engine or self.engine or experiment.engines[0]
+        # A runner-level default engine may not fit every experiment in a
+        # batch; a spec-level request was already validated by resolve().
+        experiment.check_engine(engine)
+        if experiment.takes_engine:
+            params["engine"] = engine
+
+        seed: int | None = None
+        if experiment.takes_seed:
+            if "seed" in params:
+                seed = params["seed"]
+            elif spec.seed is not None:
+                seed = spec.seed
+            elif self.seed is not None:
+                seed = self.seed
+            else:
+                seed = experiment.default_seed
+            params["seed"] = seed
+        return params, engine, seed

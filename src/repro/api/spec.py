@@ -1,0 +1,74 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names a registered experiment plus the parameter
+overrides, engine and seed to run it with — the unit of work a
+:class:`repro.api.Runner` executes, and the shape scenario grids are
+enumerated in (a list of specs *is* a batch).  Specs are plain data:
+they serialize with ``to_dict``/``from_dict`` so grids can live in JSON
+configuration rather than code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.registry import Experiment, get_experiment
+from repro.api.serialization import decode, encode
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExperimentSpec"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment invocation, described as data.
+
+    Attributes
+    ----------
+    experiment:
+        Registry name of the experiment to run.
+    params:
+        Keyword overrides for the driver's defaults.
+    engine:
+        Requested engine, or ``None`` for the runner/driver default.
+    seed:
+        Seed override, or ``None`` to fall back to the runner's seed and
+        then the driver's own default.
+    """
+
+    experiment: str
+    params: dict[str, Any] = field(default_factory=dict)
+    engine: str | None = None
+    seed: int | None = None
+
+    def resolve(self) -> Experiment:
+        """Look up the experiment and validate this spec against it."""
+        experiment = get_experiment(self.experiment)
+        experiment.check_params(self.params)
+        if "engine" in self.params:
+            raise ConfigurationError("pass the engine via ExperimentSpec.engine, not params['engine']")
+        if "seed" in self.params and self.seed is not None:
+            raise ConfigurationError("seed given both in params and in ExperimentSpec.seed")
+        if self.engine is not None:
+            experiment.check_engine(self.engine)
+        return experiment
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict form of the spec."""
+        return {
+            "experiment": self.experiment,
+            "params": encode(self.params),
+            "engine": self.engine,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            experiment=data["experiment"],
+            params=decode(data.get("params") or {}),
+            engine=data.get("engine"),
+            seed=data.get("seed"),
+        )

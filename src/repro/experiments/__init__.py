@@ -2,9 +2,16 @@
 
 Every module exposes a ``run(...)`` function that returns a plain result
 object with the series the corresponding figure plots (or the rows the
-table lists).  The benchmark harness in ``benchmarks/`` calls these and
-asserts the qualitative findings; ``examples/reproduce_paper.py`` prints
-them in a readable form, and EXPERIMENTS.md records paper-vs-measured.
+table lists), and self-registers with :mod:`repro.api` at import time —
+so importing this package populates the experiment registry.  Prefer the
+unified front door::
+
+    from repro.api import Runner
+    result = Runner().run("fig11", engine="batch")
+
+or, from the shell, ``python -m repro run fig11 --engine batch``.  The
+benchmark harness in ``benchmarks/`` and ``examples/reproduce_paper.py``
+both go through the registry; EXPERIMENTS.md records paper-vs-measured.
 
 =========================  ============================================
 Module                      Paper artefact

@@ -17,11 +17,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.placement import distance_grid, furthest_reach
+from repro.api.registry import register
 from repro.ble.devices import TX_POWER_LEVELS_DBM
 from repro.channel.geometry import fig10_geometry
 from repro.channel.link_budget import BackscatterLinkBudget
+from repro.exceptions import ConfigurationError
+from repro.mc.channel import backscatter_link_batch
 
-__all__ = ["RssiCurve", "RssiVsDistanceResult", "run"]
+__all__ = ["RssiCurve", "RssiVsDistanceResult", "run", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -70,28 +74,65 @@ def run(
     step_feet: float = 2.0,
     sensitivity_dbm: float = -94.0,
     wifi_rate_mbps: float = 2.0,
+    engine: str = "scalar",
 ) -> RssiVsDistanceResult:
-    """Compute the Fig. 10 RSSI curves."""
-    distances = np.arange(1.0, max_distance_feet + step_feet, step_feet)
+    """Compute the Fig. 10 RSSI curves.
+
+    ``engine="scalar"`` (default) evaluates the two-hop budget one receiver
+    offset at a time; ``"batch"`` evaluates each curve's whole distance grid
+    in one vectorised :func:`repro.mc.channel.backscatter_link_batch` call.
+    The geometry is deterministic (no shadowing), so the two engines agree
+    to floating-point precision.
+    """
+    if engine not in ("scalar", "batch"):
+        raise ConfigurationError(f"unknown engine {engine!r}; use 'scalar' or 'batch'")
+    distances = distance_grid(1.0, max_distance_feet, step_feet)
     curves: dict[tuple[float, float], RssiCurve] = {}
     for separation in separations_feet:
+        hops = [fig10_geometry(separation, float(offset)) for offset in distances]
+        hop_in = np.array([bluetooth.distance_to(tag) for bluetooth, tag, _ in hops])
+        hop_out = np.array([tag.distance_to(receiver) for _, tag, receiver in hops])
         for power in tx_powers_dbm:
             budget = BackscatterLinkBudget(
                 source_power_dbm=power, receiver_sensitivity_dbm=sensitivity_dbm
             )
-            rssi = np.empty(distances.size)
-            for index, offset in enumerate(distances):
-                bluetooth, tag, receiver = fig10_geometry(separation, float(offset))
-                rssi[index] = budget.evaluate(
-                    bluetooth.distance_to(tag), tag.distance_to(receiver)
-                ).rssi_dbm
-            above = np.where(rssi >= sensitivity_dbm)[0]
-            range_feet = float(distances[above[-1]]) if above.size else 0.0
+            if engine == "batch":
+                rssi = backscatter_link_batch(budget, hop_in, hop_out).rssi_dbm
+            else:
+                rssi = np.empty(distances.size)
+                for index in range(distances.size):
+                    rssi[index] = budget.evaluate(float(hop_in[index]), float(hop_out[index])).rssi_dbm
             curves[(power, separation)] = RssiCurve(
                 tx_power_dbm=power,
                 bluetooth_to_tag_feet=separation,
                 distances_feet=distances,
                 rssi_dbm=rssi,
-                range_feet=range_feet,
+                range_feet=furthest_reach(distances, rssi, sensitivity_dbm),
             )
     return RssiVsDistanceResult(curves=curves, sensitivity_dbm=sensitivity_dbm)
+
+
+def summarize(result: RssiVsDistanceResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    lines = []
+    for power, separation in sorted(result.curves, key=lambda key: (key[1], key[0])):
+        curve = result.curves[(power, separation)]
+        lines.append(
+            f"BT-tag {separation:.0f} ft, {power:4.0f} dBm: "
+            f"RSSI {curve.rssi_dbm[0]:6.1f} dBm at {curve.distances_feet[0]:.0f} ft, "
+            f"{curve.rssi_dbm[-1]:6.1f} dBm at {curve.distances_feet[-1]:.0f} ft, "
+            f"range {curve.range_feet:.0f} ft"
+        )
+    lines.append("paper: ~90 ft of range at 20 dBm with the devices 1 ft apart")
+    return lines
+
+
+register(
+    name="fig10",
+    title="Fig. 10 — Wi-Fi RSSI vs distance and Bluetooth TX power",
+    run=run,
+    engines=("scalar", "batch"),
+    artifact="Fig. 10",
+    fast_params={"step_feet": 10.0},
+    summarize=summarize,
+)

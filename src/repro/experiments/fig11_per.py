@@ -15,14 +15,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.placement import empirical_cdf, shadowed_backscatter_budget
+from repro.api.registry import register
 from repro.exceptions import ConfigurationError
 from repro.channel.error_models import wifi_packet_error_rate
 from repro.channel.geometry import feet_to_meters
-from repro.channel.link_budget import BackscatterLinkBudget
-from repro.channel.propagation import PathLossModel
 from repro.mc.channel import backscatter_link_batch
 
-__all__ = ["PerCdfResult", "run"]
+__all__ = ["PerCdfResult", "run", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -78,10 +78,7 @@ def run(
     if payload_bytes is None:
         payload_bytes = {2.0: 31, 11.0: 77}
     rng = np.random.default_rng(seed)
-    budget = BackscatterLinkBudget(
-        source_power_dbm=tx_power_dbm,
-        path_loss=PathLossModel(shadowing_sigma_db=4.0),
-    )
+    budget = shadowed_backscatter_budget(tx_power_dbm, shadowing_sigma_db=4.0)
 
     distances = rng.uniform(3.0, max_distance_feet, num_locations)
     per_by_rate: dict[float, np.ndarray] = {rate: np.empty(num_locations) for rate in rates_mbps}
@@ -107,10 +104,8 @@ def run(
     cdf_by_rate: dict[float, tuple[np.ndarray, np.ndarray]] = {}
     median_per: dict[float, float] = {}
     for rate in rates_mbps:
-        values = np.sort(per_by_rate[rate])
-        fractions = np.arange(1, values.size + 1) / values.size
-        cdf_by_rate[rate] = (values, fractions)
-        median_per[rate] = float(np.median(values))
+        cdf_by_rate[rate] = empirical_cdf(per_by_rate[rate])
+        median_per[rate] = float(np.median(cdf_by_rate[rate][0]))
 
     gaps = np.abs(per_by_rate[rates_mbps[0]] - per_by_rate[rates_mbps[-1]])
     return PerCdfResult(
@@ -119,3 +114,24 @@ def run(
         median_per=median_per,
         mean_rate_gap=float(np.mean(gaps)),
     )
+
+
+def summarize(result: PerCdfResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    medians = ", ".join(f"{rate:g} Mbps {value:.3f}" for rate, value in result.median_per.items())
+    return [
+        f"median PER: {medians}",
+        f"mean |PER gap| across locations: {result.mean_rate_gap:.3f}",
+        "paper: the two rates show similar loss; PER exceeds 0.3 at the lowest RSSIs",
+    ]
+
+
+register(
+    name="fig11",
+    title="Fig. 11 — Wi-Fi packet error rate CDF (2 vs 11 Mbps)",
+    run=run,
+    engines=("scalar", "batch"),
+    artifact="Fig. 11",
+    fast_params={"num_locations": 15, "num_packets": 50},
+    summarize=summarize,
+)

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import register
 from repro.core.coexistence import CoexistenceResult, CoexistenceSimulator
 
-__all__ = ["CoexistenceFigureResult", "run"]
+__all__ = ["CoexistenceFigureResult", "run", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -55,3 +56,24 @@ def run(
         results=results,
         rates_pps=tuple(rates_pps),
     )
+
+
+def summarize(result: CoexistenceFigureResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    lines = [
+        f"{rate:6.0f} pkt/s: baseline {result.throughput('baseline', rate):5.1f} Mbps, "
+        f"SSB {result.throughput('single_sideband', rate):5.1f} Mbps, "
+        f"DSB {result.throughput('double_sideband', rate):5.1f} Mbps"
+        for rate in result.rates_pps
+    ]
+    lines.append("paper: negligible impact at 50 pkt/s; DSB collapses the flow at 650-1000 pkt/s")
+    return lines
+
+
+register(
+    name="fig12",
+    title="Fig. 12 — iperf throughput under backscatter interference",
+    run=run,
+    artifact="Fig. 12",
+    summarize=summarize,
+)

@@ -13,9 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.placement import distance_grid, furthest_reach
+from repro.api.registry import register
 from repro.apps.contact_lens import SmartContactLens
 
-__all__ = ["ContactLensRssiResult", "run"]
+__all__ = ["ContactLensRssiResult", "run", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -49,7 +51,7 @@ def run(
     sensitivity_dbm: float = -86.0,
 ) -> ContactLensRssiResult:
     """Evaluate the contact-lens RSSI curves."""
-    distances = np.arange(4.0, max_distance_inches + step_inches, step_inches)
+    distances = distance_grid(4.0, max_distance_inches, step_inches)
     rssi_by_power: dict[float, np.ndarray] = {}
     range_by_power: dict[float, float] = {}
     for power in tx_powers_dbm:
@@ -58,11 +60,30 @@ def run(
         )
         rssi = lens.rssi_sweep(distances)
         rssi_by_power[power] = rssi
-        above = np.where(rssi >= sensitivity_dbm)[0]
-        range_by_power[power] = float(distances[above[-1]]) if above.size else 0.0
+        range_by_power[power] = furthest_reach(distances, rssi, sensitivity_dbm)
     return ContactLensRssiResult(
         distances_inches=distances,
         rssi_by_power=rssi_by_power,
         range_by_power=range_by_power,
         sensitivity_dbm=sensitivity_dbm,
     )
+
+
+def summarize(result: ContactLensRssiResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    lines = [
+        f"{power:4.0f} dBm Bluetooth: usable range {reach:.0f} inches"
+        for power, reach in result.range_by_power.items()
+    ]
+    lines.append("paper: more than 24 inches of range; RSSI -72 to -86 dBm over the sweep")
+    return lines
+
+
+register(
+    name="fig15",
+    title="Fig. 15 — smart contact lens RSSI vs distance",
+    run=run,
+    artifact="Fig. 15",
+    fast_params={"step_inches": 4.0},
+    summarize=summarize,
+)

@@ -14,9 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.placement import distance_grid, furthest_reach
+from repro.api.registry import register
 from repro.apps.neural_implant import NeuralImplant
 
-__all__ = ["NeuralImplantRssiResult", "run"]
+__all__ = ["NeuralImplantRssiResult", "run", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -50,7 +52,7 @@ def run(
     sensitivity_dbm: float = -92.0,
 ) -> NeuralImplantRssiResult:
     """Evaluate the neural-implant RSSI curves."""
-    distances = np.arange(4.0, max_distance_inches + step_inches, step_inches)
+    distances = distance_grid(4.0, max_distance_inches, step_inches)
     rssi_by_power: dict[float, np.ndarray] = {}
     range_by_power: dict[float, float] = {}
     for power in tx_powers_dbm:
@@ -59,11 +61,30 @@ def run(
         )
         rssi = implant.rssi_sweep(distances)
         rssi_by_power[power] = rssi
-        above = np.where(rssi >= sensitivity_dbm)[0]
-        range_by_power[power] = float(distances[above[-1]]) if above.size else 0.0
+        range_by_power[power] = furthest_reach(distances, rssi, sensitivity_dbm)
     return NeuralImplantRssiResult(
         distances_inches=distances,
         rssi_by_power=rssi_by_power,
         range_by_power=range_by_power,
         sensitivity_dbm=sensitivity_dbm,
     )
+
+
+def summarize(result: NeuralImplantRssiResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    lines = [
+        f"{power:4.0f} dBm Bluetooth: usable range {reach:.0f} inches"
+        for power, reach in result.range_by_power.items()
+    ]
+    lines.append("paper: tens of inches of range through 0.75 in of tissue, far beyond prior 1-2 cm readers")
+    return lines
+
+
+register(
+    name="fig16",
+    title="Fig. 16 — implanted neural recorder RSSI vs distance",
+    run=run,
+    artifact="Fig. 16",
+    fast_params={"step_inches": 8.0},
+    summarize=summarize,
+)

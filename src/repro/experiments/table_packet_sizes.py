@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import register
 from repro.core.timing import InterscatterTiming, max_wifi_payload_bytes
 
-__all__ = ["PacketSizeTableResult", "run", "PAPER_PACKET_SIZES"]
+__all__ = ["PacketSizeTableResult", "run", "summarize", "PAPER_PACKET_SIZES"]
 
 #: The paper's quoted Wi-Fi payload sizes per 31-byte BLE advertisement.
 PAPER_PACKET_SIZES = {2.0: 38, 5.5: 104, 11.0: 209}
@@ -61,3 +62,22 @@ def run(*, advertising_interval_s: float = 0.02) -> PacketSizeTableResult:
         goodput_bps=goodput,
         with_guard_interval=with_guard,
     )
+
+
+def summarize(result: PacketSizeTableResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    goodput_kbps = {rate: round(bps / 1e3, 1) for rate, bps in result.goodput_bps.items()}
+    return [
+        f"max PSDU bytes: {result.max_psdu_bytes} (paper: 38/104/209)",
+        f"useful 1 Mbps packet fits: {result.one_mbps_fits} (paper: no)",
+        f"goodput at one advertisement per 20 ms (kbps): {goodput_kbps}",
+    ]
+
+
+register(
+    name="table_packet_sizes",
+    title="§2.3.3 — Wi-Fi payload per Bluetooth advertisement",
+    run=run,
+    artifact="§2.3.3 table",
+    summarize=summarize,
+)

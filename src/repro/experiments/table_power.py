@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+from repro.api.registry import register
 from repro.backscatter.power import ACTIVE_RADIO_POWER_UW, InterscatterPowerModel, PowerBreakdown
 
-__all__ = ["PowerTableResult", "run", "PAPER_POWER_UW"]
+__all__ = ["PowerTableResult", "run", "summarize", "PAPER_POWER_UW"]
 
 #: The paper's reported block powers (µW).
 PAPER_POWER_UW = {
@@ -69,3 +70,24 @@ def run(
         savings_vs_active=savings,
         energy_per_bit_nj=model.energy_per_bit_nj(),
     )
+
+
+def summarize(result: PowerTableResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    reference = result.reference
+    return [
+        f"frequency synthesizer: {reference.frequency_synthesizer_uw:.2f} µW (paper 9.69)",
+        f"baseband processor:    {reference.baseband_processor_uw:.2f} µW (paper 8.51)",
+        f"backscatter modulator: {reference.backscatter_modulator_uw:.2f} µW (paper 9.79)",
+        f"total:                 {reference.total_uw:.2f} µW (paper ~28)",
+        f"energy per generated Wi-Fi bit: {result.energy_per_bit_nj * 1e3:.1f} pJ/bit",
+    ]
+
+
+register(
+    name="table_power",
+    title="§3 — the 28 µW interscatter IC power budget",
+    run=run,
+    artifact="§3 table",
+    summarize=summarize,
+)

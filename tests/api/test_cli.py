@@ -1,0 +1,105 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import Result, payload_equal
+from repro.api.cli import main
+from repro.experiments import fig11_per
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig06", "fig11", "mac_scaling", "table_power"):
+            assert name in out
+
+    def test_json_listing_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in entries}
+        assert len(entries) == 13
+        assert by_name["fig11"]["engines"] == ["scalar", "batch"]
+        assert by_name["mac_scaling"]["artifact"] is None
+
+
+class TestInfo:
+    def test_info_shows_schema(self, capsys):
+        assert main(["info", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "engines: scalar, batch" in out
+        assert "num_locations" in out
+        assert "seed = 11" in out
+
+    def test_info_unknown_experiment_fails(self, capsys):
+        assert main(["info", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_writes_envelope_identical_to_direct_call(self, tmp_path, capsys):
+        out_path = tmp_path / "fig11.json"
+        code = main(
+            [
+                "run",
+                "fig11",
+                "--engine",
+                "batch",
+                "--set",
+                "num_locations=10",
+                "--set",
+                "num_packets=40",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        envelope = Result.from_json(out_path.read_text())
+        assert envelope.engine == "batch"
+        direct = fig11_per.run(num_locations=10, num_packets=40, engine="batch")
+        assert payload_equal(envelope.payload, direct)
+
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "table_power"]) == 0
+        out = capsys.readouterr().out
+        assert "28 µW" in out or "27.99" in out
+
+    def test_run_all_fast_validates_and_writes_dir(self, tmp_path, capsys):
+        code = main(["run", "--all", "--fast", "--validate", "--quiet", "--json-dir", str(tmp_path)])
+        assert code == 0
+        written = sorted(path.stem for path in tmp_path.glob("*.json"))
+        assert len(written) == 13
+        for path in tmp_path.glob("*.json"):
+            document = json.loads(path.read_text())
+            assert document["schema_version"] == 1
+            assert document["experiment"] == path.stem
+
+    def test_seed_flag_is_recorded(self, tmp_path):
+        out_path = tmp_path / "out.json"
+        assert main(["run", "fig13", "--fast", "--seed", "77", "--json", str(out_path)]) == 0
+        assert Result.from_json(out_path.read_text()).seed == 77
+
+
+class TestErrors:
+    def test_run_without_names_or_all_fails(self, capsys):
+        assert main(["run"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_run_with_names_and_all_fails(self):
+        assert main(["run", "fig11", "--all"]) == 2
+
+    def test_single_json_with_multiple_names_fails(self, tmp_path, capsys):
+        assert main(["run", "fig11", "fig13", "--json", str(tmp_path / "x.json")]) == 2
+
+    def test_overrides_with_multiple_names_fail(self):
+        assert main(["run", "table_power", "table_packet_sizes", "--set", "x=1"]) == 2
+
+    def test_unsupported_engine_fails_cleanly(self, capsys):
+        assert main(["run", "fig15", "--engine", "batch"]) == 1
+        assert "engine not supported" in capsys.readouterr().err
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
