@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Drive a declarative campaign through the Python API.
+
+Builds the same kind of heterogeneous fleet grid as
+``examples/grids/fleet_grid.json`` — three device profiles x four MAC
+policies x fleet sizes x packet periods — expands it to concrete
+:class:`~repro.api.ExperimentSpec` invocations with derived per-spec
+seeds, shards the batch across worker processes, and then answers
+questions against the resulting :class:`~repro.api.ResultStore`.
+
+Run with::
+
+    python examples/campaign_sweep.py [--jobs 4] [--store out/fleet_store]
+
+Equivalently, from the shell::
+
+    python -m repro run --specs examples/grids/fleet_grid.json --jobs 4 --store out/
+    python -m repro report --store out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+
+from repro.api import ResultStore, Runner, SweepSpec
+
+
+def build_sweep() -> SweepSpec:
+    """A 72-point heterogeneous fleet grid (profile x MAC x size x period)."""
+    return SweepSpec(
+        experiment="mac_scaling",
+        grid={
+            "profile": ["contact_lens", "neural_implant", "card_to_card"],
+            "macs": [["aloha"], ["slotted_aloha"], ["csma"], ["tdma"]],
+            "fleet_sizes": [[5], [15], [30]],
+            "period_s": [0.02, 0.08],
+        },
+        params={"duration_s": 0.4},
+        seed=2016,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4, help="worker processes (default 4)")
+    parser.add_argument("--store", default=None, help="store directory (default: a temp dir)")
+    args = parser.parse_args()
+
+    sweep = build_sweep()
+    specs = sweep.expand()
+    print(f"sweep expands to {len(specs)} specs; derived seeds, e.g. {specs[0].seed}, {specs[1].seed}")
+
+    store_dir = args.store or tempfile.mkdtemp(prefix="fleet_store_")
+    store = ResultStore(store_dir)
+    start = time.perf_counter()
+    Runner(jobs=args.jobs).run_batch(specs, store=store)
+    print(f"ran {len(specs)} specs on {args.jobs} worker(s) in {time.perf_counter() - start:.1f} s -> {store_dir}")
+
+    # The store answers questions the paper's single-device evaluation cannot:
+    # which MAC keeps a 30-lens fleet above 90 % delivery at a 20 ms period?
+    for mac in ("aloha", "slotted_aloha", "csma", "tdma"):
+        results = store.query(
+            "mac_scaling", profile="contact_lens", macs=[mac], fleet_sizes=[30], period_s=0.02
+        )
+        for result in results:
+            delivery = float(result.payload.delivery_ratio[mac][-1])
+            print(f"  {mac:13s} 30-device contact-lens fleet @ 20 ms: delivery {delivery:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,40 +1,51 @@
 #!/usr/bin/env python3
-"""Run every experiment in the registry and print a paper-vs-measured summary.
+"""Run every experiment in the registry and print the paper-vs-measured report.
 
-This is the script behind EXPERIMENTS.md: it walks the experiment registry
+This is the script behind EXPERIMENTS.md: it executes the whole registry
 (every table and figure of the paper's evaluation, plus the beyond-paper
-MAC scaling sweep), executes each driver through the unified
-:class:`repro.api.Runner` and prints the headline numbers next to what the
-paper reports.
+MAC scaling sweep) as one campaign through the unified
+:class:`repro.api.Runner`, streams the result envelopes into a
+:class:`repro.api.ResultStore`, and prints the registry-driven report
+:mod:`repro.api.report` renders from it.
 
 Run with::
 
-    python examples/reproduce_paper.py
+    python examples/reproduce_paper.py [--jobs 4] [--store DIR] [--fast]
 
 or, equivalently, from the shell::
 
-    python -m repro run --all
+    python -m repro run --all --jobs 4 --store DIR
+    python -m repro report --store DIR --output -
 """
 
 from __future__ import annotations
 
-from repro.api import Runner, iter_experiments
+import argparse
+import tempfile
 
-
-def heading(text: str) -> None:
-    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+from repro.api import ExperimentSpec, ResultStore, Runner, generate_report, iter_experiments
 
 
 def main() -> None:
-    runner = Runner()
-    for experiment in iter_experiments():
-        heading(experiment.title)
-        # The beyond-paper sweeps use their reduced smoke parameters so the
-        # report stays quick; the paper artefacts run at full fidelity.
-        params = dict(experiment.fast_params) if experiment.artifact is None else {}
-        result = runner.run(experiment.name, params=params)
-        for line in experiment.summarize(result.payload):
-            print(line)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes for the campaign")
+    parser.add_argument("--store", default=None, help="result store directory (default: a temp dir)")
+    parser.add_argument("--fast", action="store_true", help="reduced smoke parameters for every experiment")
+    args = parser.parse_args()
+
+    # The beyond-paper sweeps always use their reduced smoke parameters so
+    # the report stays quick; the paper artefacts run at full fidelity
+    # unless --fast asks otherwise.
+    specs = [
+        ExperimentSpec(
+            experiment=experiment.name,
+            params=dict(experiment.fast_params) if (args.fast or experiment.artifact is None) else {},
+        )
+        for experiment in iter_experiments()
+    ]
+    store = ResultStore(args.store or tempfile.mkdtemp(prefix="paper_store_"))
+    Runner(jobs=args.jobs).run_batch(specs, store=store)
+    print(generate_report(store))
 
 
 if __name__ == "__main__":

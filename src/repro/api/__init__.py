@@ -15,8 +15,18 @@ examples, benchmarks and tests used to wire up by hand:
 * **Results** (:mod:`repro.api.result`): every run returns a uniform
   :class:`Result` envelope that round-trips through strict JSON with the
   driver's native payload dataclass reconstructed intact.
-* **CLI** (:mod:`repro.api.cli`): ``python -m repro list | info | run``
-  reproduces the whole paper from the shell.
+* **Campaigns** (:mod:`repro.api.campaign`): :class:`SweepSpec` declares a
+  whole grid of invocations as data (with derived per-spec seeds);
+  ``Runner(jobs=N)`` shards the expanded batch across worker processes
+  with bit-identical results.
+* **Stores** (:mod:`repro.api.store`): :class:`ResultStore` is the
+  append-only JSONL directory campaigns stream into — queryable
+  (:meth:`ResultStore.query`), mergeable, and resumable after a kill.
+* **Reports** (:mod:`repro.api.report`): :func:`generate_report` renders
+  the registry-driven paper-vs-measured ``EXPERIMENTS.md`` from a store.
+* **CLI** (:mod:`repro.api.cli`): ``python -m repro list | info | run |
+  report`` reproduces the whole paper from the shell
+  (``run --specs grid.json --jobs 4 --store out/``).
 
 Quickstart
 ----------
@@ -27,6 +37,7 @@ Quickstart
 True
 """
 
+from repro.api.campaign import SweepSpec, derive_seed, load_specs, read_specs
 from repro.api.placement import distance_grid, empirical_cdf, furthest_reach, shadowed_backscatter_budget
 from repro.api.registry import (
     Experiment,
@@ -37,12 +48,25 @@ from repro.api.registry import (
     load_registry,
     register,
 )
+from repro.api.report import check_report, generate_report, write_report
 from repro.api.result import SCHEMA_VERSION, Result, validate_result_dict
 from repro.api.runner import Runner
-from repro.api.serialization import decode, encode, payload_equal, validate_encoded
+from repro.api.serialization import canonical_json, decode, encode, payload_equal, validate_encoded
 from repro.api.spec import ExperimentSpec
+from repro.api.store import ResultStore, invocation_key, result_key
 
 __all__ = [
+    "SweepSpec",
+    "derive_seed",
+    "load_specs",
+    "read_specs",
+    "ResultStore",
+    "invocation_key",
+    "result_key",
+    "check_report",
+    "generate_report",
+    "write_report",
+    "canonical_json",
     "distance_grid",
     "empirical_cdf",
     "furthest_reach",

@@ -11,14 +11,27 @@ Subcommands
 ``run NAME [NAME ...]``
     Execute experiments through the :class:`repro.api.Runner` and print
     each one's headline summary.  ``--engine``/``--seed`` set the dispatch
-    policy, ``--set key=value`` overrides individual parameters
-    (values are parsed as Python literals), ``--fast`` applies each
-    experiment's reduced smoke parameters, ``--json PATH`` writes a single
-    result envelope and ``--json-dir DIR`` one ``<name>.json`` per result.
+    policy, ``--set key=value`` overrides individual parameters (values
+    parsed as JSON, then as Python literals, then as bare strings),
+    ``--fast`` applies each experiment's reduced smoke parameters,
+    ``--json PATH`` writes a single result envelope and ``--json-dir DIR``
+    one ``<name>.json`` per result.
 ``run --all``
     The same for every registered experiment — the whole paper in one
     command.  ``--validate`` round-trips every envelope through the JSON
     schema and fails on any mismatch (the CI smoke job runs this).
+``run --specs GRID.json``
+    Execute a declarative campaign: the JSON document's sweeps/specs
+    expand to a batch (see :mod:`repro.api.campaign`).  ``--jobs N``
+    shards any batch (``--specs`` or ``--all``) across N worker
+    processes — bit-identical results regardless of N — and
+    ``--store DIR`` streams the envelopes into a
+    :class:`~repro.api.store.ResultStore` (reruns skip work the store
+    already holds).
+``report --store DIR``
+    Regenerate the registry-driven paper-vs-measured ``EXPERIMENTS.md``
+    from a result store.  ``--check`` verifies the committed document is
+    up to date instead of writing it.
 """
 
 from __future__ import annotations
@@ -26,33 +39,56 @@ from __future__ import annotations
 import argparse
 import ast
 import json
+import re
 import sys
 from pathlib import Path
 from typing import Any
 
+from repro.api.campaign import read_specs
 from repro.api.registry import Experiment, get_experiment, iter_experiments
+from repro.api.report import check_report, generate_report, write_report
 from repro.api.result import Result, validate_result_dict
 from repro.api.runner import Runner
+from repro.api.spec import ExperimentSpec
+from repro.api.store import ResultStore
 from repro.exceptions import ReproError
 
 __all__ = ["main"]
+
+#: Unquoted words that are neither JSON nor Python literals pass through as
+#: strings (`--set profile=contact_lens`); anything else must parse.
+_BARE_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_.+-]*")
+
+
+def _parse_value(key: str, raw: str) -> Any:
+    """Parse an override value: JSON first, Python literal second, bare word last."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        pass
+    try:
+        return ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        pass
+    if _BARE_WORD.fullmatch(raw):
+        return raw
+    raise argparse.ArgumentTypeError(
+        f"cannot parse value {raw!r} for {key!r}: not JSON (try {key}=[1,2] or {key}=true), "
+        f"not a Python literal, and not a bare word"
+    )
 
 
 def _parse_override(text: str) -> tuple[str, Any]:
     key, sep, raw = text.partition("=")
     if not sep or not key:
         raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
-    try:
-        value = ast.literal_eval(raw)
-    except (ValueError, SyntaxError):
-        value = raw
-    return key, value
+    return key, _parse_value(key, raw)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Unified front door to the paper's experiments (registry, runner, JSON results).",
+        description="Unified front door to the paper's experiments (registry, campaigns, JSON result stores).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -62,9 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
     info_parser = sub.add_parser("info", help="show one experiment's schema")
     info_parser.add_argument("name", help="experiment name (see `list`)")
 
-    run_parser = sub.add_parser("run", help="run one, several or all experiments")
+    run_parser = sub.add_parser("run", help="run one, several, all, or a grid of experiments")
     run_parser.add_argument("names", nargs="*", help="experiment names (see `list`)")
     run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
+    run_parser.add_argument(
+        "--specs", default=None, metavar="GRID.json", help="declarative sweep/spec document to expand and run"
+    )
     run_parser.add_argument("--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path)")
     run_parser.add_argument("--seed", type=int, default=None, help="seed override for seedable experiments")
     run_parser.add_argument(
@@ -74,9 +113,20 @@ def _build_parser() -> argparse.ArgumentParser:
         type=_parse_override,
         action="append",
         default=[],
-        help="parameter override (repeatable; value parsed as a Python literal)",
+        help="parameter override (repeatable; value parsed as JSON, then as a Python literal)",
     )
     run_parser.add_argument("--fast", action="store_true", help="use each experiment's reduced smoke parameters")
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes for batch runs (--all / --specs)"
+    )
+    run_parser.add_argument(
+        "--store", default=None, metavar="DIR", help="append result envelopes to this store (resumes partial runs)"
+    )
+    run_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="with --store: re-execute specs even when the store already holds their results",
+    )
     run_parser.add_argument("--json", dest="json_path", default=None, help="write the result envelope to this file")
     run_parser.add_argument("--json-dir", default=None, help="write one <name>.json envelope per result here")
     run_parser.add_argument(
@@ -85,6 +135,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="validate every envelope against the result schema and check the JSON round trip",
     )
     run_parser.add_argument("--quiet", action="store_true", help="suppress per-experiment summaries")
+
+    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md from a result store")
+    report_parser.add_argument("--store", required=True, metavar="DIR", help="result store to report on")
+    report_parser.add_argument(
+        "--output",
+        default="EXPERIMENTS.md",
+        metavar="PATH",
+        help="document to write (default: EXPERIMENTS.md; '-' prints to stdout)",
+    )
+    report_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the output document matches the store instead of writing it",
+    )
     return parser
 
 
@@ -157,18 +221,69 @@ def _emit(result: Result, experiment: Experiment, args: argparse.Namespace) -> N
             print("  result envelope validated against the schema")
 
 
+def _run_campaign(specs: list[ExperimentSpec], args: argparse.Namespace) -> int:
+    """Batch path: sharded execution, optional store, one progress line per spec."""
+    store = ResultStore(args.store) if args.store else None
+    runner = Runner(seed=args.seed, engine=args.engine, jobs=args.jobs)
+    total = len(specs)
+    counts = {"ran": 0, "cached": 0}
+
+    def on_result(index: int, result: Result, was_cached: bool) -> None:
+        counts["cached" if was_cached else "ran"] += 1
+        if args.validate and not was_cached:
+            _check_envelope(result)
+        if not args.quiet:
+            state = "cached" if was_cached else f"{result.runtime_s:.2f} s"
+            seed = f" seed={result.seed}" if result.seed is not None else ""
+            print(f"[{index + 1}/{total}] {result.experiment} [{result.engine}]{seed} {state}")
+
+    runner.run_batch(specs, store=store, resume=not args.no_resume, on_result=on_result)
+    summary = f"{counts['ran']} executed, {counts['cached']} reused"
+    if store is not None:
+        summary += f"; store {store.root} now holds {len(store)} result(s)"
+    print(f"campaign: {total} spec(s), {summary}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.all == bool(args.names):
-        print("error: give experiment names or --all (not both)", file=sys.stderr)
+    modes = sum([bool(args.names), args.all, args.specs is not None])
+    if modes != 1:
+        print("error: give experiment names, --all, or --specs (exactly one)", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    overrides = dict(args.overrides)
+
+    if args.specs is not None:
+        if overrides or args.fast:
+            print("error: --set/--fast do not apply to --specs (edit the grid document)", file=sys.stderr)
+            return 2
+        if args.json_path or args.json_dir:
+            print("error: use --store (not --json/--json-dir) with --specs", file=sys.stderr)
+            return 2
+        return _run_campaign(read_specs(args.specs), args)
+
     names = [e.name for e in iter_experiments()] if args.all else args.names
     if args.json_path and len(names) > 1:
         print("error: --json takes a single experiment; use --json-dir for several", file=sys.stderr)
         return 2
-    overrides = dict(args.overrides)
     if overrides and len(names) > 1:
         print("error: --set applies to a single experiment", file=sys.stderr)
         return 2
+
+    if args.jobs > 1 or args.store:
+        if args.json_path or args.json_dir:
+            print("error: use --store (not --json/--json-dir) with --jobs/--store runs", file=sys.stderr)
+            return 2
+        specs = []
+        for name in names:
+            experiment = get_experiment(name)
+            params = dict(experiment.fast_params) if args.fast else {}
+            params.update(overrides)
+            specs.append(ExperimentSpec(experiment=name, params=params))
+        return _run_campaign(specs, args)
+
     runner = Runner(seed=args.seed, engine=args.engine)
     for name in names:
         experiment = get_experiment(name)
@@ -176,6 +291,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params.update(overrides)
         result = runner.run(name, params=params)
         _emit(result, experiment, args)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.check:
+        up_to_date, _ = check_report(store, args.output)
+        if not up_to_date:
+            print(
+                f"error: {args.output} is out of date with store {args.store}; "
+                f"regenerate with: python -m repro report --store {args.store} --output {args.output}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.output} is up to date with store {args.store}")
+        return 0
+    if args.output == "-":
+        print(generate_report(store))
+        return 0
+    write_report(store, args.output)
+    print(f"wrote {args.output} from store {args.store}")
     return 0
 
 
@@ -187,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "info":
             return _cmd_info(args)
+        if args.command == "report":
+            return _cmd_report(args)
         return _cmd_run(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,7 +1,7 @@
-"""The engine-dispatching experiment runner.
+"""The engine-dispatching, process-sharding experiment runner.
 
 The :class:`Runner` is the one execution path for every registered
-experiment.  It owns the two policies the bespoke drivers used to each
+experiment.  It owns the three policies the bespoke drivers used to each
 carry on their own:
 
 * **Seeding** — an explicit ``params["seed"]`` wins, then the spec's seed,
@@ -12,24 +12,50 @@ carry on their own:
   :class:`~repro.exceptions.ConfigurationError` (never a silent scalar
   fallback).  Drivers with a native ``engine`` keyword receive it; for
   scalar-only drivers ``scalar`` is implied.
+* **Sharding** — ``Runner(jobs=N)`` executes spec batches across ``N``
+  worker processes (:class:`concurrent.futures.ProcessPoolExecutor`).
+  Every spec's effective seed is resolved *before* dispatch, each spec
+  owns its whole RNG stream, and results come back in spec order — so a
+  batch is bit-identical regardless of shard count.
 
-Runs come back as :class:`repro.api.result.Result` envelopes, and
-:meth:`Runner.run_batch` executes a list of
-:class:`~repro.api.spec.ExperimentSpec` in order, so a scenario grid is
-just data.
+Runs come back as :class:`repro.api.result.Result` envelopes.
+:meth:`Runner.run_batch` optionally streams them into a
+:class:`~repro.api.store.ResultStore` (workers append to their own JSONL
+shard) and, with ``resume=True``, skips specs whose results a partial
+store already holds — a killed campaign continues where it stopped.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
 
-from repro.api.registry import Experiment, iter_experiments
+from repro.api.registry import Experiment, iter_experiments, load_registry
 from repro.api.result import Result
 from repro.api.spec import ExperimentSpec
+from repro.api.store import ResultStore, invocation_key
 from repro.exceptions import ConfigurationError
 
 __all__ = ["Runner"]
+
+
+def _run_spec_task(task: tuple[dict[str, Any], int | None, str | None, str | None]) -> dict[str, Any]:
+    """Worker entry point: execute one serialized spec, return its envelope.
+
+    Module-level (hence picklable under any multiprocessing start method);
+    crosses the process boundary as plain JSON-compatible dicts so payload
+    dataclasses never need to pickle.  When a store directory is given the
+    worker appends the envelope to its own PID-named shard.
+    """
+    spec_dict, seed, engine, store_dir = task
+    runner = Runner(seed=seed, engine=engine)
+    result = runner._execute(ExperimentSpec.from_dict(spec_dict))
+    document = result.to_dict()
+    if store_dir is not None:
+        ResultStore(store_dir).append_document(document)
+    return document
 
 
 class Runner:
@@ -44,11 +70,18 @@ class Runner:
     engine:
         Default engine for every run; ``None`` uses each experiment's
         first registered engine (``scalar`` everywhere today).
+    jobs:
+        Worker processes for :meth:`run_batch` / :meth:`run_all`.  ``1``
+        (the default) executes in-process; results are identical either
+        way because seeds are resolved per spec before dispatch.
     """
 
-    def __init__(self, *, seed: int | None = None, engine: str | None = None):
+    def __init__(self, *, seed: int | None = None, engine: str | None = None, jobs: int = 1):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.seed = seed
         self.engine = engine
+        self.jobs = jobs
 
     def run(
         self,
@@ -76,28 +109,114 @@ class Runner:
             spec = ExperimentSpec(experiment=experiment, params=dict(params or {}), engine=engine, seed=seed)
         return self._execute(spec)
 
-    def run_batch(self, specs: Iterable[ExperimentSpec]) -> list[Result]:
-        """Execute a list of specs in order."""
-        return [self._execute(spec) for spec in specs]
+    def run_batch(
+        self,
+        specs: Iterable[ExperimentSpec],
+        *,
+        store: ResultStore | None = None,
+        resume: bool = True,
+        on_result: Callable[[int, Result, bool], None] | None = None,
+    ) -> list[Result]:
+        """Execute a batch of specs, one :class:`Result` per spec, in order.
 
-    def run_all(self, *, fast: bool = False, names: Sequence[str] | None = None) -> list[Result]:
+        With ``jobs > 1`` the batch is sharded across worker processes;
+        per-spec seeds were fixed when the specs were built, so the results
+        are bit-identical to a serial run.  With a ``store``, every fresh
+        envelope is appended to it (workers write their own shards) and —
+        unless ``resume=False`` — specs whose invocation the store already
+        holds are *not* re-executed; their stored envelopes are returned in
+        place, so a killed campaign merges cleanly on rerun.
+
+        ``on_result(index, result, was_cached)`` is invoked as each spec
+        completes (in spec order), for progress reporting.
+        """
+        specs = list(specs)
+        # Resolve every spec up front: invalid names/params/engines abort the
+        # batch before any work (or worker process) starts, and the resolved
+        # identities are what resume-skipping matches against the store.
+        identities = [self._resolve_identity(spec) for spec in specs]
+
+        cached: dict[int, Result] = {}
+        pending: list[int] = list(range(len(specs)))
+        if store is not None and resume:
+            # One pass over the raw shard lines: keys come from the cheap
+            # params-only hash, and only envelopes this batch actually wants
+            # pay for a full payload decode.
+            by_key = {key: index for index, (key, _) in enumerate(identities)}
+            for key, document in store.iter_keyed_documents():
+                index = by_key.get(key)
+                if index is not None and index not in cached:
+                    cached[index] = Result.from_dict(document)
+            pending = [index for index in range(len(specs)) if index not in cached]
+
+        # Cached and pending indices are complementary and both ascending, so
+        # walking spec order and pulling fresh results lazily reports each
+        # spec as soon as it (or its stored envelope) is available.
+        fresh = self._iter_pending(specs, pending, store)
+        results: list[Result] = []
+        for index in range(len(specs)):
+            was_cached = index in cached
+            if was_cached:
+                result = cached[index]
+            else:
+                fresh_index, result = next(fresh)
+                assert fresh_index == index
+            if on_result is not None:
+                on_result(index, result, was_cached)
+            results.append(result)
+        return results
+
+    def _iter_pending(
+        self, specs: list[ExperimentSpec], pending: list[int], store: ResultStore | None
+    ) -> "Iterator[tuple[int, Result]]":
+        if not pending:
+            return
+        if self.jobs == 1 or len(pending) == 1:
+            for index in pending:
+                result = self._execute(specs[index])
+                if store is not None:
+                    store.append(result)
+                yield index, result
+            return
+        store_dir = str(store.root) if store is not None else None
+        tasks = [(specs[index].to_dict(), self.seed, self.engine, store_dir) for index in pending]
+        chunksize = max(1, len(tasks) // (self.jobs * 4))
+        with ProcessPoolExecutor(max_workers=self.jobs, initializer=load_registry) as executor:
+            for index, document in zip(pending, executor.map(_run_spec_task, tasks, chunksize=chunksize)):
+                yield index, Result.from_dict(document)
+
+    def run_all(
+        self,
+        *,
+        fast: bool = False,
+        names: Sequence[str] | None = None,
+        store: ResultStore | None = None,
+        resume: bool = True,
+    ) -> list[Result]:
         """Run every registered experiment (optionally with fast parameters).
 
         ``names`` restricts the sweep; an unknown name raises rather than
-        being silently skipped.
+        being silently skipped.  Honours the runner's ``jobs`` and, like
+        :meth:`run_batch`, can stream into (and resume from) a store.
         """
         registered = [experiment.name for experiment in iter_experiments()]
         if names is not None:
             unknown = sorted(set(names) - set(registered))
             if unknown:
                 raise ConfigurationError(f"unknown experiment(s) {unknown}; available: {registered}")
-        results = []
-        for experiment in iter_experiments():
-            if names is not None and experiment.name not in names:
-                continue
-            params = dict(experiment.fast_params) if fast else {}
-            results.append(self.run(experiment.name, params=params))
-        return results
+        specs = [
+            ExperimentSpec(experiment=experiment.name, params=dict(experiment.fast_params) if fast else {})
+            for experiment in iter_experiments()
+            if names is None or experiment.name in names
+        ]
+        return self.run_batch(specs, store=store, resume=resume)
+
+    def _resolve_identity(self, spec: ExperimentSpec) -> tuple[str, Experiment]:
+        """Validate *spec* and return its invocation key (without running it)."""
+        experiment = spec.resolve()
+        call_params, engine, seed = self._resolve_call(spec, experiment)
+        recorded = {name: value for name, value in call_params.items() if name != "engine"}
+        return invocation_key(experiment.name, engine, seed, recorded), experiment
 
     def _execute(self, spec: ExperimentSpec) -> Result:
         experiment = spec.resolve()

@@ -22,13 +22,14 @@ from __future__ import annotations
 
 import dataclasses
 import importlib
+import json
 from typing import Any
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["encode", "decode", "payload_equal", "validate_encoded"]
+__all__ = ["canonical_json", "encode", "decode", "payload_equal", "validate_encoded"]
 
 _KIND = "__kind__"
 
@@ -132,6 +133,15 @@ def encode(obj: Any) -> Any:
             return {key: encode(value) for key, value in obj.items()}
         return {_KIND: "map", "items": [[encode(key), encode(value)] for key, value in obj.items()]}
     raise ConfigurationError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def canonical_json(obj: Any) -> str:
+    """One canonical JSON string per value: encoded, sorted keys, no whitespace.
+
+    The campaign layer hashes this form to derive per-spec seeds and result
+    identities, so it must not depend on dict insertion order or formatting.
+    """
+    return json.dumps(encode(obj), sort_keys=True, separators=(",", ":"), allow_nan=False)
 
 
 def decode(node: Any) -> Any:

@@ -19,6 +19,9 @@ from repro.exceptions import ConfigurationError
 
 __all__ = ["ExperimentSpec"]
 
+#: The exact key set a serialized spec may carry.
+_SPEC_KEYS = {"experiment", "params", "engine", "seed"}
+
 
 @dataclass(frozen=True)
 class ExperimentSpec:
@@ -65,7 +68,20 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ExperimentSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
+        """Rebuild a spec from :meth:`to_dict` output, rejecting unknown keys.
+
+        Grids live in hand-edited JSON, so a typoed key must fail loudly
+        here — not silently drop an override or fail late mid-campaign.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"experiment spec must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - _SPEC_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown key(s) {unknown} in experiment spec; allowed: {sorted(_SPEC_KEYS)}"
+            )
+        if "experiment" not in data:
+            raise ConfigurationError("experiment spec is missing required key 'experiment'")
         return cls(
             experiment=data["experiment"],
             params=decode(data.get("params") or {}),

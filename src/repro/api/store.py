@@ -1,0 +1,201 @@
+"""The queryable on-disk store campaign results accumulate into.
+
+A :class:`ResultStore` is a directory of JSON-lines shards, one
+:class:`~repro.api.result.Result` envelope per line.  Every writing
+process appends to its **own** shard file (named after its PID by
+default), so parallel workers never contend for a lock, a killed run
+leaves at most one truncated trailing line, and merging two stores is
+file concatenation.
+
+Results are identified by :func:`result_key` — a content hash of the
+resolved invocation (experiment, engine, seed, parameters) — which makes
+reads idempotent: duplicate envelopes from a rerun collapse to one, and
+:meth:`ResultStore.existing_keys` lets the runner skip specs a partial
+store already holds.  :meth:`ResultStore.query` filters the decoded
+results by experiment, engine, seed or any recorded parameter value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Iterator, Mapping
+from pathlib import Path
+from typing import Any
+
+from repro.api.result import Result
+from repro.api.serialization import canonical_json, decode, payload_equal
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ResultStore", "result_key", "invocation_key"]
+
+_UNSET = object()
+
+
+def invocation_key(experiment: str, engine: str, seed: int | None, params: Mapping[str, Any]) -> str:
+    """Content hash of one resolved invocation.
+
+    ``params`` must be the *decoded* parameter dict (native tuples, arrays,
+    floats) — an already-encoded tree would canonicalize differently because
+    re-encoding wraps its tagged nodes.  Used both for stored envelopes
+    (:func:`result_key`) and for not-yet-run specs, so a rerun can skip work
+    a partial store already holds.
+    """
+    material = canonical_json({"experiment": experiment, "engine": engine, "seed": seed, "params": dict(params)})
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def result_key(result: Result) -> str:
+    """Content hash identifying *result*'s invocation (not its payload)."""
+    return invocation_key(result.experiment, result.engine, result.seed, result.params)
+
+
+def _document_key(document: dict[str, Any]) -> str:
+    # Decode only the params (not the payload): `invocation_key` canonicalizes
+    # decoded values, and skipping the payload keeps key scans cheap on
+    # 10^4-envelope stores.
+    return invocation_key(
+        document["experiment"], document["engine"], document["seed"], decode(document["params"])
+    )
+
+
+class ResultStore:
+    """A directory of JSONL shards holding result envelopes.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first use.
+    shard:
+        File name this process appends to.  Defaults to
+        ``shard-<pid>.jsonl`` so concurrent writers never share a file.
+    """
+
+    def __init__(self, root: str | Path, *, shard: str | None = None):
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigurationError(f"result store root {str(self.root)!r} is a file, not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._shard = shard or f"shard-{os.getpid()}.jsonl"
+        if Path(self._shard).name != self._shard:
+            raise ConfigurationError(f"shard name {self._shard!r} must not contain path separators")
+
+    @property
+    def shard_path(self) -> Path:
+        """The shard file this store instance appends to."""
+        return self.root / self._shard
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, result: Result) -> str:
+        """Append one result envelope to this process's shard; returns its key."""
+        self.append_document(result.to_dict())
+        return result_key(result)
+
+    def append_document(self, document: dict[str, Any]) -> None:
+        """Append an already-encoded envelope (one compact JSON line)."""
+        line = json.dumps(document, allow_nan=False, separators=(",", ":"))
+        with open(self.shard_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def merge(self, other: "ResultStore | str | Path") -> int:
+        """Copy envelopes from *other* that this store does not hold yet.
+
+        Returns the number of envelopes merged in; duplicates (by
+        :func:`result_key`) are skipped, so merging is idempotent.
+        """
+        source = other if isinstance(other, ResultStore) else ResultStore(other)
+        seen = self.existing_keys()
+        merged = 0
+        for key, document in source.iter_keyed_documents():
+            if key in seen:
+                continue
+            seen.add(key)
+            self.append_document(document)
+            merged += 1
+        return merged
+
+    # -- reading -----------------------------------------------------------
+
+    def shard_paths(self) -> list[Path]:
+        """Every shard file in the store, in deterministic (sorted) order."""
+        return sorted(self.root.glob("*.jsonl"))
+
+    def iter_documents(self) -> Iterator[dict[str, Any]]:
+        """Yield raw envelope dicts from every shard, duplicates included.
+
+        A line that does not parse as JSON (the tail of a killed writer) is
+        skipped rather than poisoning the whole store.
+        """
+        for path in self.shard_paths():
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        document = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(document, dict):
+                        yield document
+
+    def iter_keyed_documents(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Yield ``(invocation key, raw envelope dict)`` pairs, duplicates included.
+
+        The key is computed from the envelope's params alone — no payload
+        decode — so callers can filter cheaply and decode only what they want.
+        """
+        for document in self.iter_documents():
+            yield _document_key(document), document
+
+    def iter_results(self) -> Iterator[Result]:
+        """Yield decoded results, one per distinct invocation (first wins)."""
+        seen: set[str] = set()
+        for key, document in self.iter_keyed_documents():
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Result.from_dict(document)
+
+    def existing_keys(self) -> set[str]:
+        """Keys of every distinct invocation the store holds."""
+        return {key for key, _ in self.iter_keyed_documents()}
+
+    def __len__(self) -> int:
+        return len(self.existing_keys())
+
+    def __iter__(self) -> Iterator[Result]:
+        return self.iter_results()
+
+    def query(
+        self,
+        experiment: str | None = None,
+        *,
+        engine: str | None = None,
+        seed: Any = _UNSET,
+        **param_filters: Any,
+    ) -> list[Result]:
+        """Decoded results matching every given filter.
+
+        ``experiment``/``engine`` match the envelope fields, ``seed=None``
+        matches deterministic runs, and any further keyword matches a
+        recorded parameter by (numpy-aware) value equality.
+        """
+        matches = []
+        for result in self.iter_results():
+            if experiment is not None and result.experiment != experiment:
+                continue
+            if engine is not None and result.engine != engine:
+                continue
+            if seed is not _UNSET and result.seed != seed:
+                continue
+            if any(
+                name not in result.params or not payload_equal(result.params[name], value)
+                for name, value in param_filters.items()
+            ):
+                continue
+            matches.append(result)
+        return matches

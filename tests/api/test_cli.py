@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import json
 
-from repro.api import Result, payload_equal
+import pytest
+
+from repro.api import Result, ResultStore, payload_equal
 from repro.api.cli import main
 from repro.experiments import fig11_per
 
@@ -82,6 +84,121 @@ class TestRun:
         assert Result.from_json(out_path.read_text()).seed == 77
 
 
+def _write_grid(tmp_path, *, experiment="fig17", seed=17):
+    grid = {
+        "sweeps": [
+            {
+                "experiment": experiment,
+                "grid": {"phone_power_dbm": [6.0, 10.0]},
+                "params": {"messages_per_point": 10, "step_inches": 8.0},
+                "seed": seed,
+            }
+        ]
+    }
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(grid))
+    return path
+
+
+class TestCampaigns:
+    def test_specs_run_populates_store(self, tmp_path, capsys):
+        grid = _write_grid(tmp_path)
+        store_dir = tmp_path / "store"
+        assert main(["run", "--specs", str(grid), "--jobs", "2", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 spec(s), 2 executed, 0 reused" in out
+        store = ResultStore(store_dir)
+        assert len(store) == 2
+        assert len(store.query("fig17")) == 2
+
+    def test_specs_rerun_reuses_store(self, tmp_path, capsys):
+        grid = _write_grid(tmp_path)
+        store_dir = tmp_path / "store"
+        assert main(["run", "--specs", str(grid), "--store", str(store_dir), "--quiet"]) == 0
+        assert main(["run", "--specs", str(grid), "--store", str(store_dir), "--quiet"]) == 0
+        assert "0 executed, 2 reused" in capsys.readouterr().out
+        assert len(ResultStore(store_dir)) == 2
+
+    def test_specs_run_without_store_prints_progress(self, tmp_path, capsys):
+        grid = _write_grid(tmp_path)
+        assert main(["run", "--specs", str(grid), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2] fig17 [scalar]" in out
+        assert "[2/2]" in out
+
+    def test_all_with_jobs_and_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        code = main(["run", "--all", "--fast", "--jobs", "2", "--store", str(store_dir), "--quiet"])
+        assert code == 0
+        assert len(ResultStore(store_dir)) == 13
+
+    def test_named_run_with_store_appends(self, tmp_path):
+        store_dir = tmp_path / "store"
+        assert main(["run", "table_power", "--store", str(store_dir), "--quiet"]) == 0
+        assert len(ResultStore(store_dir).query("table_power")) == 1
+
+    def test_report_roundtrip_and_check(self, tmp_path, capsys):
+        grid = _write_grid(tmp_path)
+        store_dir, doc = tmp_path / "store", tmp_path / "EXPERIMENTS.md"
+        main(["run", "--specs", str(grid), "--store", str(store_dir), "--quiet"])
+        assert main(["report", "--store", str(store_dir), "--output", str(doc)]) == 0
+        assert doc.read_text().startswith("# EXPERIMENTS")
+        assert main(["report", "--store", str(store_dir), "--output", str(doc), "--check"]) == 0
+        doc.write_text(doc.read_text() + "drift\n")
+        assert main(["report", "--store", str(store_dir), "--output", str(doc), "--check"]) == 1
+        assert "out of date" in capsys.readouterr().err
+
+    def test_report_to_stdout(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(["run", "table_power", "--store", str(store_dir), "--quiet"])
+        assert main(["report", "--store", str(store_dir), "--output", "-"]) == 0
+        assert "# EXPERIMENTS" in capsys.readouterr().out
+
+
+class TestOverrideParsing:
+    def test_json_list_value(self, tmp_path):
+        out = tmp_path / "out.json"
+        code = main(
+            ["run", "mac_scaling", "--fast", "--set", 'macs=["aloha"]', "--set", "duration_s=0.2", "--json", str(out)]
+        )
+        assert code == 0
+        assert Result.from_json(out.read_text()).params["macs"] == ["aloha"]
+
+    def test_json_bool_and_dict_values_parse(self):
+        from repro.api.cli import _parse_override
+
+        assert _parse_override("x=true") == ("x", True)
+        assert _parse_override("x=null") == ("x", None)
+        assert _parse_override('x={"a": [1, 2]}') == ("x", {"a": [1, 2]})
+
+    def test_python_literal_still_accepted(self):
+        from repro.api.cli import _parse_override
+
+        assert _parse_override("x=(1, 5)") == ("x", (1, 5))
+        assert _parse_override("x=1e-3") == ("x", 0.001)
+
+    def test_bare_word_stays_string(self):
+        from repro.api.cli import _parse_override
+
+        assert _parse_override("profile=contact_lens") == ("profile", "contact_lens")
+
+    def test_unparseable_value_raises_clear_error(self):
+        import argparse
+
+        from repro.api.cli import _parse_override
+
+        with pytest.raises(argparse.ArgumentTypeError, match="cannot parse value"):
+            _parse_override("x=[1, 2")
+        with pytest.raises(argparse.ArgumentTypeError, match="cannot parse value"):
+            _parse_override("x=")
+
+    def test_unparseable_value_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig11", "--set", "x=[1,"])
+        assert excinfo.value.code == 2
+        assert "cannot parse value" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_run_without_names_or_all_fails(self, capsys):
         assert main(["run"]) == 2
@@ -89,6 +206,28 @@ class TestErrors:
 
     def test_run_with_names_and_all_fails(self):
         assert main(["run", "fig11", "--all"]) == 2
+
+    def test_specs_with_names_fails(self, tmp_path):
+        grid = _write_grid(tmp_path)
+        assert main(["run", "fig11", "--specs", str(grid)]) == 2
+
+    def test_specs_with_set_fails(self, tmp_path):
+        grid = _write_grid(tmp_path)
+        assert main(["run", "--specs", str(grid), "--set", "x=1"]) == 2
+
+    def test_specs_with_json_dir_fails(self, tmp_path):
+        grid = _write_grid(tmp_path)
+        assert main(["run", "--specs", str(grid), "--json-dir", str(tmp_path)]) == 2
+
+    def test_store_with_json_fails(self, tmp_path):
+        assert main(["run", "fig11", "--store", str(tmp_path / "s"), "--json", str(tmp_path / "x.json")]) == 2
+
+    def test_bad_jobs_fails(self):
+        assert main(["run", "--all", "--jobs", "0"]) == 2
+
+    def test_missing_grid_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["run", "--specs", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
 
     def test_single_json_with_multiple_names_fails(self, tmp_path, capsys):
         assert main(["run", "fig11", "fig13", "--json", str(tmp_path / "x.json")]) == 2

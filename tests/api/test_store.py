@@ -1,0 +1,149 @@
+"""Tests for the JSONL ResultStore (sharding, dedup, query, merge)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ResultStore, Runner, invocation_key, payload_equal, result_key
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def results():
+    """A handful of cheap, distinct results to populate stores with."""
+    runner = Runner()
+    return [
+        runner.run("table_power"),
+        runner.run("table_packet_sizes"),
+        runner.run("table_packet_sizes", params={"advertising_interval_s": 0.04}),
+        runner.run("fig17", params={"messages_per_point": 10, "step_inches": 8.0}, seed=3),
+    ]
+
+
+class TestKeys:
+    def test_key_is_stable_and_param_order_independent(self, results):
+        result = results[3]
+        assert result_key(result) == result_key(result)
+        shuffled = dict(reversed(list(result.params.items())))
+        assert invocation_key(result.experiment, result.engine, result.seed, shuffled) == result_key(result)
+
+    def test_key_distinguishes_invocations(self, results):
+        keys = {result_key(result) for result in results}
+        assert len(keys) == len(results)
+
+    def test_key_ignores_payload_and_runtime(self, results):
+        from dataclasses import replace
+
+        slower = replace(results[0], runtime_s=999.0)
+        assert result_key(slower) == result_key(results[0])
+
+
+class TestAppendAndIterate:
+    def test_roundtrip(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        for result in results:
+            store.append(result)
+        restored = list(store.iter_results())
+        assert len(restored) == len(results)
+        for original, decoded in zip(results, restored):
+            assert decoded.experiment == original.experiment
+            assert payload_equal(decoded.payload, original.payload)
+
+    def test_multiple_shards_are_all_read(self, tmp_path, results):
+        ResultStore(tmp_path, shard="a.jsonl").append(results[0])
+        ResultStore(tmp_path, shard="b.jsonl").append(results[1])
+        store = ResultStore(tmp_path)
+        assert len(store) == 2
+        assert len(store.shard_paths()) == 2
+
+    def test_duplicates_collapse_on_read(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        store.append(results[0])
+        store.append(results[0])
+        assert len(list(store.iter_documents())) == 2
+        assert len(list(store.iter_results())) == 1
+        assert len(store) == 1
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path, results):
+        store = ResultStore(tmp_path, shard="killed.jsonl")
+        store.append(results[0])
+        with open(store.shard_path, "a") as handle:
+            handle.write(results[1].to_json()[:40])  # a writer died mid-line
+        assert len(list(ResultStore(tmp_path).iter_results())) == 1
+
+    def test_shard_name_must_be_bare(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="separators"):
+            ResultStore(tmp_path, shard="sub/dir.jsonl")
+
+    def test_file_as_store_root_rejected(self, tmp_path):
+        path = tmp_path / "not_a_dir"
+        path.write_text("occupied")
+        with pytest.raises(ConfigurationError, match="is a file"):
+            ResultStore(path)
+
+    def test_keyed_documents_match_result_keys(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        for result in results:
+            store.append(result)
+        keyed = {key for key, _ in store.iter_keyed_documents()}
+        assert keyed == {result_key(result) for result in results}
+
+    def test_iter_skips_non_object_lines(self, tmp_path, results):
+        store = ResultStore(tmp_path, shard="odd.jsonl")
+        store.append(results[0])
+        with open(store.shard_path, "a") as handle:
+            handle.write("[1, 2]\n\n")
+        assert len(list(ResultStore(tmp_path).iter_results())) == 1
+
+
+class TestQuery:
+    def test_query_by_experiment(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        for result in results:
+            store.append(result)
+        assert len(store.query("table_packet_sizes")) == 2
+        assert store.query("fig17")[0].seed == 3
+
+    def test_query_by_param_value(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        for result in results:
+            store.append(result)
+        matches = store.query("table_packet_sizes", advertising_interval_s=0.04)
+        assert len(matches) == 1
+        assert matches[0].params["advertising_interval_s"] == 0.04
+
+    def test_query_by_seed_and_engine(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        for result in results:
+            store.append(result)
+        assert len(store.query(seed=3)) == 1
+        assert len(store.query(engine="scalar")) == len(results)
+
+    def test_query_unknown_param_matches_nothing(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        store.append(results[0])
+        assert store.query(bogus_param=1) == []
+
+
+class TestMerge:
+    def test_merge_copies_only_missing(self, tmp_path, results):
+        left = ResultStore(tmp_path / "left")
+        right = ResultStore(tmp_path / "right")
+        left.append(results[0])
+        left.append(results[1])
+        right.append(results[1])
+        right.append(results[2])
+        merged = left.merge(right)
+        assert merged == 1
+        assert len(left) == 3
+        # Merging again is a no-op.
+        assert left.merge(right) == 0
+        assert len(left) == 3
+
+    def test_merge_accepts_a_path(self, tmp_path, results):
+        left = ResultStore(tmp_path / "left")
+        right = ResultStore(tmp_path / "right")
+        right.append(results[0])
+        assert left.merge(tmp_path / "right") == 1
