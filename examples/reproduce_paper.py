@@ -10,20 +10,23 @@ MAC scaling sweep) as one campaign through the unified
 
 Run with::
 
-    python examples/reproduce_paper.py [--jobs 4] [--store DIR] [--fast]
+    python examples/reproduce_paper.py [--jobs 4] [--store DIR] [--fast] [--figures DIR]
 
 or, equivalently, from the shell::
 
     python -m repro run --all --jobs 4 --store DIR
     python -m repro report --store DIR --output -
+    python -m repro plot --store DIR
 """
 
 from __future__ import annotations
 
 import argparse
 import tempfile
+from pathlib import Path
 
 from repro.api import ExperimentSpec, ResultStore, Runner, generate_report, iter_experiments
+from repro.plots import write_gallery
 
 
 def main() -> None:
@@ -31,6 +34,9 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=1, help="worker processes for the campaign")
     parser.add_argument("--store", default=None, help="result store directory (default: a temp dir)")
     parser.add_argument("--fast", action="store_true", help="reduced smoke parameters for every experiment")
+    parser.add_argument(
+        "--figures", default=None, metavar="DIR", help="also render every figure (plus FIGURES.md) here"
+    )
     args = parser.parse_args()
 
     # The beyond-paper sweeps always use their reduced smoke parameters so
@@ -46,6 +52,10 @@ def main() -> None:
     store = ResultStore(args.store or tempfile.mkdtemp(prefix="paper_store_"))
     Runner(jobs=args.jobs).run_batch(specs, store=store)
     print(generate_report(store))
+    if args.figures:
+        directory = Path(args.figures)
+        _, images = write_gallery(store, output=directory / "FIGURES.md", figures_dir=directory)
+        print(f"rendered {len(images)} figure(s) into {directory}/")
 
 
 if __name__ == "__main__":

@@ -22,8 +22,12 @@ examples, benchmarks and tests used to wire up by hand:
 * **Stores** (:mod:`repro.api.store`): :class:`ResultStore` is the
   append-only JSONL directory campaigns stream into — queryable
   (:meth:`ResultStore.query`), mergeable, and resumable after a kill.
+* **Analytics** (:mod:`repro.api.analytics`): :func:`aggregate` collapses
+  a store's seed-replicates per grid point into mean/std/95 % CI
+  :class:`Frame` tables (plain dict-of-columns, JSON-round-trippable).
 * **Reports** (:mod:`repro.api.report`): :func:`generate_report` renders
-  the registry-driven paper-vs-measured ``EXPERIMENTS.md`` from a store.
+  the registry-driven paper-vs-measured ``EXPERIMENTS.md`` from a store
+  (mean ± CI columns wherever a campaign ran replicates).
 * **CLI** (:mod:`repro.api.cli`): ``python -m repro list | info | run |
   report`` reproduces the whole paper from the shell
   (``run --specs grid.json --jobs 4 --store out/``).
@@ -37,6 +41,7 @@ Quickstart
 True
 """
 
+from repro.api.analytics import Frame, ReplicateGroup, aggregate, mean_std_ci, replicate_groups
 from repro.api.campaign import SweepSpec, derive_seed, load_specs, read_specs
 from repro.api.placement import distance_grid, empirical_cdf, furthest_reach, shadowed_backscatter_budget
 from repro.api.registry import (
@@ -53,15 +58,21 @@ from repro.api.result import SCHEMA_VERSION, Result, validate_result_dict
 from repro.api.runner import Runner
 from repro.api.serialization import canonical_json, decode, encode, payload_equal, validate_encoded
 from repro.api.spec import ExperimentSpec
-from repro.api.store import ResultStore, invocation_key, result_key
+from repro.api.store import ResultStore, invocation_key, representative, result_key
 
 __all__ = [
+    "Frame",
+    "ReplicateGroup",
+    "aggregate",
+    "mean_std_ci",
+    "replicate_groups",
     "SweepSpec",
     "derive_seed",
     "load_specs",
     "read_specs",
     "ResultStore",
     "invocation_key",
+    "representative",
     "result_key",
     "check_report",
     "generate_report",

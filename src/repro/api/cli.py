@@ -32,6 +32,15 @@ Subcommands
     Regenerate the registry-driven paper-vs-measured ``EXPERIMENTS.md``
     from a result store.  ``--check`` verifies the committed document is
     up to date instead of writing it.
+``plot --store DIR``
+    Render every registered experiment's figure from the stored result
+    envelopes — zero driver re-execution — into ``--output-dir``
+    (default ``figures/``) and write the ``FIGURES.md`` gallery next to
+    ``EXPERIMENTS.md``.  ``--experiment NAME`` (repeatable) restricts
+    rendering, ``--format png`` switches to the optional matplotlib
+    backend (the default ``svg`` backend is built in and
+    byte-deterministic), and ``--check-manifest`` verifies the committed
+    gallery and images match a fresh render instead of writing.
 """
 
 from __future__ import annotations
@@ -50,8 +59,10 @@ from repro.api.report import check_report, generate_report, write_report
 from repro.api.result import Result, validate_result_dict
 from repro.api.runner import Runner
 from repro.api.spec import ExperimentSpec
-from repro.api.store import ResultStore
+from repro.api.store import ResultStore, representative
 from repro.exceptions import ReproError
+from repro.plots.gallery import check_gallery, write_gallery
+from repro.plots.render import FORMATS, figure_filename, render_experiment
 
 __all__ = ["main"]
 
@@ -148,6 +159,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="verify the output document matches the store instead of writing it",
+    )
+
+    plot_parser = sub.add_parser("plot", help="render the paper's figures from a result store")
+    plot_parser.add_argument("--store", required=True, metavar="DIR", help="result store to render from")
+    plot_parser.add_argument(
+        "--experiment",
+        dest="experiments",
+        metavar="NAME",
+        action="append",
+        default=[],
+        help="render only this experiment's figure (repeatable; skips the gallery document)",
+    )
+    plot_parser.add_argument(
+        "--output-dir", default="figures", metavar="DIR", help="directory the images are written to"
+    )
+    plot_parser.add_argument(
+        "--format",
+        default="svg",
+        choices=FORMATS,
+        help="image format: svg (built-in, deterministic) or png (requires matplotlib)",
+    )
+    plot_parser.add_argument(
+        "--gallery",
+        default=None,
+        metavar="PATH",
+        help="gallery document to write (default: FIGURES.md for the default output dir, "
+        "<output-dir>/FIGURES.md otherwise — a custom output dir never touches the committed gallery)",
+    )
+    plot_parser.add_argument(
+        "--check-manifest",
+        action="store_true",
+        help="verify the committed gallery and images match a fresh render instead of writing",
     )
     return parser
 
@@ -315,6 +358,62 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plot(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    # A custom --output-dir carries its own gallery document by default, so
+    # "render elsewhere" never clobbers the committed FIGURES.md.
+    gallery = args.gallery
+    if gallery is None:
+        gallery = "FIGURES.md" if args.output_dir == "figures" else str(Path(args.output_dir) / "FIGURES.md")
+
+    if args.check_manifest:
+        if args.experiments:
+            print("error: --check-manifest verifies the whole gallery; drop --experiment", file=sys.stderr)
+            return 2
+        up_to_date, problems = check_gallery(
+            store, output=gallery, figures_dir=args.output_dir, format=args.format
+        )
+        if not up_to_date:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            print(
+                f"regenerate with: python -m repro plot --store {args.store} "
+                f"--output-dir {args.output_dir} --format {args.format}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{gallery} and {args.output_dir}/ are up to date with store {args.store}")
+        return 0
+
+    if args.experiments:
+        for name in args.experiments:
+            get_experiment(name)  # unknown names fail before any file is written
+        wanted = set(args.experiments)
+        by_experiment: dict[str, list[Result]] = {}
+        for result in store.iter_results():  # one decode pass for any number of names
+            if result.experiment in wanted:
+                by_experiment.setdefault(result.experiment, []).append(result)
+        missing = [name for name in args.experiments if name not in by_experiment]
+        if missing:
+            print(f"error: store {args.store} holds no results for {missing}", file=sys.stderr)
+            return 1
+        directory = Path(args.output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name in args.experiments:
+            picked = representative(by_experiment[name])
+            data = render_experiment(name, picked.payload, format=args.format)
+            target = directory / figure_filename(name, format=args.format)
+            target.write_bytes(data)
+            print(f"wrote {target}")
+        return 0
+
+    _, images = write_gallery(store, output=gallery, figures_dir=args.output_dir, format=args.format)
+    for file_name in images:
+        print(f"wrote {Path(args.output_dir) / file_name}")
+    print(f"wrote {gallery} ({len(images)} figure(s) from store {args.store})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -325,6 +424,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_info(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "plot":
+            return _cmd_plot(args)
         return _cmd_run(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

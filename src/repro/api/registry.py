@@ -67,6 +67,16 @@ class Experiment:
         Reduced parameters for smoke runs (``python -m repro run --fast``).
     summarize:
         Callable mapping a payload to headline report lines.
+    metrics:
+        Callable mapping a payload to named scalar headline metrics
+        (``{"median_per_2mbps": 0.031, ...}``).  This is what
+        :func:`repro.api.analytics.aggregate` collapses across
+        seed-replicates into mean/std/CI columns, so values must be plain
+        floats.  ``None`` means the experiment has no scalar metrics.
+    plot:
+        Callable mapping a payload to a declarative
+        :class:`repro.plots.figure.Figure`; ``python -m repro plot``
+        renders it.  ``None`` means the experiment has no figure.
     parameters:
         Introspected keyword parameters of ``run``.
     """
@@ -78,6 +88,8 @@ class Experiment:
     artifact: str | None = None
     fast_params: dict[str, Any] = field(default_factory=dict)
     summarize: Callable[[Any], list[str]] | None = None
+    metrics: Callable[[Any], dict[str, float]] | None = None
+    plot: Callable[[Any], Any] | None = None
     parameters: tuple[Parameter, ...] = ()
 
     @property
@@ -154,6 +166,8 @@ def register(
     artifact: str | None = None,
     fast_params: dict[str, Any] | None = None,
     summarize: Callable[[Any], list[str]] | None = None,
+    metrics: Callable[[Any], dict[str, float]] | None = None,
+    plot: Callable[[Any], Any] | None = None,
 ) -> Experiment:
     """Register a driver; called once at the bottom of each driver module."""
     if name in _REGISTRY:
@@ -171,6 +185,8 @@ def register(
         artifact=artifact,
         fast_params=dict(fast_params or {}),
         summarize=summarize,
+        metrics=metrics,
+        plot=plot,
         parameters=_introspect_parameters(run),
     )
     experiment.check_params(experiment.fast_params)

@@ -24,11 +24,12 @@ from collections.abc import Iterator, Mapping
 from pathlib import Path
 from typing import Any
 
+from repro.api.registry import get_experiment
 from repro.api.result import Result
 from repro.api.serialization import canonical_json, decode, payload_equal
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ResultStore", "result_key", "invocation_key"]
+__all__ = ["ResultStore", "result_key", "invocation_key", "representative"]
 
 _UNSET = object()
 
@@ -49,6 +50,16 @@ def invocation_key(experiment: str, engine: str, seed: int | None, params: Mappi
 def result_key(result: Result) -> str:
     """Content hash identifying *result*'s invocation (not its payload)."""
     return invocation_key(result.experiment, result.engine, result.seed, result.params)
+
+
+def representative(results: "list[Result]") -> Result:
+    """The deterministic representative of a result set: smallest invocation key.
+
+    Both generated documents (``EXPERIMENTS.md`` and ``FIGURES.md``) and
+    the ``plot`` CLI use this same pick, so they always describe/render
+    the same stored run for a given store content.
+    """
+    return min(results, key=result_key)
 
 
 def _document_key(document: dict[str, Any]) -> str:
@@ -176,6 +187,7 @@ class ResultStore:
         *,
         engine: str | None = None,
         seed: Any = _UNSET,
+        strict: bool = False,
         **param_filters: Any,
     ) -> list[Result]:
         """Decoded results matching every given filter.
@@ -183,6 +195,22 @@ class ResultStore:
         ``experiment``/``engine`` match the envelope fields, ``seed=None``
         matches deterministic runs, and any further keyword matches a
         recorded parameter by (numpy-aware) value equality.
+
+        A parameter filter whose key an envelope does not record is, by
+        default, simply a **non-match**: the envelope is excluded, exactly
+        as if the value differed.  That is the right behaviour when one
+        store mixes experiments with different signatures (and envelopes
+        only record *explicit* overrides, not driver defaults) — but it
+        also silently returns ``[]`` for a typoed filter name.  Pass
+        ``strict=True`` to instead raise
+        :class:`~repro.exceptions.ConfigurationError` when a filter key is
+        not a parameter of a candidate envelope's experiment (per the
+        registry schema) — mirroring the unknown-key rejection of spec
+        documents.  An envelope that merely ran with the parameter's
+        default stays a quiet non-match even under ``strict``.  A store
+        with no candidates at all raises nothing (there is no experiment
+        to check the keys against), and an envelope whose experiment has
+        left the registry is checked against its recorded keys instead.
         """
         matches = []
         for result in self.iter_results():
@@ -192,10 +220,28 @@ class ResultStore:
                 continue
             if seed is not _UNSET and result.seed != seed:
                 continue
-            if any(
-                name not in result.params or not payload_equal(result.params[name], value)
-                for name, value in param_filters.items()
+            unknown = sorted(set(param_filters) - set(result.params))
+            if unknown and strict:
+                self._check_filter_keys(result, unknown)
+            if unknown or any(
+                not payload_equal(result.params[name], value) for name, value in param_filters.items()
             ):
                 continue
             matches.append(result)
         return matches
+
+    @staticmethod
+    def _check_filter_keys(result: Result, unknown: list[str]) -> None:
+        """Raise if *unknown* filter keys are not in the experiment's schema."""
+        try:
+            known = {parameter.name for parameter in get_experiment(result.experiment).parameters}
+        except ConfigurationError:
+            # The experiment is gone from the registry (an old store);
+            # the envelope's recorded keys are all we can validate against.
+            known = set(result.params)
+        bad = sorted(set(unknown) - known)
+        if bad:
+            raise ConfigurationError(
+                f"unknown filter key(s) {bad} for experiment {result.experiment!r}; "
+                f"known parameters: {sorted(known)}"
+            )

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.registry import register
+from repro.plots.figure import Figure, Series
 from repro.backscatter.dsb import DoubleSidebandModulator
 from repro.backscatter.ssb import SingleSidebandModulator
 from repro.utils.spectrum import PowerSpectrum, power_spectral_density, spectrum_asymmetry_db
@@ -93,6 +94,36 @@ def summarize(result: SidebandSpectrumResult) -> list[str]:
     ]
 
 
+def metrics(result: SidebandSpectrumResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    return {
+        "ssb_image_rejection_db": result.ssb_image_rejection_db,
+        "dsb_image_rejection_db": result.dsb_image_rejection_db,
+    }
+
+
+def plot(result: SidebandSpectrumResult) -> Figure:
+    """Declarative figure matching the paper's spectrum comparison."""
+    return Figure(
+        title="Fig. 6 — SSB vs DSB backscatter spectrum",
+        xlabel="Frequency offset (MHz)",
+        ylabel="PSD (dB)",
+        series=(
+            Series(
+                label="single sideband",
+                x=result.ssb_spectrum.frequencies_hz / 1e6,
+                y=result.ssb_spectrum.psd_db,
+            ),
+            Series(
+                label="double sideband",
+                x=result.dsb_spectrum.frequencies_hz / 1e6,
+                y=result.dsb_spectrum.psd_db,
+            ),
+        ),
+        caption="The DSB design mirrors the packet at the negative offset; the SSB design suppresses it.",
+    )
+
+
 register(
     name="fig06",
     title="Fig. 6 — single-sideband vs double-sideband backscatter spectrum",
@@ -100,4 +131,6 @@ register(
     artifact="Fig. 6",
     fast_params={"payload": b"\x55" * 16},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

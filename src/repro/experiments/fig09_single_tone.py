@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.api.registry import register
 from repro.core.tone_source import BluetoothToneSource
+from repro.plots.figure import Figure, Series
 from repro.utils.spectrum import (
     PowerSpectrum,
     occupied_bandwidth,
@@ -105,6 +106,39 @@ def summarize(result: SingleToneResult) -> list[str]:
     return lines
 
 
+def metrics(result: SingleToneResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    out: dict[str, float] = {}
+    for device, panel in result.devices.items():
+        out[f"{device}_tone_bandwidth_hz"] = panel.tone_bandwidth_hz
+        out[f"{device}_tone_peak_offset_hz"] = panel.tone_peak_offset_hz
+    return out
+
+
+def _band(spectrum: PowerSpectrum, half_width_hz: float) -> tuple[np.ndarray, np.ndarray]:
+    mask = np.abs(spectrum.frequencies_hz) <= half_width_hz
+    return spectrum.frequencies_hz[mask] / 1e3, spectrum.psd_db[mask]
+
+
+def plot(result: SingleToneResult) -> Figure:
+    """Declarative figure: crafted tones vs one random-payload reference."""
+    half_width_hz = 1e6  # the interesting ±1 MHz of the ~2 MHz BLE channel
+    series = []
+    first = next(iter(result.devices.values()))
+    x, y = _band(first.random_spectrum, half_width_hz)
+    series.append(Series(label=f"{first.device} random payload", x=x, y=y))
+    for panel in result.devices.values():
+        x, y = _band(panel.tone_spectrum, half_width_hz)
+        series.append(Series(label=f"{panel.device} crafted tone", x=x, y=y))
+    return Figure(
+        title="Fig. 9 — BLE single-tone spectra",
+        xlabel="Frequency offset (kHz)",
+        ylabel="PSD (dB)",
+        series=tuple(series),
+        caption="The crafted payload collapses the ~2 MHz BLE channel into a single tone near +250 kHz.",
+    )
+
+
 register(
     name="fig09",
     title="Fig. 9 — BLE single-tone spectra on three commodity devices",
@@ -112,4 +146,6 @@ register(
     artifact="Fig. 9",
     fast_params={"samples_per_symbol": 4},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

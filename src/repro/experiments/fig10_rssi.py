@@ -24,6 +24,7 @@ from repro.channel.geometry import fig10_geometry
 from repro.channel.link_budget import BackscatterLinkBudget
 from repro.exceptions import ConfigurationError
 from repro.mc.channel import backscatter_link_batch
+from repro.plots.figure import Figure, Series
 
 __all__ = ["RssiCurve", "RssiVsDistanceResult", "run", "summarize"]
 
@@ -127,6 +128,45 @@ def summarize(result: RssiVsDistanceResult) -> list[str]:
     return lines
 
 
+def metrics(result: RssiVsDistanceResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    return {
+        f"range_ft_{power:g}dbm_{separation:g}ft": result.curves[(power, separation)].range_feet
+        for power, separation in sorted(result.curves, key=lambda key: (key[1], key[0]))
+    }
+
+
+def plot(result: RssiVsDistanceResult) -> Figure:
+    """Declarative figure: one RSSI curve per (separation, TX power)."""
+    series = []
+    x_low, x_high = np.inf, -np.inf
+    for power, separation in sorted(result.curves, key=lambda key: (key[1], key[0])):
+        curve = result.curves[(power, separation)]
+        x_low = min(x_low, float(curve.distances_feet[0]))
+        x_high = max(x_high, float(curve.distances_feet[-1]))
+        series.append(
+            Series(
+                label=f"{separation:g} ft sep, {power:g} dBm",
+                x=curve.distances_feet,
+                y=curve.rssi_dbm,
+            )
+        )
+    series.append(
+        Series(
+            label=f"sensitivity {result.sensitivity_dbm:g} dBm",
+            x=np.array([x_low, x_high]),
+            y=np.array([result.sensitivity_dbm, result.sensitivity_dbm]),
+        )
+    )
+    return Figure(
+        title="Fig. 10 — Wi-Fi RSSI vs distance",
+        xlabel="Receiver distance (ft)",
+        ylabel="RSSI (dBm)",
+        series=tuple(series),
+        caption="Higher Bluetooth TX power and a closer tag keep the backscattered Wi-Fi above sensitivity further out.",
+    )
+
+
 register(
     name="fig10",
     title="Fig. 10 — Wi-Fi RSSI vs distance and Bluetooth TX power",
@@ -135,4 +175,6 @@ register(
     artifact="Fig. 10",
     fast_params={"step_feet": 10.0},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

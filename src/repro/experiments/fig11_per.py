@@ -21,6 +21,7 @@ from repro.exceptions import ConfigurationError
 from repro.channel.error_models import wifi_packet_error_rate
 from repro.channel.geometry import feet_to_meters
 from repro.mc.channel import backscatter_link_batch
+from repro.plots.figure import Figure, Series
 
 __all__ = ["PerCdfResult", "run", "summarize"]
 
@@ -126,6 +127,28 @@ def summarize(result: PerCdfResult) -> list[str]:
     ]
 
 
+def metrics(result: PerCdfResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    out = {f"median_per_{rate:g}mbps": value for rate, value in result.median_per.items()}
+    out["mean_rate_gap"] = result.mean_rate_gap
+    return out
+
+
+def plot(result: PerCdfResult) -> Figure:
+    """Declarative figure: one empirical PER CDF per Wi-Fi rate."""
+    return Figure(
+        title="Fig. 11 — Wi-Fi packet error rate CDF",
+        xlabel="Packet error rate",
+        ylabel="CDF",
+        kind="cdf",
+        series=tuple(
+            Series(label=f"{rate:g} Mbps", x=values, y=fractions)
+            for rate, (values, fractions) in result.cdf_by_rate.items()
+        ),
+        caption="Both rates show similar loss (shared 1 Mbps preamble); the worst locations exceed PER 0.3.",
+    )
+
+
 register(
     name="fig11",
     title="Fig. 11 — Wi-Fi packet error rate CDF (2 vs 11 Mbps)",
@@ -134,4 +157,6 @@ register(
     artifact="Fig. 11",
     fast_params={"num_locations": 15, "num_packets": 50},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

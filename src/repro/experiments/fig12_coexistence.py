@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.api.registry import register
 from repro.core.coexistence import CoexistenceResult, CoexistenceSimulator
+from repro.plots.figure import Figure, Series
 
 __all__ = ["CoexistenceFigureResult", "run", "summarize"]
 
@@ -70,10 +71,43 @@ def summarize(result: CoexistenceFigureResult) -> list[str]:
     return lines
 
 
+_SCENARIOS = ("baseline", "single_sideband", "double_sideband")
+
+
+def metrics(result: CoexistenceFigureResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    top_rate = max(result.rates_pps)
+    out = {"baseline_mbps": result.baseline_mbps}
+    for scenario in _SCENARIOS:
+        out[f"throughput_mbps_{scenario}_{top_rate:g}pps"] = result.throughput(scenario, top_rate)
+    return out
+
+
+def plot(result: CoexistenceFigureResult) -> Figure:
+    """Declarative figure: grouped throughput bars per backscatter rate."""
+    return Figure(
+        title="Fig. 12 — iperf throughput under backscatter interference",
+        xlabel="Backscatter packet rate",
+        ylabel="Throughput (Mbps)",
+        kind="bar",
+        categories=tuple(f"{rate:g} pps" for rate in result.rates_pps),
+        series=tuple(
+            Series(
+                label=scenario.replace("_", " "),
+                y=[result.throughput(scenario, rate) for rate in result.rates_pps],
+            )
+            for scenario in _SCENARIOS
+        ),
+        caption="SSB backscatter coexists with the iperf flow; the DSB mirror collapses it at high rates.",
+    )
+
+
 register(
     name="fig12",
     title="Fig. 12 — iperf throughput under backscatter interference",
     run=run,
     artifact="Fig. 12",
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

@@ -19,6 +19,7 @@ from repro.api.registry import register
 from repro.exceptions import ConfigurationError
 from repro.channel.geometry import feet_to_meters
 from repro.core.downlink import InterscatterDownlink
+from repro.plots.figure import Figure, Series
 
 __all__ = ["DownlinkBerResult", "run", "summarize"]
 
@@ -100,6 +101,29 @@ def summarize(result: DownlinkBerResult) -> list[str]:
     ]
 
 
+def metrics(result: DownlinkBerResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    return {
+        "range_below_1pct_feet": result.range_below_1pct_feet,
+        "max_ber": float(np.max(result.ber)),
+    }
+
+
+def plot(result: DownlinkBerResult) -> Figure:
+    """Declarative figure: downlink BER against distance with the 1% line."""
+    edges = np.array([float(result.distances_feet[0]), float(result.distances_feet[-1])])
+    return Figure(
+        title="Fig. 13 — downlink BER vs distance",
+        xlabel="Wi-Fi transmitter to tag distance (ft)",
+        ylabel="Bit error rate",
+        series=(
+            Series(label="measured BER", x=result.distances_feet, y=result.ber),
+            Series(label="1% threshold", x=edges, y=np.array([0.01, 0.01])),
+        ),
+        caption="The AM downlink stays below 1% BER out to roughly the paper's ~18 ft, degrading quickly beyond.",
+    )
+
+
 register(
     name="fig13",
     title="Fig. 13 — downlink BER vs distance (802.11g AM → peak detector)",
@@ -108,4 +132,6 @@ register(
     artifact="Fig. 13",
     fast_params={"step_feet": 2.0, "message_bits": 256},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

@@ -17,6 +17,7 @@ from repro.api.registry import register
 from repro.exceptions import ConfigurationError
 from repro.channel.geometry import feet_to_meters
 from repro.mc.channel import backscatter_link_batch
+from repro.plots.figure import Figure, Series
 
 __all__ = ["ZigbeeRssiResult", "run", "summarize"]
 
@@ -107,6 +108,27 @@ def summarize(result: ZigbeeRssiResult) -> list[str]:
     ]
 
 
+def metrics(result: ZigbeeRssiResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    return {
+        "median_rssi_dbm": result.median_rssi_dbm,
+        "detectable_fraction": result.detectable_fraction,
+    }
+
+
+def plot(result: ZigbeeRssiResult) -> Figure:
+    """Declarative figure: the empirical RSSI CDF across all samples."""
+    values, fractions = result.cdf
+    return Figure(
+        title="Fig. 14 — ZigBee RSSI CDF",
+        xlabel="RSSI (dBm)",
+        ylabel="CDF",
+        kind="cdf",
+        series=(Series(label="all locations", x=values, y=fractions),),
+        caption="Backscatter-generated 802.15.4 packets span roughly -95 to -55 dBm across the deployment.",
+    )
+
+
 register(
     name="fig14",
     title="Fig. 14 — ZigBee RSSI CDF for backscatter-generated 802.15.4 packets",
@@ -115,4 +137,6 @@ register(
     artifact="Fig. 14",
     fast_params={"packets_per_location": 10},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

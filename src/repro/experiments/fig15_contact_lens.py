@@ -16,6 +16,7 @@ import numpy as np
 from repro.api.placement import distance_grid, furthest_reach
 from repro.api.registry import register
 from repro.apps.contact_lens import SmartContactLens
+from repro.plots.figure import Figure, Series
 
 __all__ = ["ContactLensRssiResult", "run", "summarize"]
 
@@ -79,6 +80,34 @@ def summarize(result: ContactLensRssiResult) -> list[str]:
     return lines
 
 
+def metrics(result: ContactLensRssiResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    return {f"range_in_{power:g}dbm": reach for power, reach in result.range_by_power.items()}
+
+
+def plot(result: ContactLensRssiResult) -> Figure:
+    """Declarative figure: one RSSI curve per Bluetooth TX power."""
+    edges = np.array([float(result.distances_inches[0]), float(result.distances_inches[-1])])
+    series = [
+        Series(label=f"{power:g} dBm Bluetooth", x=result.distances_inches, y=rssi)
+        for power, rssi in result.rssi_by_power.items()
+    ]
+    series.append(
+        Series(
+            label=f"sensitivity {result.sensitivity_dbm:g} dBm",
+            x=edges,
+            y=np.array([result.sensitivity_dbm, result.sensitivity_dbm]),
+        )
+    )
+    return Figure(
+        title="Fig. 15 — smart contact lens RSSI vs distance",
+        xlabel="Receiver distance (inches)",
+        ylabel="RSSI (dBm)",
+        series=tuple(series),
+        caption="The lens antenna through eye tissue still delivers tens of inches of usable range.",
+    )
+
+
 register(
     name="fig15",
     title="Fig. 15 — smart contact lens RSSI vs distance",
@@ -86,4 +115,6 @@ register(
     artifact="Fig. 15",
     fast_params={"step_inches": 4.0},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

@@ -17,6 +17,7 @@ import numpy as np
 from repro.api.placement import distance_grid, furthest_reach
 from repro.api.registry import register
 from repro.apps.neural_implant import NeuralImplant
+from repro.plots.figure import Figure, Series
 
 __all__ = ["NeuralImplantRssiResult", "run", "summarize"]
 
@@ -80,6 +81,34 @@ def summarize(result: NeuralImplantRssiResult) -> list[str]:
     return lines
 
 
+def metrics(result: NeuralImplantRssiResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    return {f"range_in_{power:g}dbm": reach for power, reach in result.range_by_power.items()}
+
+
+def plot(result: NeuralImplantRssiResult) -> Figure:
+    """Declarative figure: one RSSI curve per Bluetooth TX power."""
+    edges = np.array([float(result.distances_inches[0]), float(result.distances_inches[-1])])
+    series = [
+        Series(label=f"{power:g} dBm Bluetooth", x=result.distances_inches, y=rssi)
+        for power, rssi in result.rssi_by_power.items()
+    ]
+    series.append(
+        Series(
+            label=f"sensitivity {result.sensitivity_dbm:g} dBm",
+            x=edges,
+            y=np.array([result.sensitivity_dbm, result.sensitivity_dbm]),
+        )
+    )
+    return Figure(
+        title="Fig. 16 — implanted neural recorder RSSI vs distance",
+        xlabel="Receiver distance (inches)",
+        ylabel="RSSI (dBm)",
+        series=tuple(series),
+        caption="Through 0.75 in of tissue the implant reaches far beyond prior 1-2 cm inductive readers.",
+    )
+
+
 register(
     name="fig16",
     title="Fig. 16 — implanted neural recorder RSSI vs distance",
@@ -87,4 +116,6 @@ register(
     artifact="Fig. 16",
     fast_params={"step_inches": 8.0},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

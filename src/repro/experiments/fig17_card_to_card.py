@@ -17,6 +17,7 @@ from repro.api.placement import distance_grid, furthest_reach
 from repro.api.registry import register
 from repro.apps.card_to_card import CARD_PAYLOAD_BITS, CardToCardLink
 from repro.exceptions import ConfigurationError
+from repro.plots.figure import Figure, Series
 
 __all__ = ["CardToCardBerResult", "run", "summarize"]
 
@@ -102,6 +103,28 @@ def summarize(result: CardToCardBerResult) -> list[str]:
     ]
 
 
+def metrics(result: CardToCardBerResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    return {
+        "usable_range_inches": result.usable_range_inches,
+        "mean_measured_ber": float(np.mean(result.measured_ber)),
+    }
+
+
+def plot(result: CardToCardBerResult) -> Figure:
+    """Declarative figure: analytic vs Monte-Carlo BER against separation."""
+    return Figure(
+        title="Fig. 17 — card-to-card BER vs separation",
+        xlabel="Card separation (inches)",
+        ylabel="Bit error rate",
+        series=(
+            Series(label="analytic model", x=result.separations_inches, y=result.analytic_ber),
+            Series(label="Monte-Carlo", x=result.separations_inches, y=result.measured_ber),
+        ),
+        caption="Card-to-card links stay usable (BER < 20%) out to roughly the paper's ~30 inches.",
+    )
+
+
 register(
     name="fig17",
     title="Fig. 17 — card-to-card BER vs separation",
@@ -110,4 +133,6 @@ register(
     artifact="Fig. 17",
     fast_params={"messages_per_point": 20, "step_inches": 4.0},
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.api.registry import register
 from repro.core.timing import InterscatterTiming, max_wifi_payload_bytes
+from repro.plots.figure import Figure, Series
 
 __all__ = ["PacketSizeTableResult", "run", "summarize", "PAPER_PACKET_SIZES"]
 
@@ -74,10 +75,39 @@ def summarize(result: PacketSizeTableResult) -> list[str]:
     ]
 
 
+def metrics(result: PacketSizeTableResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    out: dict[str, float] = {}
+    for rate, size in result.max_psdu_bytes.items():
+        out[f"max_psdu_bytes_{rate:g}mbps"] = float(size)
+    for rate, bps in result.goodput_bps.items():
+        out[f"goodput_kbps_{rate:g}mbps"] = bps / 1e3
+    return out
+
+
+def plot(result: PacketSizeTableResult) -> Figure:
+    """Declarative figure: largest PSDU per Wi-Fi rate, with/without guard."""
+    rates = tuple(result.max_psdu_bytes)
+    return Figure(
+        title="§2.3.3 — Wi-Fi payload per Bluetooth advertisement",
+        xlabel="Wi-Fi rate",
+        ylabel="Max PSDU (bytes)",
+        kind="bar",
+        categories=tuple(f"{rate:g} Mbps" for rate in rates),
+        series=(
+            Series(label="no guard interval", y=[float(result.max_psdu_bytes[rate]) for rate in rates]),
+            Series(label="with 4 µs guard", y=[float(result.with_guard_interval[rate]) for rate in rates]),
+        ),
+        caption="Higher Wi-Fi rates fit more payload into one 31-byte advertisement window.",
+    )
+
+
 register(
     name="table_packet_sizes",
     title="§2.3.3 — Wi-Fi payload per Bluetooth advertisement",
     run=run,
     artifact="§2.3.3 table",
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.api.registry import register
 from repro.backscatter.power import ACTIVE_RADIO_POWER_UW, InterscatterPowerModel, PowerBreakdown
+from repro.plots.figure import Figure, Series
 
 __all__ = ["PowerTableResult", "run", "summarize", "PAPER_POWER_UW"]
 
@@ -84,10 +85,37 @@ def summarize(result: PowerTableResult) -> list[str]:
     ]
 
 
+def metrics(result: PowerTableResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    out = {
+        "total_uw_reference": result.reference.total_uw,
+        "energy_per_bit_nj": result.energy_per_bit_nj,
+    }
+    for rate, total_uw in result.by_rate.items():
+        out[f"total_uw_{rate:g}mbps"] = total_uw
+    return out
+
+
+def plot(result: PowerTableResult) -> Figure:
+    """Declarative figure: total IC power per generated Wi-Fi rate."""
+    rates = tuple(result.by_rate)
+    return Figure(
+        title="§3 — interscatter IC power vs Wi-Fi rate",
+        xlabel="Generated Wi-Fi rate",
+        ylabel="Total power (µW)",
+        kind="bar",
+        categories=tuple(f"{rate:g} Mbps" for rate in rates),
+        series=(Series(label="total power", y=[result.by_rate[rate] for rate in rates]),),
+        caption="The whole IC stays in the tens of microwatts — orders of magnitude below active radios.",
+    )
+
+
 register(
     name="table_power",
     title="§3 — the 28 µW interscatter IC power budget",
     run=run,
     artifact="§3 table",
     summarize=summarize,
+    metrics=metrics,
+    plot=plot,
 )

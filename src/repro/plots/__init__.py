@@ -1,0 +1,36 @@
+"""``repro.plots`` — the figure-rendering subsystem.
+
+Converts stored result envelopes into the paper's figures without
+re-running any driver.  Contract across the package boundary: plot hooks
+produce the declarative :class:`~repro.plots.figure.Figure` model (plain
+data, no backend objects); backends are pure functions from that model
+to image bytes, deterministic for a given input — the built-in SVG
+backend (:mod:`repro.plots.svg`) always, the optional matplotlib/Agg
+backend (:mod:`repro.plots.mpl`) per installed version.  The gallery
+layer (:mod:`repro.plots.gallery`) renders every registered experiment
+from a :class:`~repro.api.store.ResultStore` into ``figures/`` plus the
+``FIGURES.md`` index, and can verify the committed artefacts against a
+fresh render (``python -m repro plot --check-manifest``).
+"""
+
+from repro.plots.figure import Figure, Series
+from repro.plots.gallery import check_gallery, generate_gallery, write_gallery
+from repro.plots.mpl import matplotlib_available, render_matplotlib
+from repro.plots.render import FORMATS, build_figure, figure_filename, render_experiment, render_figure
+from repro.plots.svg import render_svg
+
+__all__ = [
+    "Figure",
+    "Series",
+    "FORMATS",
+    "build_figure",
+    "figure_filename",
+    "render_experiment",
+    "render_figure",
+    "render_svg",
+    "render_matplotlib",
+    "matplotlib_available",
+    "generate_gallery",
+    "write_gallery",
+    "check_gallery",
+]

@@ -1,0 +1,66 @@
+"""Backend dispatch: registered experiment → figure → image bytes.
+
+Contract: :func:`render_figure` maps a declarative figure plus a format
+name to image bytes — ``svg`` uses the built-in pure-Python backend
+(:mod:`repro.plots.svg`, always available, byte-deterministic), ``png``
+requires the optional matplotlib backend (:mod:`repro.plots.mpl`) and
+fails with a clear :class:`~repro.exceptions.ConfigurationError` when it
+is missing.  :func:`render_experiment` is the registry-driven path the
+CLI and the gallery use: it looks up an experiment's ``plot`` hook, runs
+it on a stored payload and renders the result, so a new experiment gets
+figures by declaring a hook — never by adding a script here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.registry import get_experiment
+from repro.exceptions import ConfigurationError
+from repro.plots.figure import Figure
+from repro.plots.mpl import render_matplotlib
+from repro.plots.svg import render_svg
+
+__all__ = ["FORMATS", "build_figure", "figure_filename", "render_experiment", "render_figure"]
+
+#: Image formats ``python -m repro plot --format`` accepts.
+FORMATS = ("svg", "png")
+
+
+def render_figure(figure: Figure, *, format: str = "svg") -> bytes:
+    """Render one figure to image bytes in the requested format."""
+    if not isinstance(figure, Figure):
+        raise ConfigurationError(f"expected a repro.plots Figure, got {type(figure).__name__}")
+    if format == "svg":
+        return render_svg(figure)
+    if format == "png":
+        return render_matplotlib(figure, format="png")
+    raise ConfigurationError(f"unknown figure format {format!r}; known: {FORMATS}")
+
+
+def figure_filename(experiment: str, *, format: str = "svg") -> str:
+    """Canonical image file name for one experiment's figure."""
+    if format not in FORMATS:
+        raise ConfigurationError(f"unknown figure format {format!r}; known: {FORMATS}")
+    return f"{experiment}.{format}"
+
+
+def build_figure(experiment: str, payload: Any) -> Figure:
+    """Run an experiment's registered ``plot`` hook on a payload."""
+    registered = get_experiment(experiment)
+    if registered.plot is None:
+        raise ConfigurationError(
+            f"experiment {experiment!r} has no registered plot hook; "
+            "pass plot= to register() in its driver module"
+        )
+    figure = registered.plot(payload)
+    if not isinstance(figure, Figure):
+        raise ConfigurationError(
+            f"plot hook of experiment {experiment!r} returned {type(figure).__name__}, expected a Figure"
+        )
+    return figure
+
+
+def render_experiment(experiment: str, payload: Any, *, format: str = "svg") -> bytes:
+    """Render one experiment's figure from a stored payload."""
+    return render_figure(build_figure(experiment, payload), format=format)

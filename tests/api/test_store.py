@@ -122,9 +122,44 @@ class TestQuery:
         assert len(store.query(engine="scalar")) == len(results)
 
     def test_query_unknown_param_matches_nothing(self, tmp_path, results):
+        # Documented default: a filter key an envelope does not record is a
+        # silent non-match, not an error (stores mix signatures).
         store = ResultStore(tmp_path)
         store.append(results[0])
         assert store.query(bogus_param=1) == []
+
+    def test_strict_query_raises_on_unknown_filter_key(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        store.append(results[2])  # table_packet_sizes(advertising_interval_s=0.04)
+        with pytest.raises(ConfigurationError, match=r"bogus_param.*known parameters"):
+            store.query("table_packet_sizes", strict=True, bogus_param=1)
+
+    def test_strict_query_tolerates_default_runs(self, tmp_path, results):
+        # results[1] ran table_packet_sizes with driver defaults, so the
+        # envelope records no parameters; the key is still in the schema,
+        # so strict mode treats it as a quiet non-match, not a typo.
+        store = ResultStore(tmp_path)
+        store.append(results[1])
+        assert store.query("table_packet_sizes", strict=True, advertising_interval_s=0.04) == []
+
+    def test_strict_query_with_known_keys_matches_normally(self, tmp_path, results):
+        store = ResultStore(tmp_path)
+        for result in results:
+            store.append(result)
+        strict = store.query("table_packet_sizes", strict=True, advertising_interval_s=0.04)
+        relaxed = store.query("table_packet_sizes", advertising_interval_s=0.04)
+        assert len(strict) == len(relaxed) == 1
+
+    def test_strict_query_only_checks_candidate_envelopes(self, tmp_path, results):
+        # fig17 records messages_per_point; table_* results do not, but the
+        # experiment filter excludes them before the key check applies.
+        store = ResultStore(tmp_path)
+        for result in results:
+            store.append(result)
+        assert len(store.query("fig17", strict=True, messages_per_point=10)) == 1
+
+    def test_strict_query_on_empty_store_raises_nothing(self, tmp_path):
+        assert ResultStore(tmp_path).query("fig17", strict=True, bogus_param=1) == []
 
 
 class TestMerge:
