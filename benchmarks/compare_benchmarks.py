@@ -21,17 +21,26 @@ both files come from the same machine).
 Refreshing the baseline after an intentional performance change::
 
     PYTHONPATH=src python -m pytest benchmarks --benchmark-json=benchmarks/baseline.json
-    python benchmarks/compare_benchmarks.py --slim benchmarks/baseline.json
+    python benchmarks/compare_benchmarks.py --slim benchmarks/baseline.json \
+        --append-trend benchmarks/trends/runtime.json --pr N
 
-then commit the regenerated file together with the change that explains it.
-The ``--slim`` pass strips pytest-benchmark's raw per-round samples (several
-MB) down to the per-benchmark medians/minimums the gate actually reads.
+then commit the regenerated files together with the change that explains
+them.  The ``--slim`` pass strips pytest-benchmark's raw per-round samples
+(several MB) down to the per-benchmark medians/minimums the gate actually
+reads; ``--append-trend`` records the refreshed medians as PR *N*'s entry
+in the observatory's runtime trend (re-appending a PR replaces its entry).
+
+``--json OUT`` writes the comparison as machine-readable JSON next to the
+human table: normalisation factors, per-benchmark ratios and the
+regression verdicts.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
+from pathlib import Path
 
 
 def load_stats(path: str) -> dict[str, tuple[float, float]]:
@@ -58,13 +67,16 @@ def compare(
     *,
     threshold: float,
     absolute: bool,
+    json_out: str | None = None,
 ) -> int:
     """Print a comparison table; return the number of regressions.
 
     A benchmark counts as regressed only when *both* its median and its
     minimum round time exceed the threshold: a genuine slowdown shifts the
     whole timing distribution, while a transient load spike on the runner
-    inflates the median but leaves the minimum untouched.
+    inflates the median but leaves the minimum untouched.  With
+    ``json_out``, the same comparison is also written as machine-readable
+    JSON.
     """
     common = sorted(set(baseline) & set(current))
     if not common:
@@ -91,12 +103,14 @@ def compare(
 
     regressions = 0
     width = max(len(name) for name in common)
+    report: dict[str, dict] = {}
     print(f"{'benchmark'.ljust(width)} | baseline | current  | median | min")
     for name in common:
         norm_median = median_ratios[name] / median_scale
         norm_min = min_ratios[name] / min_scale
+        regressed = norm_median > threshold and norm_min > threshold
         flag = ""
-        if norm_median > threshold and norm_min > threshold:
+        if regressed:
             regressions += 1
             flag = f"  REGRESSION (> {threshold:.2f}x)"
         elif norm_median > threshold:
@@ -105,7 +119,44 @@ def compare(
             f"{name.ljust(width)} | {baseline[name][0] * 1e3:7.2f}ms | "
             f"{current[name][0] * 1e3:7.2f}ms | {norm_median:5.2f}x | {norm_min:5.2f}x{flag}"
         )
+        report[name] = {
+            "baseline_median_s": baseline[name][0],
+            "baseline_min_s": baseline[name][1],
+            "current_median_s": current[name][0],
+            "current_min_s": current[name][1],
+            "median_ratio": median_ratios[name],
+            "min_ratio": min_ratios[name],
+            "normalized_median": norm_median,
+            "normalized_min": norm_min,
+            "regressed": regressed,
+        }
+    if json_out is not None:
+        document = {
+            "threshold": threshold,
+            "absolute": absolute,
+            "normalization": {"median": median_scale, "min": min_scale},
+            "benchmarks": report,
+            "regressions": regressions,
+        }
+        with open(json_out, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote machine-readable comparison to {json_out}")
     return regressions
+
+
+def append_trend(trend_path: str, benchmark_json: str, pr: int) -> None:
+    """Record *benchmark_json*'s medians as PR *pr*'s runtime trend entry."""
+    try:
+        from repro.obs import trends
+    except ImportError:  # running without PYTHONPATH=src
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.obs import trends
+
+    document = trends.append_entry(
+        trend_path, kind="runtime", entry=trends.runtime_entry(benchmark_json, pr=pr)
+    )
+    print(f"appended PR {pr} to {trend_path} ({len(document['entries'])} entr(y/ies))")
 
 
 def slim(path: str) -> None:
@@ -153,10 +204,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite BASELINE in place, stripping raw samples down to the gated stats",
     )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="OUT",
+        help="also write the comparison as machine-readable JSON to this file",
+    )
+    parser.add_argument(
+        "--append-trend",
+        default=None,
+        metavar="TREND.json",
+        help="append the run's medians to this observatory runtime trend (needs --pr)",
+    )
+    parser.add_argument(
+        "--pr", type=int, default=None, help="PR number the trend entry is recorded under"
+    )
     args = parser.parse_args(argv)
+
+    if args.append_trend is not None and args.pr is None:
+        parser.error("--append-trend requires --pr")
 
     if args.slim:
         slim(args.baseline)
+        if args.append_trend is not None:
+            append_trend(args.append_trend, args.baseline, args.pr)
         return 0
     if args.current is None:
         parser.error("CURRENT is required unless --slim is given")
@@ -166,7 +238,10 @@ def main(argv: list[str] | None = None) -> int:
         load_stats(args.current),
         threshold=args.threshold,
         absolute=args.absolute,
+        json_out=args.json_out,
     )
+    if args.append_trend is not None:
+        append_trend(args.append_trend, args.current, args.pr)
     if regressions:
         print(f"\nFAIL: {regressions} benchmark(s) regressed beyond {args.threshold:.2f}x")
         return 1

@@ -58,7 +58,7 @@ from repro.api.result import SCHEMA_VERSION, Result, validate_result_dict
 from repro.api.runner import Runner
 from repro.api.serialization import canonical_json, decode, encode, payload_equal, validate_encoded
 from repro.api.spec import ExperimentSpec
-from repro.api.store import ResultStore, invocation_key, representative, result_key
+from repro.api.store import MergeStats, ResultStore, invocation_key, representative, result_key
 
 __all__ = [
     "Frame",
@@ -70,6 +70,7 @@ __all__ = [
     "derive_seed",
     "load_specs",
     "read_specs",
+    "MergeStats",
     "ResultStore",
     "invocation_key",
     "representative",

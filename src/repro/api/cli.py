@@ -41,6 +41,20 @@ Subcommands
     backend (the default ``svg`` backend is built in and
     byte-deterministic), and ``--check-manifest`` verifies the committed
     gallery and images match a fresh render instead of writing.
+``stats --store DIR``
+    Per-experiment telemetry tables from the envelopes' attached
+    :mod:`repro.obs` documents: wall time mean/p50/p95, span counts,
+    events/sec and the netsim fast-path hit rate, plus every counter's
+    store-wide total.  ``--experiment NAME`` restricts the view and
+    ``--json`` emits the same as machine-readable JSON.
+``trace NAME``
+    Execute one run (same ``--engine``/``--seed``/``--set``/``--fast``
+    policy as ``run``) and print its telemetry span tree and counters —
+    the quickest way to see where a driver spends its time.
+``merge --into DIR SOURCE [SOURCE ...]``
+    Fold source stores into a destination store, logging each source's
+    :class:`~repro.api.store.MergeStats` (ingested / deduplicated /
+    torn lines skipped).
 """
 
 from __future__ import annotations
@@ -61,6 +75,8 @@ from repro.api.runner import Runner
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, representative
 from repro.exceptions import ReproError
+from repro.obs.metrics import format_span_tree
+from repro.obs.stats import counter_totals, stats_frame
 from repro.plots.gallery import check_gallery, write_gallery
 from repro.plots.render import FORMATS, figure_filename, render_experiment
 
@@ -192,6 +208,32 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify the committed gallery and images match a fresh render instead of writing",
     )
+
+    stats_parser = sub.add_parser("stats", help="summarize a store's telemetry per experiment")
+    stats_parser.add_argument("--store", required=True, metavar="DIR", help="result store to summarize")
+    stats_parser.add_argument(
+        "--experiment", default=None, metavar="NAME", help="restrict the summary to one experiment"
+    )
+    stats_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    trace_parser = sub.add_parser("trace", help="run one experiment and print its span tree")
+    trace_parser.add_argument("name", help="experiment name (see `list`)")
+    trace_parser.add_argument("--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path)")
+    trace_parser.add_argument("--seed", type=int, default=None, help="seed override for seedable experiments")
+    trace_parser.add_argument(
+        "--set",
+        dest="overrides",
+        metavar="KEY=VALUE",
+        type=_parse_override,
+        action="append",
+        default=[],
+        help="parameter override (repeatable; value parsed as JSON, then as a Python literal)",
+    )
+    trace_parser.add_argument("--fast", action="store_true", help="use the experiment's reduced smoke parameters")
+
+    merge_parser = sub.add_parser("merge", help="fold source stores into a destination store")
+    merge_parser.add_argument("sources", nargs="+", metavar="SOURCE", help="store directories to merge from")
+    merge_parser.add_argument("--into", required=True, metavar="DIR", help="destination store directory")
     return parser
 
 
@@ -414,6 +456,69 @@ def _cmd_plot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    results = list(store.iter_results())
+    if args.experiment is not None:
+        get_experiment(args.experiment)  # unknown names fail loudly
+        results = [result for result in results if result.experiment == args.experiment]
+    if not results:
+        print(f"error: store {args.store} holds no matching results", file=sys.stderr)
+        return 1
+    frame = stats_frame(results)
+    totals = counter_totals(results)
+    if args.json:
+        print(json.dumps({"experiments": frame.rows(), "counters": totals}, indent=2))
+        return 0
+    width = max(len(name) for name in frame.column("experiment"))
+    header = f"{'experiment'.ljust(width)}  runs  obs  mean s   p50 s    p95 s    spans  events/s  fast-path"
+    print(header)
+    print("-" * len(header))
+    for row in frame.rows():
+        print(
+            f"{row['experiment'].ljust(width)}  {row['runs']:4d}  {row['observed']:3d}  "
+            f"{row['runtime_mean_s']:7.3f}  {row['runtime_p50_s']:7.3f}  {row['runtime_p95_s']:7.3f}  "
+            f"{row['spans']:5d}  {row['events_per_s']:8.0f}  {row['fast_path_hit_rate']:9.3f}"
+        )
+    if totals:
+        print("\ncounters (store-wide totals):")
+        name_width = max(len(name) for name in totals)
+        for name, value in totals.items():
+            print(f"  {name.ljust(name_width)}  {value}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.name)
+    params = dict(experiment.fast_params) if args.fast else {}
+    params.update(dict(args.overrides))
+    result = Runner(seed=args.seed, engine=args.engine).run(args.name, params=params)
+    print(f"== {experiment.title} [{result.engine}, {result.runtime_s:.2f} s] ==")
+    for line in format_span_tree(result.telemetry):
+        print(line)
+    counters = result.telemetry["counters"]
+    if counters:
+        print("counters:")
+        name_width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            print(f"  {name.ljust(name_width)}  {counters[name]}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    destination = ResultStore(args.into)
+    ingested = 0
+    for source in args.sources:
+        stats = destination.merge(source)
+        ingested += stats.ingested
+        print(
+            f"{source}: {stats.ingested} ingested, {stats.deduped} deduplicated, "
+            f"{stats.torn_lines_skipped} torn line(s) skipped"
+        )
+    print(f"store {args.into} now holds {len(destination)} result(s) (+{ingested})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -426,6 +531,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_report(args)
         if args.command == "plot":
             return _cmd_plot(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
         return _cmd_run(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -7,6 +7,13 @@ and the driver's native payload dataclass.  The envelope serializes to
 strict JSON and back (:meth:`Result.to_json` / :meth:`Result.from_json`)
 with the payload reconstructed as the original dataclass type, so figures
 can be regenerated, archived and diffed from the shell.
+
+The optional ``telemetry`` field carries the run's
+:mod:`repro.obs.metrics` document (its own ``telemetry_version`` stamp,
+counters/gauges/span tree).  Like ``runtime_s`` it is observability-only:
+excluded from :func:`repro.api.store.result_key` and from every
+byte-deterministic generated document, so telemetry-on and telemetry-off
+campaigns produce identical reports and figures.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Any
 
 from repro.api.serialization import decode, encode, payload_equal, validate_encoded
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import validate_telemetry
 
 __all__ = ["Result", "SCHEMA_VERSION", "validate_result_dict"]
 
@@ -51,6 +59,10 @@ class Result:
         Wall-clock runtime of the driver call.
     payload:
         The driver's native frozen-dataclass result, untouched.
+    telemetry:
+        Optional :mod:`repro.obs` telemetry document (already strict
+        JSON), or ``None`` when the run was not observed.  Never part of
+        result identity or of generated-document bytes.
     """
 
     experiment: str
@@ -59,10 +71,11 @@ class Result:
     params: dict[str, Any] = field(default_factory=dict)
     runtime_s: float = 0.0
     payload: Any = None
+    telemetry: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Strict-JSON-compatible dict form of the envelope."""
-        return {
+        document = {
             "schema_version": SCHEMA_VERSION,
             "experiment": self.experiment,
             "engine": self.engine,
@@ -71,6 +84,9 @@ class Result:
             "runtime_s": float(self.runtime_s),
             "payload": encode(self.payload),
         }
+        if self.telemetry is not None:
+            document["telemetry"] = self.telemetry
+        return document
 
     def to_json(self, *, indent: int | None = None) -> str:
         """Serialize the envelope to a strict JSON string."""
@@ -87,6 +103,7 @@ class Result:
             params=decode(data["params"]),
             runtime_s=float(data["runtime_s"]),
             payload=decode(data["payload"]),
+            telemetry=data.get("telemetry"),
         )
 
     @classmethod
@@ -121,5 +138,7 @@ def validate_result_dict(data: Any) -> None:
         raise ConfigurationError("result field 'seed' must be an integer or null")
     if "payload" not in data:
         raise ConfigurationError("result document is missing required field 'payload'")
+    if data.get("telemetry") is not None:
+        validate_telemetry(data["telemetry"])
     validate_encoded(data["params"], path="params")
     validate_encoded(data["payload"], path="payload")

@@ -23,6 +23,15 @@ Runs come back as :class:`repro.api.result.Result` envelopes.
 :class:`~repro.api.store.ResultStore` (workers append to their own JSONL
 shard) and, with ``resume=True``, skips specs whose results a partial
 store already holds — a killed campaign continues where it stopped.
+
+Every driver call executes inside a root :mod:`repro.obs` span
+(``run.<experiment>``), so the instrumentation points threaded through
+netsim and mc land in one telemetry document per run, attached to the
+envelope's ``telemetry`` field.  Worker processes each collect their own
+runs' telemetry; because it rides inside the envelope JSON, sharded
+campaigns aggregate it across the process boundary for free.  Pass
+``Runner(telemetry=False)`` to disable collection entirely — results,
+reports and figures are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -37,11 +46,15 @@ from repro.api.result import Result
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, invocation_key
 from repro.exceptions import ConfigurationError
+from repro.obs import metrics as obs
+from repro.obs.metrics import Collector
 
 __all__ = ["Runner"]
 
 
-def _run_spec_task(task: tuple[dict[str, Any], int | None, str | None, str | None]) -> dict[str, Any]:
+def _run_spec_task(
+    task: tuple[dict[str, Any], int | None, str | None, str | None, bool],
+) -> dict[str, Any]:
     """Worker entry point: execute one serialized spec, return its envelope.
 
     Module-level (hence picklable under any multiprocessing start method);
@@ -49,8 +62,8 @@ def _run_spec_task(task: tuple[dict[str, Any], int | None, str | None, str | Non
     dataclasses never need to pickle.  When a store directory is given the
     worker appends the envelope to its own PID-named shard.
     """
-    spec_dict, seed, engine, store_dir = task
-    runner = Runner(seed=seed, engine=engine)
+    spec_dict, seed, engine, store_dir, telemetry = task
+    runner = Runner(seed=seed, engine=engine, telemetry=telemetry)
     result = runner._execute(ExperimentSpec.from_dict(spec_dict))
     document = result.to_dict()
     if store_dir is not None:
@@ -74,14 +87,26 @@ class Runner:
         Worker processes for :meth:`run_batch` / :meth:`run_all`.  ``1``
         (the default) executes in-process; results are identical either
         way because seeds are resolved per spec before dispatch.
+    telemetry:
+        Whether to collect a :mod:`repro.obs` telemetry document per run
+        and attach it to the envelope (default ``True``).  Payloads,
+        result keys, reports and figures are byte-identical either way.
     """
 
-    def __init__(self, *, seed: int | None = None, engine: str | None = None, jobs: int = 1):
+    def __init__(
+        self,
+        *,
+        seed: int | None = None,
+        engine: str | None = None,
+        jobs: int = 1,
+        telemetry: bool = True,
+    ):
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.seed = seed
         self.engine = engine
         self.jobs = jobs
+        self.telemetry = telemetry
 
     def run(
         self,
@@ -148,6 +173,12 @@ class Runner:
                 if index is not None and index not in cached:
                     cached[index] = Result.from_dict(document)
             pending = [index for index in range(len(specs)) if index not in cached]
+            # Zero-valued counters would clutter every observed batch's
+            # document; record only what actually happened.
+            if cached:
+                obs.count("store.resume_hits", len(cached))
+            if pending:
+                obs.count("store.resume_misses", len(pending))
 
         # Cached and pending indices are complementary and both ascending, so
         # walking spec order and pulling fresh results lazily reports each
@@ -179,7 +210,10 @@ class Runner:
                 yield index, result
             return
         store_dir = str(store.root) if store is not None else None
-        tasks = [(specs[index].to_dict(), self.seed, self.engine, store_dir) for index in pending]
+        tasks = [
+            (specs[index].to_dict(), self.seed, self.engine, store_dir, self.telemetry)
+            for index in pending
+        ]
         chunksize = max(1, len(tasks) // (self.jobs * 4))
         with ProcessPoolExecutor(max_workers=self.jobs, initializer=load_registry) as executor:
             for index, document in zip(pending, executor.map(_run_spec_task, tasks, chunksize=chunksize)):
@@ -221,8 +255,17 @@ class Runner:
     def _execute(self, spec: ExperimentSpec) -> Result:
         experiment = spec.resolve()
         call_params, effective_engine, effective_seed = self._resolve_call(spec, experiment)
+        telemetry: dict[str, Any] | None = None
         start = time.perf_counter()
-        payload = experiment.run(**call_params)
+        if self.telemetry:
+            collector = Collector()
+            with collector.activate(), collector.span(
+                f"run.{experiment.name}", engine=effective_engine, seed=effective_seed
+            ):
+                payload = experiment.run(**call_params)
+            telemetry = collector.to_dict()
+        else:
+            payload = experiment.run(**call_params)
         runtime = time.perf_counter() - start
         recorded = {name: value for name, value in call_params.items() if name != "engine"}
         return Result(
@@ -232,6 +275,7 @@ class Runner:
             params=recorded,
             runtime_s=runtime,
             payload=payload,
+            telemetry=telemetry,
         )
 
     def _resolve_call(

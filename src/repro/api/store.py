@@ -21,6 +21,7 @@ import hashlib
 import json
 import os
 from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -28,8 +29,9 @@ from repro.api.registry import get_experiment
 from repro.api.result import Result
 from repro.api.serialization import canonical_json, decode, payload_equal
 from repro.exceptions import ConfigurationError
+from repro.obs import metrics as obs
 
-__all__ = ["ResultStore", "result_key", "invocation_key", "representative"]
+__all__ = ["MergeStats", "ResultStore", "result_key", "invocation_key", "representative"]
 
 _UNSET = object()
 
@@ -62,6 +64,27 @@ def representative(results: "list[Result]") -> Result:
     return min(results, key=result_key)
 
 
+@dataclass(frozen=True)
+class MergeStats:
+    """Outcome of one :meth:`ResultStore.merge` call.
+
+    Attributes
+    ----------
+    ingested:
+        Envelopes copied into the destination store.
+    deduped:
+        Source envelopes skipped because the destination already held
+        their invocation (or an earlier source line did).
+    torn_lines_skipped:
+        Source lines that did not parse as JSON — the truncated tail a
+        killed writer leaves behind.
+    """
+
+    ingested: int
+    deduped: int
+    torn_lines_skipped: int
+
+
 def _document_key(document: dict[str, Any]) -> str:
     # Decode only the params (not the payload): `invocation_key` canonicalizes
     # decoded values, and skipping the payload keeps key scans cheap on
@@ -91,6 +114,8 @@ class ResultStore:
         self._shard = shard or f"shard-{os.getpid()}.jsonl"
         if Path(self._shard).name != self._shard:
             raise ConfigurationError(f"shard name {self._shard!r} must not contain path separators")
+        #: Torn (unparseable) lines skipped across this instance's reads.
+        self.torn_lines_skipped = 0
 
     @property
     def shard_path(self) -> Path:
@@ -111,22 +136,34 @@ class ResultStore:
             handle.write(line + "\n")
             handle.flush()
 
-    def merge(self, other: "ResultStore | str | Path") -> int:
+    def merge(self, other: "ResultStore | str | Path") -> MergeStats:
         """Copy envelopes from *other* that this store does not hold yet.
 
-        Returns the number of envelopes merged in; duplicates (by
-        :func:`result_key`) are skipped, so merging is idempotent.
+        Duplicates (by :func:`result_key`) are skipped, so merging is
+        idempotent.  Returns a :class:`MergeStats` accounting for every
+        source line: ingested, deduplicated, or torn and skipped.
         """
         source = other if isinstance(other, ResultStore) else ResultStore(other)
         seen = self.existing_keys()
-        merged = 0
+        ingested = 0
+        deduped = 0
+        torn_before = source.torn_lines_skipped
         for key, document in source.iter_keyed_documents():
             if key in seen:
+                deduped += 1
                 continue
             seen.add(key)
             self.append_document(document)
-            merged += 1
-        return merged
+            ingested += 1
+        stats = MergeStats(
+            ingested=ingested,
+            deduped=deduped,
+            torn_lines_skipped=source.torn_lines_skipped - torn_before,
+        )
+        obs.count("store.merge.ingested", stats.ingested)
+        obs.count("store.merge.deduped", stats.deduped)
+        obs.count("store.merge.torn_lines_skipped", stats.torn_lines_skipped)
+        return stats
 
     # -- reading -----------------------------------------------------------
 
@@ -138,7 +175,8 @@ class ResultStore:
         """Yield raw envelope dicts from every shard, duplicates included.
 
         A line that does not parse as JSON (the tail of a killed writer) is
-        skipped rather than poisoning the whole store.
+        skipped — counted in :attr:`torn_lines_skipped` — rather than
+        poisoning the whole store.
         """
         for path in self.shard_paths():
             with open(path, encoding="utf-8") as handle:
@@ -149,6 +187,8 @@ class ResultStore:
                     try:
                         document = json.loads(line)
                     except json.JSONDecodeError:
+                        self.torn_lines_skipped += 1
+                        obs.count("store.torn_lines_skipped")
                         continue
                     if isinstance(document, dict):
                         yield document

@@ -26,6 +26,7 @@ from repro.channel.link_budget import DEFAULT_CONVERSION_LOSS_DB
 from repro.channel.noise import NoiseModel
 from repro.channel.propagation import PathLossModel
 from repro.channel.error_models import ber_ook_envelope
+from repro.obs import metrics as obs
 from repro.utils.bits import as_bit_array
 
 __all__ = ["BackscatterCard", "CardToCardLink", "CardMessageResult"]
@@ -130,6 +131,7 @@ class CardToCardLink:
         """Power of the modulated reflection arriving at the receiving card."""
         if card_separation_inches <= 0:
             raise ConfigurationError("card_separation_inches must be positive")
+        obs.count("channel.link_realisations")
         incident = (
             self.phone_power_dbm
             + 2.0  # phone antenna

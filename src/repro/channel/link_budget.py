@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import LinkBudgetError
+from repro.obs import metrics as obs
 from repro.channel.antennas import ANTENNAS, AntennaModel
 from repro.channel.noise import NoiseModel
 from repro.channel.propagation import PathLossModel
@@ -121,6 +122,7 @@ class BackscatterLinkBudget:
         """Evaluate the link for the given hop distances (in metres)."""
         if source_to_tag_m < 0 or tag_to_receiver_m < 0:
             raise LinkBudgetError("distances must be non-negative")
+        obs.count("channel.link_realisations")
 
         tissue_loss = 0.0
         if self.tissue is not None:
@@ -183,6 +185,7 @@ class DirectLinkBudget:
 
     def received_power_dbm(self, distance_m: float, *, rng: np.random.Generator | None = None) -> float:
         """Received power for a given distance."""
+        obs.count("channel.link_realisations")
         tissue_loss = 0.0
         if self.tissue is not None:
             tissue_loss = tissue_attenuation_db(self.tissue, passes=1)

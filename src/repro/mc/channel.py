@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.channel.link_budget import BackscatterLinkBudget, DirectLinkBudget
 from repro.channel.tissue import tissue_attenuation_db
+from repro.obs import metrics as obs
 
 __all__ = ["BatchLinkResult", "backscatter_link_batch", "direct_rssi_batch"]
 
@@ -67,6 +68,7 @@ def backscatter_link_batch(
     d_in, d_out = np.broadcast_arrays(
         np.asarray(source_to_tag_m, dtype=float), np.asarray(tag_to_receiver_m, dtype=float)
     )
+    obs.count("channel.link_realisations", int(d_in.size))
     tissue_loss = 0.0
     if budget.tissue is not None:
         tissue_loss = tissue_attenuation_db(budget.tissue, passes=1)
@@ -100,6 +102,7 @@ def direct_rssi_batch(
     rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Received power of the one-hop link for an array of distances."""
+    obs.count("channel.link_realisations", int(np.size(distance_m)))
     tissue_loss = 0.0
     if budget.tissue is not None:
         tissue_loss = tissue_attenuation_db(budget.tissue, passes=1)

@@ -27,6 +27,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.channel.error_models import wifi_packet_error_rate
 from repro.mc.sweep import AnalyticWifiPerPipeline, run_sweep
+from repro.obs import metrics as obs
 from repro.utils.dsp import scalar_or_array
 
 __all__ = ["PerTable", "LinkAbstraction"]
@@ -101,11 +102,13 @@ class LinkAbstraction:
             cached = self._build(rate_mbps=key[0], payload_bytes=key[1])
             self._tables[key] = cached
             self.tables_built += 1
+            obs.count("mc.link_abstraction.tables_built")
         return cached
 
     def per(self, sinr_db: float, *, rate_mbps: float, payload_bytes: int) -> float:
         """Table-lookup PER for one packet outcome."""
         self.lookups += 1
+        obs.count("mc.link_abstraction.lookups")
         return self.table(rate_mbps=rate_mbps, payload_bytes=payload_bytes).lookup(sinr_db)
 
     def per_array(
@@ -113,6 +116,7 @@ class LinkAbstraction:
     ) -> np.ndarray:
         """Vectorised lookup for a batch of SINRs of the same link class."""
         self.lookups += int(np.size(sinr_db))
+        obs.count("mc.link_abstraction.lookups", int(np.size(sinr_db)))
         return np.asarray(
             self.table(rate_mbps=rate_mbps, payload_bytes=payload_bytes).lookup(sinr_db)
         )

@@ -36,6 +36,7 @@ from repro.mc.kernels import (
     scramble_batch,
 )
 from repro.mc.viterbi import BatchViterbiDecoder, encode_batch
+from repro.obs import metrics as obs
 from repro.wifi.ofdm.rates import OfdmRate
 
 __all__ = [
@@ -107,16 +108,29 @@ def run_sweep(
 
     error_rate = np.empty(points.size)
     std_error = np.empty(points.size)
-    for index, snr_db in enumerate(points):
-        stats: list[np.ndarray] = []
-        remaining = trials
-        while remaining > 0:
-            batch = min(chunk, remaining)
-            stats.append(np.asarray(pipeline.run_batch(float(snr_db), batch, generator), dtype=float))
-            remaining -= batch
-        merged = np.concatenate(stats)
-        error_rate[index] = float(np.mean(merged))
-        std_error[index] = float(np.std(merged) / np.sqrt(merged.size))
+    with obs.span(
+        "mc.run_sweep",
+        pipeline=type(pipeline).__name__,
+        points=int(points.size),
+        trials=int(trials),
+    ):
+        for index, snr_db in enumerate(points):
+            stats: list[np.ndarray] = []
+            remaining = trials
+            while remaining > 0:
+                batch = min(chunk, remaining)
+                obs.count("mc.sweep.batches")
+                obs.count("mc.sweep.trials", batch)
+                with obs.span("mc.pipeline.run_batch", snr_db=float(snr_db), trials=batch):
+                    stats.append(
+                        np.asarray(
+                            pipeline.run_batch(float(snr_db), batch, generator), dtype=float
+                        )
+                    )
+                remaining -= batch
+            merged = np.concatenate(stats)
+            error_rate[index] = float(np.mean(merged))
+            std_error[index] = float(np.std(merged) / np.sqrt(merged.size))
     return SweepResult(
         snr_db=points, error_rate=error_rate, std_error=std_error, trials=trials
     )

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.mc.kernels import _as_matrix
+from repro.obs import metrics as obs
 from repro.wifi.ofdm.convolutional import (
     CONSTRAINT_LENGTH,
     _G1_TAPS,
@@ -136,38 +137,40 @@ class BatchViterbiDecoder:
                 raise ValueError("known_mask shape mismatch")
         num_steps = length // 2
 
-        metrics = np.full((n, _NUM_STATES), np.inf)
-        metrics[:, initial_state] = 0.0
-        # Survivor choice per step: which of the two ordered predecessors won.
-        choices = np.empty((num_steps, n, _NUM_STATES), dtype=np.uint8)
+        with obs.span("mc.viterbi.decode_batch", codewords=int(n), coded_bits=int(length)):
+            obs.count("mc.viterbi.codewords_decoded", n)
+            metrics = np.full((n, _NUM_STATES), np.inf)
+            metrics[:, initial_state] = 0.0
+            # Survivor choice per step: which of the two ordered predecessors won.
+            choices = np.empty((num_steps, n, _NUM_STATES), dtype=np.uint8)
 
-        branch = self._branch_outputs  # [64, 2, 2]
-        pred = self._pred  # [64, 2]
-        for step in range(num_steps):
-            r = coded[:, 2 * step : 2 * step + 2]  # [N, 2]
-            m = known[:, 2 * step : 2 * step + 2]  # [N, 2]
-            # Branch cost of each next state's two incoming transitions.  The
-            # boolean mismatch terms must be cast *before* summing: numpy adds
-            # booleans as logical OR, which would collapse a two-bit mismatch
-            # into a cost of 1.
-            cost = (
-                ((branch[None, :, :, 0] != r[:, None, None, 0]) & m[:, None, None, 0]).astype(
-                    np.float64
-                )
-                + ((branch[None, :, :, 1] != r[:, None, None, 1]) & m[:, None, None, 1]).astype(
-                    np.float64
-                )
-            )  # [N, 64, 2]
-            candidates = metrics[:, pred] + cost  # [N, 64, 2]
-            choice = np.argmin(candidates, axis=2)  # ties -> lower predecessor
-            choices[step] = choice
-            metrics = np.take_along_axis(candidates, choice[:, :, None], axis=2)[:, :, 0]
+            branch = self._branch_outputs  # [64, 2, 2]
+            pred = self._pred  # [64, 2]
+            for step in range(num_steps):
+                r = coded[:, 2 * step : 2 * step + 2]  # [N, 2]
+                m = known[:, 2 * step : 2 * step + 2]  # [N, 2]
+                # Branch cost of each next state's two incoming transitions.  The
+                # boolean mismatch terms must be cast *before* summing: numpy adds
+                # booleans as logical OR, which would collapse a two-bit mismatch
+                # into a cost of 1.
+                cost = (
+                    ((branch[None, :, :, 0] != r[:, None, None, 0]) & m[:, None, None, 0]).astype(
+                        np.float64
+                    )
+                    + ((branch[None, :, :, 1] != r[:, None, None, 1]) & m[:, None, None, 1]).astype(
+                        np.float64
+                    )
+                )  # [N, 64, 2]
+                candidates = metrics[:, pred] + cost  # [N, 64, 2]
+                choice = np.argmin(candidates, axis=2)  # ties -> lower predecessor
+                choices[step] = choice
+                metrics = np.take_along_axis(candidates, choice[:, :, None], axis=2)[:, :, 0]
 
-        decoded = np.empty((n, num_steps), dtype=np.uint8)
-        state = np.argmin(metrics, axis=1)  # [N]; first occurrence, as scalar
-        rows = np.arange(n)
-        for step in range(num_steps - 1, -1, -1):
-            decoded[:, step] = state & 1
-            winner = choices[step, rows, state]
-            state = (state >> 1) | (winner.astype(np.int64) << (_HISTORY_BITS - 1))
-        return decoded
+            decoded = np.empty((n, num_steps), dtype=np.uint8)
+            state = np.argmin(metrics, axis=1)  # [N]; first occurrence, as scalar
+            rows = np.arange(n)
+            for step in range(num_steps - 1, -1, -1):
+                decoded[:, step] = state & 1
+                winner = choices[step, rows, state]
+                state = (state >> 1) | (winner.astype(np.int64) << (_HISTORY_BITS - 1))
+            return decoded

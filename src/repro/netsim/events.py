@@ -13,6 +13,7 @@ import heapq
 from typing import Callable
 
 from repro.exceptions import ConfigurationError
+from repro.obs import metrics as obs
 
 __all__ = ["Event", "EventScheduler"]
 
@@ -111,17 +112,22 @@ class EventScheduler:
         events executed.
         """
         executed = 0
-        while self._heap:
-            if max_events is not None and executed >= max_events:
-                return executed
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until_s is not None and head.time_s > until_s:
-                break
-            self.step()
-            executed += 1
-        if until_s is not None and until_s > self._now:
-            self._now = until_s
-        return executed
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return executed
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until_s is not None and head.time_s > until_s:
+                    break
+                self.step()
+                executed += 1
+            if until_s is not None and until_s > self._now:
+                self._now = until_s
+            return executed
+        finally:
+            # One aggregate count per run() call keeps the per-event hot
+            # loop free of any telemetry overhead.
+            obs.count("netsim.events.dispatched", executed)

@@ -37,6 +37,7 @@ from repro.core.downlink import InterscatterDownlink
 from repro.core.timing import InterscatterTiming
 from repro.mc.link_abstraction import LinkAbstraction
 from repro.netsim.events import EventScheduler
+from repro.obs import metrics as obs
 from repro.netsim.mac import (
     CsmaBackoff,
     MacProtocol,
@@ -446,17 +447,26 @@ class FleetSimulator:
     # ------------------------------------------------------------------- run
     def run(self) -> FleetMetrics:
         """Execute the scenario and return the collected metrics."""
-        for node in self.nodes:
-            node.mac.start()
-            # Desynchronise first arrivals across the fleet.
-            self._schedule_arrival(
-                node, float(self.rng.uniform(0.0, self.profile.period_s))
+        with obs.span(
+            "netsim.fleet.run",
+            profile=self.profile.name,
+            devices=self.scenario.num_devices,
+            mac=self.scenario.mac,
+            fast_path=self.scenario.phy_fast_path,
+        ):
+            for node in self.nodes:
+                node.mac.start()
+                # Desynchronise first arrivals across the fleet.
+                self._schedule_arrival(
+                    node, float(self.rng.uniform(0.0, self.profile.period_s))
+                )
+            self.scheduler.run(until_s=self.scenario.duration_s)
+            self.medium.finalize(self.scenario.duration_s)
+            self.metrics.finalize(
+                duration_s=self.scenario.duration_s,
+                busy_time_s=self.medium.busy_time_s,
+                airtime_s=self.medium.airtime_s,
             )
-        self.scheduler.run(until_s=self.scenario.duration_s)
-        self.medium.finalize(self.scenario.duration_s)
-        self.metrics.finalize(
-            duration_s=self.scenario.duration_s,
-            busy_time_s=self.medium.busy_time_s,
-            airtime_s=self.medium.airtime_s,
-        )
+        obs.gauge("netsim.medium.busy_time_s", self.medium.busy_time_s)
+        obs.gauge("netsim.medium.airtime_s", self.medium.airtime_s)
         return self.metrics

@@ -27,6 +27,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.channel.error_models import wifi_packet_error_rate
 from repro.channel.noise import NoiseModel
+from repro.obs import metrics as obs
 from repro.utils.dsp import dbm_to_watts
 
 __all__ = ["Transmission", "MediumOutcome", "SharedMedium"]
@@ -136,6 +137,9 @@ class SharedMedium:
         self.airtime_s = 0.0
         self.transmissions = 0
         self.collisions = 0
+        self.resolutions = 0
+        self.fast_path_hits = 0
+        self.phy_calls = 0
 
     # ---------------------------------------------------------------- status
     @property
@@ -207,19 +211,26 @@ class SharedMedium:
         sinr_db = float(
             10.0 * np.log10(tx.signal_w / (self._noise_w + tx.peak_interference_w))
         )
+        self.resolutions += 1
+        obs.count("netsim.medium.resolutions")
         collided = tx.peak_interference_w > 0.0
         if collided and sinr_db < self.capture_threshold_db:
             per = 1.0
         elif self.link_abstraction is not None:
+            self.fast_path_hits += 1
+            obs.count("netsim.medium.fast_path_hits")
             per = self.link_abstraction.per(
                 sinr_db, rate_mbps=tx.rate_mbps, payload_bytes=tx.psdu_bytes
             )
         else:
+            self.phy_calls += 1
+            obs.count("netsim.medium.phy_calls")
             per = wifi_packet_error_rate(
                 sinr_db, rate_mbps=tx.rate_mbps, payload_bytes=tx.psdu_bytes
             )
         if collided:
             self.collisions += 1
+            obs.count("netsim.medium.collisions")
         delivered = bool(
             tx.rssi_dbm >= self.receiver_sensitivity_dbm and rng.random() > per
         )

@@ -1,0 +1,294 @@
+"""Process-local metrics: counters, gauges and a span-based tracer.
+
+Contract: instrumentation points anywhere in the codebase call the
+module-level :func:`count` / :func:`gauge` / :func:`span` helpers.  When
+no :class:`Collector` is active (the default) every helper is a cheap
+no-op — one ``None`` check, no allocation — so instrumented hot paths
+cost nothing in un-observed runs.  When a collector is active (the
+:class:`~repro.api.runner.Runner` activates one around each driver call)
+the helpers record into it, and :meth:`Collector.to_dict` serializes
+everything to a strict-JSON *telemetry document*::
+
+    {"telemetry_version": 1,
+     "counters": {"netsim.events.dispatched": 1234, ...},
+     "gauges":   {"netsim.medium.utilization": 0.41, ...},
+     "spans":    [{"name": "run.mac_scaling", "attrs": {...},
+                   "duration_s": 1.2, "children": [...]}]}
+
+Span *structure* is deterministic by construction: span names are plain
+strings fixed at the call site and attributes must be JSON scalars
+derived from the run's parameters, so two runs of the same spec and seed
+produce structurally identical trees (:func:`structure` strips the
+wall-clock durations, which is what the determinism tests compare).
+Durations are wall-clock (:func:`time.perf_counter`) and, like the
+envelope's ``runtime_s``, never participate in result identity or in any
+byte-deterministic document.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterator
+
+from contextlib import contextmanager
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "TELEMETRY_VERSION",
+    "Collector",
+    "Span",
+    "active_collector",
+    "collect",
+    "count",
+    "gauge",
+    "span",
+    "structure",
+    "format_span_tree",
+    "validate_telemetry",
+]
+
+#: Version stamp of the telemetry document layout.
+TELEMETRY_VERSION = 1
+
+#: Attribute value types a span may carry (JSON scalars; None for "absent").
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+_ACTIVE: "Collector | None" = None
+
+
+def _check_name(kind: str, name: str) -> None:
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(f"{kind} name must be a non-empty string, got {name!r}")
+
+
+def _check_attrs(name: str, attrs: dict[str, Any]) -> dict[str, Any]:
+    for key, value in attrs.items():
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ConfigurationError(
+                f"span {name!r} attribute {key!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+        if isinstance(value, float) and value != value:  # NaN breaks strict JSON
+            raise ConfigurationError(f"span {name!r} attribute {key!r} is NaN (not strict-JSON)")
+    return attrs
+
+
+class Span:
+    """One timed, named region of a run, possibly with child spans."""
+
+    __slots__ = ("name", "attrs", "duration_s", "children")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.duration_s = 0.0
+        self.children: list[Span] = []
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON form of this span and its subtree."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "duration_s": float(self.duration_s),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Collector:
+    """Accumulates one run's counters, gauges and span tree.
+
+    A collector is process-local and not thread-safe by design: every
+    worker process owns its module state, and the runner activates one
+    collector per driver call.  Use :meth:`activate` (a context manager)
+    to make it the target of the module-level helpers; activations nest,
+    restoring the previous collector on exit.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------ recording
+    def count(self, name: str, n: int = 1) -> None:
+        """Add *n* to the named monotonic counter."""
+        _check_name("counter", name)
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the named gauge (last write wins)."""
+        _check_name("gauge", name)
+        self.gauges[name] = float(value)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Time a named region; nests under the currently open span."""
+        _check_name("span", name)
+        entry = Span(name, _check_attrs(name, attrs))
+        if self._stack:
+            self._stack[-1].children.append(entry)
+        else:
+            self.spans.append(entry)
+        self._stack.append(entry)
+        start = time.perf_counter()
+        try:
+            yield entry
+        finally:
+            entry.duration_s = time.perf_counter() - start
+            self._stack.pop()
+
+    @contextmanager
+    def activate(self) -> Iterator["Collector"]:
+        """Make this collector the target of the module-level helpers."""
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+    # ---------------------------------------------------------- serializing
+    def to_dict(self) -> dict[str, Any]:
+        """The strict-JSON telemetry document (counters sorted by name)."""
+        return {
+            "telemetry_version": TELEMETRY_VERSION,
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "spans": [entry.to_dict() for entry in self.spans],
+        }
+
+
+# ------------------------------------------------------- module-level helpers
+
+
+def active_collector() -> Collector | None:
+    """The currently active collector, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def collect() -> Iterator[Collector]:
+    """Activate a fresh collector for the duration of the block."""
+    collector = Collector()
+    with collector.activate():
+        yield collector
+
+
+def count(name: str, n: int = 1) -> None:
+    """Add *n* to a counter on the active collector (no-op when disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a gauge on the active collector (no-op when disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.gauge(name, value)
+
+
+class _NullSpan:
+    """Reentrant, allocation-free stand-in returned when telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Open a timed span on the active collector (no-op when disabled)."""
+    if _ACTIVE is None:
+        return _NULL_SPAN
+    return _ACTIVE.span(name, **attrs)
+
+
+# ----------------------------------------------------------------- documents
+
+
+def validate_telemetry(document: Any) -> None:
+    """Validate a telemetry document's shape; raise on the first violation."""
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"telemetry must be an object, got {type(document).__name__}")
+    if document.get("telemetry_version") != TELEMETRY_VERSION:
+        raise ConfigurationError(
+            f"unsupported telemetry_version {document.get('telemetry_version')!r} "
+            f"(expected {TELEMETRY_VERSION})"
+        )
+    for field, value_type in (("counters", int), ("gauges", (int, float))):
+        table = document.get(field)
+        if not isinstance(table, dict):
+            raise ConfigurationError(f"telemetry field {field!r} must be an object")
+        for name, value in table.items():
+            if not isinstance(name, str) or isinstance(value, bool) or not isinstance(value, value_type):
+                raise ConfigurationError(f"telemetry {field} entry {name!r} has a bad type")
+    if not isinstance(document.get("spans"), list):
+        raise ConfigurationError("telemetry field 'spans' must be a list")
+    for entry in document["spans"]:
+        _validate_span(entry)
+
+
+def _validate_span(entry: Any) -> None:
+    if not isinstance(entry, dict):
+        raise ConfigurationError(f"telemetry span must be an object, got {type(entry).__name__}")
+    if not isinstance(entry.get("name"), str) or not entry["name"]:
+        raise ConfigurationError("telemetry span is missing a name")
+    if not isinstance(entry.get("attrs"), dict):
+        raise ConfigurationError(f"telemetry span {entry['name']!r} attrs must be an object")
+    for key, value in entry["attrs"].items():
+        if not isinstance(key, str) or not isinstance(value, _SCALAR_TYPES):
+            raise ConfigurationError(f"telemetry span {entry['name']!r} attribute {key!r} has a bad type")
+    duration = entry.get("duration_s")
+    if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+        raise ConfigurationError(f"telemetry span {entry['name']!r} duration_s must be a number")
+    if not isinstance(entry.get("children"), list):
+        raise ConfigurationError(f"telemetry span {entry['name']!r} children must be a list")
+    for child in entry["children"]:
+        _validate_span(child)
+
+
+def structure(document: dict[str, Any]) -> dict[str, Any]:
+    """The document's deterministic skeleton: durations and gauges stripped.
+
+    Two runs of the same spec and seed must produce equal structures —
+    counters, span names, span attributes and tree shape — while their
+    wall-clock durations (and timing-derived gauges) are free to differ.
+    This is the object the telemetry-determinism tests compare.
+    """
+
+    def strip(entry: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "name": entry["name"],
+            "attrs": dict(entry["attrs"]),
+            "children": [strip(child) for child in entry["children"]],
+        }
+
+    return {
+        "counters": dict(document.get("counters", {})),
+        "spans": [strip(entry) for entry in document.get("spans", [])],
+    }
+
+
+def format_span_tree(document: dict[str, Any]) -> list[str]:
+    """Human-readable span-tree lines (``python -m repro trace`` output)."""
+    validate_telemetry(document)
+    lines: list[str] = []
+
+    def render(entry: dict[str, Any], depth: int) -> None:
+        attrs = " ".join(f"{key}={json.dumps(value)}" for key, value in entry["attrs"].items())
+        suffix = f" {attrs}" if attrs else ""
+        lines.append(f"{'  ' * depth}{entry['name']}{suffix}  [{entry['duration_s'] * 1e3:.2f} ms]")
+        for child in entry["children"]:
+            render(child, depth + 1)
+
+    for entry in document["spans"]:
+        render(entry, 0)
+    return lines

@@ -1,0 +1,358 @@
+"""The self-observing trend observatory: per-PR perf and parity history.
+
+Two committed JSON documents under ``benchmarks/trends/`` accumulate one
+entry per PR:
+
+* ``runtime.json`` — every benchmark's median seconds from a
+  ``benchmarks/baseline.json``-style pytest-benchmark run
+  (:func:`runtime_entry`, appended by
+  ``benchmarks/compare_benchmarks.py --append-trend``);
+* ``parity.json`` — paper-vs-measured headline values for the
+  experiments with a quantitative paper target (:data:`PAPER_TARGETS`),
+  measured from a result store's payloads (:func:`parity_entry`).
+
+Entries are appended alongside the baseline-refresh procedure (they are
+machine-measured, so CI never writes them — it only *renders* them);
+re-appending a PR replaces its entry, so the files stay idempotent.
+:func:`trend_figures` turns the committed documents into declarative
+:mod:`repro.plots` figures — ``trend_runtime`` (suite-median seconds per
+PR) and ``trend_parity`` (measured/paper ratio per PR) — which the
+gallery renders into ``figures/`` under the same byte-determinism drift
+gate as every experiment figure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.api.registry import get_experiment
+from repro.api.store import ResultStore, representative
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - the gallery imports this module at
+    # module level (for TRENDS_DIR), so importing repro.plots here would be
+    # circular; the figure builders import it lazily instead.
+    from repro.plots.figure import Figure
+
+__all__ = [
+    "TREND_VERSION",
+    "PaperTarget",
+    "PAPER_TARGETS",
+    "load_trend",
+    "save_trend",
+    "append_entry",
+    "runtime_entry",
+    "parity_entry",
+    "runtime_figure",
+    "parity_figure",
+    "trend_figures",
+]
+
+#: Version stamp of the trend document layout.
+TREND_VERSION = 1
+
+#: Default directory the committed trend documents live in.
+TRENDS_DIR = "benchmarks/trends"
+
+_KINDS = ("runtime", "parity")
+
+
+@dataclass(frozen=True)
+class PaperTarget:
+    """One quantitative claim of the paper the reproduction tracks.
+
+    Attributes
+    ----------
+    experiment:
+        Registry name whose ``metrics`` hook reports the measured value.
+    metric:
+        Key of that hook's output dict.
+    paper_value:
+        The paper's reported number.
+    unit:
+        Unit of both values (display only).
+    """
+
+    experiment: str
+    metric: str
+    paper_value: float
+    unit: str
+
+
+#: The paper's headline range numbers (Sections 6-7 of the paper): Fig. 10's
+#: 90 ft Wi-Fi range at 20 dBm with 1 ft source-tag separation, Fig. 13's
+#: 18 ft sub-1 % downlink BER range, Fig. 15's 24 in Bluetooth uplink range
+#: at 20 dBm, and Fig. 17's 30 in usable card-to-card range.
+PAPER_TARGETS = (
+    PaperTarget(experiment="fig10", metric="range_ft_20dbm_1ft", paper_value=90.0, unit="ft"),
+    PaperTarget(experiment="fig13", metric="range_below_1pct_feet", paper_value=18.0, unit="ft"),
+    PaperTarget(experiment="fig15", metric="range_in_20dbm", paper_value=24.0, unit="in"),
+    PaperTarget(experiment="fig17", metric="usable_range_inches", paper_value=30.0, unit="in"),
+)
+
+
+def _check_entry(kind: str, entry: Any) -> None:
+    if not isinstance(entry, dict) or not isinstance(entry.get("pr"), int):
+        raise ConfigurationError(f"{kind} trend entry must be an object with an integer 'pr'")
+    table_key = "median_s" if kind == "runtime" else "targets"
+    table = entry.get(table_key)
+    if not isinstance(table, dict) or not table:
+        raise ConfigurationError(
+            f"{kind} trend entry for PR {entry['pr']} needs a non-empty {table_key!r} mapping"
+        )
+    for name, value in table.items():
+        if kind == "runtime":
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        else:
+            ok = (
+                isinstance(value, dict)
+                and all(
+                    isinstance(value.get(field), (int, float)) and not isinstance(value.get(field), bool)
+                    for field in ("paper", "measured")
+                )
+            )
+        if not isinstance(name, str) or not ok:
+            raise ConfigurationError(f"{kind} trend entry for PR {entry['pr']}: bad value for {name!r}")
+
+
+def validate_trend(document: Any) -> None:
+    """Validate a trend document's shape; raise on the first violation."""
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"trend document must be an object, got {type(document).__name__}")
+    if document.get("trend_version") != TREND_VERSION:
+        raise ConfigurationError(
+            f"unsupported trend_version {document.get('trend_version')!r} (expected {TREND_VERSION})"
+        )
+    kind = document.get("kind")
+    if kind not in _KINDS:
+        raise ConfigurationError(f"unknown trend kind {kind!r}; known: {_KINDS}")
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise ConfigurationError("trend field 'entries' must be a list")
+    prs = []
+    for entry in entries:
+        _check_entry(kind, entry)
+        prs.append(entry["pr"])
+    if prs != sorted(prs) or len(set(prs)) != len(prs):
+        raise ConfigurationError("trend entries must be sorted by PR number, one entry per PR")
+
+
+def load_trend(path: str | Path) -> dict[str, Any]:
+    """Read and validate one committed trend document."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except FileNotFoundError as exc:
+        raise ConfigurationError(f"trend document {str(path)!r} does not exist") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"trend document {str(path)!r} is not valid JSON: {exc}") from exc
+    validate_trend(document)
+    return document
+
+
+def save_trend(path: str | Path, document: dict[str, Any]) -> None:
+    """Validate and write a trend document (stable key order, one canonical form)."""
+    validate_trend(document)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=1, sort_keys=True, allow_nan=False) + "\n")
+
+
+def append_entry(
+    path: str | Path, *, kind: str, entry: dict[str, Any]
+) -> dict[str, Any]:
+    """Append *entry* to the trend file at *path* (created if missing).
+
+    Re-appending an existing PR replaces its entry, so refreshing a trend
+    alongside a baseline refresh is idempotent.  Returns the document.
+    """
+    if Path(path).exists():
+        document = load_trend(path)
+        if document["kind"] != kind:
+            raise ConfigurationError(
+                f"trend document {str(path)!r} holds {document['kind']!r} entries, not {kind!r}"
+            )
+    else:
+        document = {"trend_version": TREND_VERSION, "kind": kind, "entries": []}
+    _check_entry(kind, entry)
+    entries = [existing for existing in document["entries"] if existing["pr"] != entry["pr"]]
+    entries.append(entry)
+    document["entries"] = sorted(entries, key=lambda existing: existing["pr"])
+    save_trend(path, document)
+    return document
+
+
+# ------------------------------------------------------------------ entries
+
+
+def runtime_entry(benchmark_json: str | Path, *, pr: int) -> dict[str, Any]:
+    """Build a runtime trend entry from a pytest-benchmark JSON file."""
+    try:
+        payload = json.loads(Path(benchmark_json).read_text())
+    except (FileNotFoundError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read benchmark JSON {str(benchmark_json)!r}: {exc}") from exc
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise ConfigurationError(f"{str(benchmark_json)!r} holds no benchmarks")
+    medians = {
+        entry["fullname"]: float(entry["stats"]["median"])
+        for entry in benchmarks
+    }
+    return {"pr": int(pr), "median_s": {name: medians[name] for name in sorted(medians)}}
+
+
+def parity_entry(store: ResultStore, *, pr: int) -> dict[str, Any]:
+    """Build a parity trend entry by measuring :data:`PAPER_TARGETS` from a store.
+
+    Every target experiment must be present in the store (run the fast
+    campaign first); the measured value comes from the deterministic
+    representative payload, through the experiment's ``metrics`` hook.
+    """
+    targets: dict[str, dict[str, float]] = {}
+    for target in PAPER_TARGETS:
+        results = store.query(target.experiment)
+        if not results:
+            raise ConfigurationError(
+                f"store holds no {target.experiment!r} results; run the fast campaign before "
+                "appending a parity entry"
+            )
+        picked = representative(results)
+        metrics = get_experiment(target.experiment).metrics(picked.payload)
+        if target.metric not in metrics:
+            raise ConfigurationError(
+                f"metrics hook of {target.experiment!r} reported no {target.metric!r} "
+                f"(got {sorted(metrics)}); was the experiment run with compatible parameters?"
+            )
+        targets[f"{target.experiment}.{target.metric}"] = {
+            "paper": target.paper_value,
+            "measured": float(metrics[target.metric]),
+        }
+    return {"pr": int(pr), "targets": targets}
+
+
+# ------------------------------------------------------------------ figures
+
+
+def runtime_figure(document: dict[str, Any]) -> Figure:
+    """Suite-wide benchmark medians per PR, from a runtime trend document."""
+    from repro.plots.figure import Figure, Series
+
+    validate_trend(document)
+    if document["kind"] != "runtime":
+        raise ConfigurationError(f"expected a runtime trend, got {document['kind']!r}")
+    entries = document["entries"]
+    if not entries:
+        raise ConfigurationError("runtime trend has no entries to plot")
+    prs = np.asarray([entry["pr"] for entry in entries], dtype=float)
+    per_entry = [np.asarray(list(entry["median_s"].values()), dtype=float) for entry in entries]
+    return Figure(
+        title="Observatory — benchmark medians per PR",
+        xlabel="PR number",
+        ylabel="median round time (s)",
+        kind="line",
+        yscale="log",
+        series=(
+            Series(label="suite median", x=prs, y=np.asarray([float(np.median(m)) for m in per_entry])),
+            Series(label="suite p90", x=prs, y=np.asarray([float(np.percentile(m, 90)) for m in per_entry])),
+        ),
+        caption=(
+            "Median benchmark round times per PR, measured on the baseline machine "
+            "alongside each benchmarks/baseline.json refresh."
+        ),
+    )
+
+
+def parity_figure(document: dict[str, Any]) -> Figure:
+    """Measured/paper ratio per PR for every tracked paper target."""
+    from repro.plots.figure import Figure, Series
+
+    validate_trend(document)
+    if document["kind"] != "parity":
+        raise ConfigurationError(f"expected a parity trend, got {document['kind']!r}")
+    entries = document["entries"]
+    if not entries:
+        raise ConfigurationError("parity trend has no entries to plot")
+    names = sorted({name for entry in entries for name in entry["targets"]})
+    series = []
+    for name in names:
+        points = [
+            (entry["pr"], entry["targets"][name])
+            for entry in entries
+            if name in entry["targets"]
+        ]
+        series.append(
+            Series(
+                label=name,
+                x=np.asarray([pr for pr, _ in points], dtype=float),
+                y=np.asarray(
+                    [value["measured"] / value["paper"] for _, value in points], dtype=float
+                ),
+            )
+        )
+    return Figure(
+        title="Observatory — paper-vs-measured parity per PR",
+        xlabel="PR number",
+        ylabel="measured / paper",
+        kind="line",
+        series=tuple(series),
+        caption=(
+            "Headline range metrics relative to the paper's reported values "
+            "(1.0 = exact parity), one point per PR's fast campaign."
+        ),
+    )
+
+
+def trend_figures(trends_dir: str | Path = TRENDS_DIR) -> dict[str, Figure]:
+    """The observatory figures for every trend document present on disk.
+
+    Returns ``{figure name: Figure}`` — ``trend_runtime`` and/or
+    ``trend_parity`` — in deterministic order; an absent or empty trends
+    directory yields an empty dict (the gallery simply has no
+    Observatory section then).
+    """
+    directory = Path(trends_dir)
+    figures: dict[str, Figure] = {}
+    for kind, build in (("parity", parity_figure), ("runtime", runtime_figure)):
+        path = directory / f"{kind}.json"
+        if path.exists():
+            figures[f"trend_{kind}"] = build(load_trend(path))
+    return {name: figures[name] for name in sorted(figures)}
+
+
+def _main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.trends append-parity`` — record one PR's parity entry.
+
+    The runtime trend is appended by ``benchmarks/compare_benchmarks.py
+    --append-trend``; this is its parity counterpart, run against the fast
+    campaign's store alongside each baseline refresh.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trends",
+        description="Append observatory trend entries (committed alongside baseline refreshes).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    parity = sub.add_parser("append-parity", help="measure PAPER_TARGETS from a store and append")
+    parity.add_argument("--store", required=True, metavar="DIR", help="fast-campaign result store")
+    parity.add_argument("--pr", type=int, required=True, help="PR number the entry is recorded under")
+    parity.add_argument(
+        "--trend",
+        default=str(Path(TRENDS_DIR) / "parity.json"),
+        metavar="TREND.json",
+        help="parity trend document to append to",
+    )
+    args = parser.parse_args(argv)
+    document = append_entry(
+        args.trend, kind="parity", entry=parity_entry(ResultStore(args.store), pr=args.pr)
+    )
+    print(f"appended PR {args.pr} to {args.trend} ({len(document['entries'])} entr(y/ies))")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI docs
+    raise SystemExit(_main())

@@ -242,3 +242,59 @@ class TestErrors:
     def test_unknown_experiment_fails_cleanly(self, capsys):
         assert main(["run", "fig99"]) == 1
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestObservability:
+    def _store(self, tmp_path):
+        store_dir = tmp_path / "store"
+        main(["run", "fig11", "--fast", "--store", str(store_dir), "--quiet"])
+        main(["run", "table_power", "--store", str(store_dir), "--quiet"])
+        return store_dir
+
+    def test_stats_renders_table_and_counters(self, tmp_path, capsys):
+        store_dir = self._store(tmp_path)
+        assert main(["stats", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out and "fast-path" in out
+        assert "fig11" in out and "table_power" in out
+        assert "channel.link_realisations" in out
+
+    def test_stats_experiment_filter_and_json(self, tmp_path, capsys):
+        store_dir = self._store(tmp_path)
+        capsys.readouterr()  # drain the campaign output
+        assert main(["stats", "--store", str(store_dir), "--experiment", "fig11", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [row["experiment"] for row in document["experiments"]] == ["fig11"]
+        assert document["counters"]["channel.link_realisations"] > 0
+
+    def test_stats_unknown_experiment_fails(self, tmp_path, capsys):
+        store_dir = self._store(tmp_path)
+        assert main(["stats", "--store", str(store_dir), "--experiment", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_stats_empty_store_fails(self, tmp_path, capsys):
+        assert main(["stats", "--store", str(tmp_path / "empty")]) == 1
+        assert "no matching results" in capsys.readouterr().err
+
+    def test_trace_prints_span_tree(self, capsys):
+        assert main(["trace", "fig11", "--fast", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("== Fig. 11")
+        assert "run.fig11" in out
+        assert "counters:" in out
+        assert "channel.link_realisations" in out
+
+    def test_trace_unknown_experiment_fails(self, capsys):
+        assert main(["trace", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_merge_reports_stats_per_source(self, tmp_path, capsys):
+        left, right = tmp_path / "left", tmp_path / "right"
+        main(["run", "table_power", "--store", str(left), "--quiet"])
+        main(["run", "table_power", "--store", str(right), "--quiet"])
+        main(["run", "fig11", "--fast", "--store", str(right), "--quiet"])
+        capsys.readouterr()
+        assert main(["merge", str(right), "--into", str(left)]) == 0
+        out = capsys.readouterr().out
+        assert "1 ingested, 1 deduplicated, 0 torn line(s) skipped" in out
+        assert "now holds 2 result(s) (+1)" in out

@@ -170,15 +170,27 @@ class TestMerge:
         left.append(results[1])
         right.append(results[1])
         right.append(results[2])
-        merged = left.merge(right)
-        assert merged == 1
+        stats = left.merge(right)
+        assert stats.ingested == 1
+        assert stats.deduped == 1
+        assert stats.torn_lines_skipped == 0
         assert len(left) == 3
         # Merging again is a no-op.
-        assert left.merge(right) == 0
+        assert left.merge(right).ingested == 0
         assert len(left) == 3
 
     def test_merge_accepts_a_path(self, tmp_path, results):
         left = ResultStore(tmp_path / "left")
         right = ResultStore(tmp_path / "right")
         right.append(results[0])
-        assert left.merge(tmp_path / "right") == 1
+        assert left.merge(tmp_path / "right").ingested == 1
+
+    def test_merge_counts_torn_lines(self, tmp_path, results):
+        left = ResultStore(tmp_path / "left")
+        right = ResultStore(tmp_path / "right")
+        right.append(results[0])
+        with open(right.shard_path, "a", encoding="utf-8") as handle:
+            handle.write('{"experiment": "trunc')  # killed-writer tail
+        stats = left.merge(right)
+        assert stats.ingested == 1
+        assert stats.torn_lines_skipped == 1

@@ -1,0 +1,185 @@
+"""Tests for the process-local metrics core (:mod:`repro.obs.metrics`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import metrics
+from repro.obs.metrics import (
+    TELEMETRY_VERSION,
+    Collector,
+    active_collector,
+    collect,
+    count,
+    format_span_tree,
+    gauge,
+    span,
+    structure,
+    validate_telemetry,
+)
+
+
+class TestDisabledHelpers:
+    def test_no_active_collector_by_default(self):
+        assert active_collector() is None
+
+    def test_helpers_are_noops_when_disabled(self):
+        count("some.counter", 5)
+        gauge("some.gauge", 1.5)
+        with span("some.span", attr=1):
+            count("nested", 1)
+        assert active_collector() is None
+
+    def test_null_span_is_reentrant(self):
+        outer = span("outer")
+        inner = span("inner")
+        assert outer is inner  # one shared allocation-free instance
+        with outer:
+            with inner:
+                pass
+
+
+class TestCollector:
+    def test_counters_accumulate(self):
+        with collect() as collector:
+            count("a", 2)
+            count("a")
+            count("b", 10)
+        assert collector.counters == {"a": 3, "b": 10}
+
+    def test_gauges_last_write_wins(self):
+        with collect() as collector:
+            gauge("g", 1.0)
+            gauge("g", 2.5)
+        assert collector.gauges == {"g": 2.5}
+
+    def test_spans_nest_and_time(self):
+        with collect() as collector:
+            with span("root", devices=3):
+                with span("child"):
+                    pass
+                with span("child"):
+                    pass
+        assert len(collector.spans) == 1
+        root = collector.spans[0]
+        assert root.name == "root"
+        assert root.attrs == {"devices": 3}
+        assert [child.name for child in root.children] == ["child", "child"]
+        assert root.duration_s >= 0.0
+
+    def test_activations_nest_and_restore(self):
+        outer = Collector()
+        inner = Collector()
+        with outer.activate():
+            count("outer.only")
+            with inner.activate():
+                assert active_collector() is inner
+                count("inner.only")
+            assert active_collector() is outer
+        assert active_collector() is None
+        assert outer.counters == {"outer.only": 1}
+        assert inner.counters == {"inner.only": 1}
+
+    def test_exception_still_closes_span(self):
+        with collect() as collector:
+            with pytest.raises(ValueError):
+                with span("failing"):
+                    raise ValueError("boom")
+            # the stack unwound: a new span is a root, not a child
+            with span("after"):
+                pass
+        assert [entry.name for entry in collector.spans] == ["failing", "after"]
+
+    def test_rejects_bad_names_and_attrs(self):
+        with collect():
+            with pytest.raises(ConfigurationError):
+                count("")
+            with pytest.raises(ConfigurationError):
+                gauge("", 1.0)
+            with pytest.raises(ConfigurationError):
+                with span("bad", payload=[1, 2]):
+                    pass
+            with pytest.raises(ConfigurationError):
+                with span("bad", value=float("nan")):
+                    pass
+
+
+class TestDocument:
+    def _document(self):
+        with collect() as collector:
+            count("z.counter", 2)
+            count("a.counter", 1)
+            gauge("g", 0.5)
+            with span("root", mode="fast"):
+                with span("leaf"):
+                    pass
+        return collector.to_dict()
+
+    def test_to_dict_is_strict_json(self):
+        document = self._document()
+        assert document["telemetry_version"] == TELEMETRY_VERSION
+        round_tripped = json.loads(json.dumps(document, allow_nan=False))
+        assert round_tripped == document
+
+    def test_counters_sorted_by_name(self):
+        document = self._document()
+        assert list(document["counters"]) == ["a.counter", "z.counter"]
+
+    def test_validate_accepts_own_output(self):
+        validate_telemetry(self._document())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("telemetry_version"),
+            lambda d: d.update(telemetry_version=99),
+            lambda d: d.update(counters=[1]),
+            lambda d: d["counters"].update(bad=1.5),
+            lambda d: d["counters"].update(bad=True),
+            lambda d: d.update(spans={}),
+            lambda d: d["spans"].append({"name": ""}),
+            lambda d: d["spans"][0].pop("duration_s"),
+            lambda d: d["spans"][0].update(children=None),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutate):
+        document = self._document()
+        mutate(document)
+        with pytest.raises(ConfigurationError):
+            validate_telemetry(document)
+
+    def test_structure_strips_durations_and_gauges(self):
+        document = self._document()
+        skeleton = structure(document)
+        assert "gauges" not in skeleton
+        assert skeleton["counters"] == document["counters"]
+        root = skeleton["spans"][0]
+        assert "duration_s" not in root
+        assert root["attrs"] == {"mode": "fast"}
+        assert root["children"][0]["name"] == "leaf"
+
+    def test_structure_equal_across_repeat_runs(self):
+        first, second = self._document(), self._document()
+        assert first != second or first == second  # durations may differ
+        assert structure(first) == structure(second)
+
+    def test_format_span_tree_indents_and_shows_attrs(self):
+        lines = format_span_tree(self._document())
+        assert lines[0].startswith('root mode="fast"  [')
+        assert lines[1].startswith("  leaf  [")
+        assert all(line.endswith("ms]") for line in lines)
+
+
+class TestHotPathCost:
+    def test_disabled_span_returns_shared_null(self):
+        assert span("anything") is metrics._NULL_SPAN
+
+    def test_enabled_span_returns_context_manager(self):
+        with collect():
+            cm = span("timed")
+            assert cm is not metrics._NULL_SPAN
+            with cm:
+                pass

@@ -1,0 +1,214 @@
+"""Tests for the trend observatory (:mod:`repro.obs.trends`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.registry import get_experiment
+from repro.api.runner import Runner
+from repro.api.store import ResultStore
+from repro.exceptions import ConfigurationError
+from repro.obs import trends
+from repro.obs.trends import (
+    PAPER_TARGETS,
+    TREND_VERSION,
+    append_entry,
+    load_trend,
+    parity_entry,
+    parity_figure,
+    runtime_entry,
+    runtime_figure,
+    save_trend,
+    trend_figures,
+    validate_trend,
+)
+from repro.plots.render import render_figure
+
+
+def _runtime_document(*prs: int) -> dict:
+    return {
+        "trend_version": TREND_VERSION,
+        "kind": "runtime",
+        "entries": [{"pr": pr, "median_s": {"bench/a": 0.1 * pr, "bench/b": 0.2}} for pr in prs],
+    }
+
+
+def _parity_document(*prs: int) -> dict:
+    return {
+        "trend_version": TREND_VERSION,
+        "kind": "parity",
+        "entries": [
+            {"pr": pr, "targets": {"fig10.range": {"paper": 90.0, "measured": 88.0 + pr}}}
+            for pr in prs
+        ],
+    }
+
+
+class TestValidation:
+    def test_accepts_well_formed_documents(self):
+        validate_trend(_runtime_document(1, 2))
+        validate_trend(_parity_document(3))
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(trend_version=99),
+            lambda d: d.update(kind="latency"),
+            lambda d: d.update(entries={}),
+            lambda d: d["entries"][0].pop("pr"),
+            lambda d: d["entries"][0].update(median_s={}),
+            lambda d: d["entries"][0]["median_s"].update(bad=True),
+            lambda d: d["entries"].reverse(),  # unsorted PRs
+            lambda d: d["entries"].append(dict(d["entries"][0])),  # duplicate PR
+        ],
+    )
+    def test_rejects_malformed_runtime(self, mutate):
+        document = _runtime_document(1, 2)
+        mutate(document)
+        with pytest.raises(ConfigurationError):
+            validate_trend(document)
+
+    def test_rejects_parity_value_missing_measured(self):
+        document = _parity_document(1)
+        document["entries"][0]["targets"]["fig10.range"] = {"paper": 90.0}
+        with pytest.raises(ConfigurationError):
+            validate_trend(document)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "runtime.json"
+        document = _runtime_document(4, 5)
+        save_trend(path, document)
+        assert load_trend(path) == document
+
+    def test_save_is_canonical_bytes(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        save_trend(first, _runtime_document(1))
+        save_trend(second, _runtime_document(1))
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_text().endswith("\n")
+
+    def test_load_missing_or_invalid(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_trend(tmp_path / "absent.json")
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_trend(broken)
+
+
+class TestAppendEntry:
+    def test_creates_file_and_appends_sorted(self, tmp_path):
+        path = tmp_path / "runtime.json"
+        append_entry(path, kind="runtime", entry=_runtime_document(7)["entries"][0])
+        document = append_entry(path, kind="runtime", entry=_runtime_document(5)["entries"][0])
+        assert [entry["pr"] for entry in document["entries"]] == [5, 7]
+        assert load_trend(path) == document
+
+    def test_reappending_a_pr_replaces_its_entry(self, tmp_path):
+        path = tmp_path / "runtime.json"
+        append_entry(path, kind="runtime", entry={"pr": 6, "median_s": {"bench/a": 1.0}})
+        document = append_entry(path, kind="runtime", entry={"pr": 6, "median_s": {"bench/a": 2.0}})
+        assert len(document["entries"]) == 1
+        assert document["entries"][0]["median_s"]["bench/a"] == 2.0
+
+    def test_kind_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "runtime.json"
+        save_trend(path, _runtime_document(1))
+        with pytest.raises(ConfigurationError):
+            append_entry(path, kind="parity", entry=_parity_document(2)["entries"][0])
+
+
+class TestEntries:
+    def test_runtime_entry_reads_benchmark_medians(self, tmp_path):
+        payload = {
+            "benchmarks": [
+                {"fullname": "b/two", "stats": {"median": 2.0, "min": 1.9}},
+                {"fullname": "b/one", "stats": {"median": 1.0, "min": 0.9}},
+            ]
+        }
+        source = tmp_path / "baseline.json"
+        source.write_text(json.dumps(payload))
+        entry = runtime_entry(source, pr=9)
+        assert entry == {"pr": 9, "median_s": {"b/one": 1.0, "b/two": 2.0}}
+
+    def test_runtime_entry_rejects_empty(self, tmp_path):
+        source = tmp_path / "empty.json"
+        source.write_text(json.dumps({"benchmarks": []}))
+        with pytest.raises(ConfigurationError):
+            runtime_entry(source, pr=1)
+
+    def test_parity_entry_requires_every_target(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ConfigurationError, match="fig10"):
+            parity_entry(store, pr=1)
+
+    def test_parity_entry_measures_paper_targets(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = Runner(seed=0)
+        for target in PAPER_TARGETS:
+            experiment = get_experiment(target.experiment)
+            store.append(runner.run(target.experiment, params=dict(experiment.fast_params)))
+        entry = parity_entry(store, pr=6)
+        assert entry["pr"] == 6
+        assert sorted(entry["targets"]) == sorted(
+            f"{target.experiment}.{target.metric}" for target in PAPER_TARGETS
+        )
+        for value in entry["targets"].values():
+            assert value["paper"] > 0
+            assert isinstance(value["measured"], float)
+
+        # the append-parity CLI entry point drives the same path end to end
+        trend_path = tmp_path / "parity.json"
+        code = trends._main(
+            ["append-parity", "--store", str(store.root), "--pr", "6", "--trend", str(trend_path)]
+        )
+        assert code == 0
+        assert load_trend(trend_path)["entries"][0] == entry
+
+
+class TestFigures:
+    def test_runtime_figure_series(self):
+        figure = runtime_figure(_runtime_document(1, 2, 3))
+        labels = [series.label for series in figure.series]
+        assert labels == ["suite median", "suite p90"]
+        assert list(figure.series[0].x) == [1.0, 2.0, 3.0]
+        assert figure.yscale == "log"
+
+    def test_parity_figure_ratio(self):
+        figure = parity_figure(_parity_document(4))
+        assert figure.series[0].label == "fig10.range"
+        assert figure.series[0].y[0] == pytest.approx(92.0 / 90.0)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            runtime_figure(_parity_document(1))
+        with pytest.raises(ConfigurationError):
+            parity_figure(_runtime_document(1))
+
+    def test_trend_figures_reads_directory(self, tmp_path):
+        assert trend_figures(tmp_path / "absent") == {}
+        save_trend(tmp_path / "runtime.json", _runtime_document(1, 2))
+        save_trend(tmp_path / "parity.json", _parity_document(1, 2))
+        figures = trend_figures(tmp_path)
+        assert list(figures) == ["trend_parity", "trend_runtime"]
+
+    def test_figures_render_deterministically(self, tmp_path):
+        save_trend(tmp_path / "runtime.json", _runtime_document(1, 2))
+        save_trend(tmp_path / "parity.json", _parity_document(1, 2))
+        for figure in trend_figures(tmp_path).values():
+            assert render_figure(figure, format="svg") == render_figure(figure, format="svg")
+
+
+class TestCommittedTrends:
+    def test_committed_documents_validate(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent.parent
+        for name in ("runtime", "parity"):
+            document = load_trend(repo_root / trends.TRENDS_DIR / f"{name}.json")
+            assert document["kind"] == name
+            assert document["entries"], f"{name}.json must hold at least one PR entry"

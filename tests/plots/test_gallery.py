@@ -50,9 +50,23 @@ class TestGenerateGallery:
     def test_absent_experiment_listed_with_run_hint(self, tmp_path):
         store = ResultStore(tmp_path)
         store.append(Runner().run("table_power"))
-        text, images = generate_gallery(store)
+        text, images = generate_gallery(store, trends_dir=tmp_path / "no-trends")
         assert list(images) == ["table_power.svg"]
         assert "Not in this store — run `python -m repro run fig06" in text
+
+    def test_committed_trends_render_observatory_section(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(Runner().run("table_power"))
+        text, images = generate_gallery(store)  # default trends_dir: benchmarks/trends
+        assert "## Observatory — cross-PR trends" in text
+        assert "trend_parity.svg" in images
+        assert "trend_runtime.svg" in images
+
+    def test_absent_trends_dir_omits_observatory_section(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(Runner().run("table_power"))
+        text, images = generate_gallery(store, trends_dir=tmp_path / "no-trends")
+        assert "Observatory" not in text
 
     def test_image_links_are_relative_to_the_document(self, fast_store):
         text, _ = generate_gallery(fast_store, output="docs/FIGURES.md", figures_dir="docs/img")
@@ -123,7 +137,10 @@ class TestPlotCli:
         )
         assert gallery.exists()
         rendered = sorted(path.name for path in figures.glob("*.svg"))
-        assert len(rendered) == len(iter_experiments())
+        # every registered experiment plus the two committed observatory trends
+        assert len(rendered) == len(iter_experiments()) + 2
+        assert "trend_parity.svg" in rendered
+        assert "trend_runtime.svg" in rendered
         assert "wrote" in capsys.readouterr().out
 
     def test_plot_twice_is_byte_identical(self, fast_store, tmp_path):

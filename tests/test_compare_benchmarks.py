@@ -87,3 +87,73 @@ def test_disjoint_benchmark_sets_error(tmp_path):
     assert result.returncode == 1
     assert "no common benchmarks" in result.stderr
     assert "regressed" not in result.stdout
+
+
+def test_json_out_writes_machine_readable_report(tmp_path):
+    baseline = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8), "c": (3.0, 2.7)})
+    current = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8), "c": (9.0, 8.1)})
+    out = tmp_path / "compare.json"
+    result = _run(tmp_path, baseline, current, "--json", str(out))
+    assert result.returncode == 1
+    document = json.loads(out.read_text())
+    assert document["regressions"] == 1
+    assert document["benchmarks"]["c"]["regressed"] is True
+    assert document["benchmarks"]["a"]["regressed"] is False
+    assert document["benchmarks"]["c"]["baseline_median_s"] == 3.0
+    assert "normalization" in document
+
+
+def test_append_trend_requires_pr(tmp_path):
+    payload = _payload({"a": (1.0, 0.9)})
+    result = _run(tmp_path, payload, payload, "--append-trend", str(tmp_path / "runtime.json"))
+    assert result.returncode == 2
+    assert "--append-trend requires --pr" in result.stderr
+
+
+def test_append_trend_records_current_medians(tmp_path):
+    payload = _payload({"a": (1.0, 0.9), "b": (2.0, 1.8)})
+    trend = tmp_path / "runtime.json"
+    result = _run(tmp_path, payload, payload, "--append-trend", str(trend), "--pr", "7")
+    assert result.returncode == 0
+    document = json.loads(trend.read_text())
+    assert document["kind"] == "runtime"
+    assert [entry["pr"] for entry in document["entries"]] == [7]
+    assert document["entries"][0]["median_s"] == {"a": 1.0, "b": 2.0}
+
+
+def test_slim_with_append_trend(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "machine_info": {"cpu": "test"},
+                "datetime": "2026-01-01",
+                "benchmarks": [
+                    {
+                        "fullname": "a",
+                        "stats": {"median": 1.0, "min": 0.9, "rounds": 5, "data": [1.0] * 999},
+                    }
+                ],
+            }
+        )
+    )
+    trend = tmp_path / "runtime.json"
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--slim",
+            str(baseline_path),
+            "--append-trend",
+            str(trend),
+            "--pr",
+            "6",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    slimmed = json.loads(baseline_path.read_text())
+    assert "data" not in slimmed["benchmarks"][0]["stats"]
+    document = json.loads(trend.read_text())
+    assert document["entries"][0]["median_s"] == {"a": 1.0}
