@@ -165,8 +165,9 @@ class ReplicateGroup:
 
     Attributes
     ----------
-    experiment / engine:
-        Shared by every member.
+    experiment / engine / backend:
+        Shared by every member (``backend`` is ``None`` for experiments
+        that take no array backend).
     params:
         The shared parameters, with ``seed`` removed.
     seeds:
@@ -180,6 +181,7 @@ class ReplicateGroup:
     params: dict[str, Any]
     seeds: tuple[int | None, ...]
     results: tuple[Result, ...]
+    backend: str | None = None
 
     @property
     def replicates(self) -> int:
@@ -196,17 +198,24 @@ def _seed_order(result: Result) -> tuple[int, int]:
 
 
 def replicate_groups(results: Iterable[Result]) -> list[ReplicateGroup]:
-    """Bucket results by (experiment, engine, params-minus-seed).
+    """Bucket results by (experiment, engine, backend, params-minus-seed).
 
     Each bucket is one grid point; its members are the campaign's
-    seed-replicates there.  Groups come back ordered by their canonical
-    JSON identity, members ordered by seed — both independent of store
-    shard layout, so downstream documents are deterministic.
+    seed-replicates there.  The same grid point run on two array backends
+    forms two groups — backends are provenance, not noise.  Groups come
+    back ordered by their canonical JSON identity, members ordered by
+    seed — both independent of store shard layout, so downstream
+    documents are deterministic.
     """
     buckets: dict[str, list[Result]] = {}
     for result in results:
         key = canonical_json(
-            {"experiment": result.experiment, "engine": result.engine, "params": _point_params(result)}
+            {
+                "experiment": result.experiment,
+                "engine": result.engine,
+                "backend": result.backend,
+                "params": _point_params(result),
+            }
         )
         buckets.setdefault(key, []).append(result)
     groups = []
@@ -217,6 +226,7 @@ def replicate_groups(results: Iterable[Result]) -> list[ReplicateGroup]:
             ReplicateGroup(
                 experiment=first.experiment,
                 engine=first.engine,
+                backend=first.backend,
                 params=_point_params(first),
                 seeds=tuple(member.seed for member in members),
                 results=tuple(members),

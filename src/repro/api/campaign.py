@@ -44,7 +44,7 @@ __all__ = ["SweepSpec", "derive_seed", "load_specs", "read_specs"]
 #: Seeds derived for expanded specs stay in numpy's comfortable range.
 _SEED_SPACE = 2**32
 
-_SWEEP_KEYS = {"experiment", "grid", "params", "engine", "seed", "replicates"}
+_SWEEP_KEYS = {"experiment", "grid", "params", "engine", "seed", "replicates", "backend"}
 _DOCUMENT_KEYS = {"sweeps", "specs"}
 
 
@@ -79,6 +79,9 @@ class SweepSpec:
         Base parameters shared by every grid point (grid keys override).
     engine:
         Engine for every expanded spec, or ``None`` for the default.
+    backend:
+        Array backend for every expanded spec, or ``None`` for the
+        runner/environment default.
     seed:
         Campaign base seed.  Seedable experiments get a per-spec seed
         derived from it (see :func:`derive_seed`); ``None`` keeps each
@@ -95,12 +98,13 @@ class SweepSpec:
     engine: str | None = None
     seed: int | None = None
     replicates: int = 1
+    backend: str | None = None
 
     def resolve(self) -> Experiment:
         """Look up the experiment and validate the sweep against it."""
         experiment = get_experiment(self.experiment)
         for name, source in (("grid", self.grid), ("params", self.params)):
-            for reserved in ("seed", "engine"):
+            for reserved in ("seed", "engine", "backend"):
                 if reserved in source:
                     raise ConfigurationError(
                         f"sweep for {self.experiment!r} puts {reserved!r} in {name}; "
@@ -120,6 +124,10 @@ class SweepSpec:
         experiment.check_params(probe)
         if self.engine is not None:
             experiment.check_engine(self.engine)
+        if self.backend is not None and not experiment.takes_backend:
+            raise ConfigurationError(
+                f"sweep for {self.experiment!r} requests an array backend but the experiment takes none"
+            )
         if self.replicates < 1:
             raise ConfigurationError(f"sweep replicates must be >= 1, got {self.replicates}")
         if self.replicates > 1:
@@ -155,7 +163,13 @@ class SweepSpec:
                 if self.seed is not None and experiment.takes_seed:
                     seed = derive_seed(self.seed, self.experiment, point, replicate)
                 specs.append(
-                    ExperimentSpec(experiment=self.experiment, params=dict(point), engine=self.engine, seed=seed)
+                    ExperimentSpec(
+                        experiment=self.experiment,
+                        params=dict(point),
+                        engine=self.engine,
+                        seed=seed,
+                        backend=self.backend,
+                    )
                 )
         return specs
 
@@ -168,6 +182,7 @@ class SweepSpec:
             "engine": self.engine,
             "seed": self.seed,
             "replicates": self.replicates,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -187,6 +202,7 @@ class SweepSpec:
             engine=data.get("engine"),
             seed=data.get("seed"),
             replicates=data.get("replicates", 1),
+            backend=data.get("backend"),
         )
 
 

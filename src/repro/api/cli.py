@@ -7,15 +7,21 @@ Subcommands
     One line per registered experiment: name, engines, paper artefact,
     title.  ``--json`` emits the same as machine-readable JSON.
 ``info NAME``
-    Title, module, engines and the full parameter schema with defaults.
+    Title, module, engines, accepted array backends and the full
+    parameter schema with defaults — all read from the registry entry's
+    capability table.
+``backends``
+    One line per registered array backend (:mod:`repro.mc.backend`):
+    name, default marker, simulated flag, description.  ``--json`` emits
+    the same as machine-readable JSON.
 ``run NAME [NAME ...]``
     Execute experiments through the :class:`repro.api.Runner` and print
-    each one's headline summary.  ``--engine``/``--seed`` set the dispatch
-    policy, ``--set key=value`` overrides individual parameters (values
-    parsed as JSON, then as Python literals, then as bare strings),
-    ``--fast`` applies each experiment's reduced smoke parameters,
-    ``--json PATH`` writes a single result envelope and ``--json-dir DIR``
-    one ``<name>.json`` per result.
+    each one's headline summary.  ``--engine``/``--seed``/``--backend``
+    set the dispatch policy, ``--set key=value`` overrides individual
+    parameters (values parsed as JSON, then as Python literals, then as
+    bare strings), ``--fast`` applies each experiment's reduced smoke
+    parameters, ``--json PATH`` writes a single result envelope and
+    ``--json-dir DIR`` one ``<name>.json`` per result.
 ``run --all``
     The same for every registered experiment — the whole paper in one
     command.  ``--validate`` round-trips every envelope through the JSON
@@ -75,6 +81,7 @@ from repro.api.runner import Runner
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, representative
 from repro.exceptions import ReproError
+from repro.mc.backend import backend_names, default_backend, get_backend
 from repro.obs.metrics import format_span_tree
 from repro.obs.stats import counter_totals, stats_frame
 from repro.plots.gallery import check_gallery, write_gallery
@@ -125,6 +132,9 @@ def _build_parser() -> argparse.ArgumentParser:
     info_parser = sub.add_parser("info", help="show one experiment's schema")
     info_parser.add_argument("name", help="experiment name (see `list`)")
 
+    backends_parser = sub.add_parser("backends", help="list every registered array backend")
+    backends_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
     run_parser = sub.add_parser("run", help="run one, several, all, or a grid of experiments")
     run_parser.add_argument("names", nargs="*", help="experiment names (see `list`)")
     run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
@@ -133,6 +143,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path)")
     run_parser.add_argument("--seed", type=int, default=None, help="seed override for seedable experiments")
+    run_parser.add_argument(
+        "--backend", default=None, help="array backend for experiments that take one (see `backends`)"
+    )
     run_parser.add_argument(
         "--set",
         dest="overrides",
@@ -221,6 +234,9 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path)")
     trace_parser.add_argument("--seed", type=int, default=None, help="seed override for seedable experiments")
     trace_parser.add_argument(
+        "--backend", default=None, help="array backend for experiments that take one (see `backends`)"
+    )
+    trace_parser.add_argument(
         "--set",
         dest="overrides",
         metavar="KEY=VALUE",
@@ -247,7 +263,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                         "name": e.name,
                         "title": e.title,
                         "artifact": e.artifact,
-                        "engines": list(e.engines),
+                        "engines": list(e.engine_names),
                         "module": e.module,
                     }
                     for e in experiments
@@ -257,9 +273,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
         )
         return 0
     width = max(len(e.name) for e in experiments)
-    engines_width = max(len(",".join(e.engines)) for e in experiments)
+    engines_width = max(len(",".join(e.engine_names)) for e in experiments)
     for experiment in experiments:
-        engines = ",".join(experiment.engines)
+        engines = ",".join(experiment.engine_names)
         print(f"{experiment.name.ljust(width)}  {engines.ljust(engines_width)}  {experiment.title}")
     return 0
 
@@ -270,13 +286,43 @@ def _cmd_info(args: argparse.Namespace) -> int:
     if experiment.description:
         print(experiment.description)
     print(f"module:  {experiment.module}")
-    print(f"engines: {', '.join(experiment.engines)}")
+    print(f"engines: {', '.join(experiment.engine_names)}")
+    if experiment.takes_backend:
+        print(f"backends: {', '.join(backend_names())}")
     print(f"artifact: {experiment.artifact or '(beyond the paper)'}")
     print("parameters:")
     for parameter in experiment.parameters:
         print(f"  {parameter.name} = {parameter.default!r}")
     if experiment.fast_params:
         print(f"fast parameters (--fast): {experiment.fast_params}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    default = default_backend().name
+    backends = [get_backend(name) for name in backend_names()]
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": backend.name,
+                        "default": backend.name == default,
+                        "simulated": backend.simulated,
+                        "description": backend.description,
+                    }
+                    for backend in backends
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    width = max(len(backend.name) for backend in backends)
+    for backend in backends:
+        marker = "*" if backend.name == default else " "
+        flag = " (simulated)" if backend.simulated else ""
+        print(f"{marker} {backend.name.ljust(width)}  {backend.description}{flag}")
+    print(f"* default backend (REPRO_BACKEND overrides; currently {default!r})")
     return 0
 
 
@@ -309,7 +355,7 @@ def _emit(result: Result, experiment: Experiment, args: argparse.Namespace) -> N
 def _run_campaign(specs: list[ExperimentSpec], args: argparse.Namespace) -> int:
     """Batch path: sharded execution, optional store, one progress line per spec."""
     store = ResultStore(args.store) if args.store else None
-    runner = Runner(seed=args.seed, engine=args.engine, jobs=args.jobs)
+    runner = Runner(seed=args.seed, engine=args.engine, backend=args.backend, jobs=args.jobs)
     total = len(specs)
     counts = {"ran": 0, "cached": 0}
 
@@ -369,7 +415,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             specs.append(ExperimentSpec(experiment=name, params=params))
         return _run_campaign(specs, args)
 
-    runner = Runner(seed=args.seed, engine=args.engine)
+    runner = Runner(seed=args.seed, engine=args.engine, backend=args.backend)
     for name in names:
         experiment = get_experiment(name)
         params = dict(experiment.fast_params) if args.fast else {}
@@ -492,7 +538,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.name)
     params = dict(experiment.fast_params) if args.fast else {}
     params.update(dict(args.overrides))
-    result = Runner(seed=args.seed, engine=args.engine).run(args.name, params=params)
+    result = Runner(seed=args.seed, engine=args.engine, backend=args.backend).run(args.name, params=params)
     print(f"== {experiment.title} [{result.engine}, {result.runtime_s:.2f} s] ==")
     for line in format_span_tree(result.telemetry):
         print(line)
@@ -527,6 +573,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "info":
             return _cmd_info(args)
+        if args.command == "backends":
+            return _cmd_backends(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "plot":

@@ -15,6 +15,7 @@ and every lookup helper calls it, so user code never has to.
 from __future__ import annotations
 
 import inspect
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -24,6 +25,7 @@ __all__ = [
     "Experiment",
     "Parameter",
     "register",
+    "resolve_engine",
     "get_experiment",
     "experiment_names",
     "iter_experiments",
@@ -35,6 +37,26 @@ KNOWN_ENGINES = ("scalar", "batch", "fast_path")
 
 _REGISTRY: dict[str, "Experiment"] = {}
 _LOADED = False
+
+
+def resolve_engine(
+    experiment: str, engine: str, engines: Mapping[str, Callable[..., Any] | None]
+) -> Callable[..., Any] | None:
+    """Resolve *engine* against an experiment's capability table.
+
+    This is the **single** place an unsupported-engine error originates —
+    drivers and the Runner both funnel through it instead of carrying
+    their own ``if engine not in (...)`` checks.  Returns the registered
+    implementation callable (``None`` when the entry was declared by name
+    only).
+    """
+    try:
+        return engines[engine]
+    except KeyError:
+        raise ConfigurationError(
+            f"engine not supported: experiment {experiment!r} supports "
+            f"{list(engines)}, got {engine!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -59,7 +81,12 @@ class Experiment:
     run:
         The driver's ``run`` callable; returns the native payload dataclass.
     engines:
-        Engine names the driver supports; the first one is the default.
+        Declarative engine capability table: engine name → implementation
+        callable (or ``None`` for entries declared by name only).  The
+        first key is the default engine.  ``python -m repro info`` lists
+        engines (and, for backend-aware drivers, array backends) from this
+        same structure, and every unsupported-engine error funnels through
+        :func:`resolve_engine`.
     artifact:
         Paper artefact label (``"Fig. 11"``), or ``None`` for
         beyond-the-paper workloads such as the MAC scaling sweep.
@@ -84,7 +111,9 @@ class Experiment:
     name: str
     title: str
     run: Callable[..., Any]
-    engines: tuple[str, ...] = ("scalar",)
+    engines: Mapping[str, Callable[..., Any] | None] = field(
+        default_factory=lambda: {"scalar": None}
+    )
     artifact: str | None = None
     fast_params: dict[str, Any] = field(default_factory=dict)
     summarize: Callable[[Any], list[str]] | None = None
@@ -114,6 +143,11 @@ class Experiment:
         return any(p.name == "engine" for p in self.parameters)
 
     @property
+    def takes_backend(self) -> bool:
+        """Whether ``run`` accepts a ``backend`` (array namespace) keyword."""
+        return any(p.name == "backend" for p in self.parameters)
+
+    @property
     def default_seed(self) -> int | None:
         """The ``seed`` default from the signature, or ``None``."""
         for parameter in self.parameters:
@@ -121,16 +155,23 @@ class Experiment:
                 return parameter.default
         return None
 
+    @property
+    def engine_names(self) -> tuple[str, ...]:
+        """Declared engine names, default first."""
+        return tuple(self.engines)
+
+    @property
+    def default_engine(self) -> str:
+        """The first declared engine."""
+        return next(iter(self.engines))
+
     def supports(self, engine: str) -> bool:
         """Whether *engine* is one of the declared engines."""
         return engine in self.engines
 
     def check_engine(self, engine: str) -> None:
-        """Raise unless *engine* is one of the declared engines."""
-        if not self.supports(engine):
-            raise ConfigurationError(
-                f"engine not supported: experiment {self.name!r} supports {list(self.engines)}, got {engine!r}"
-            )
+        """Raise unless *engine* is in the capability table."""
+        resolve_engine(self.name, engine, self.engines)
 
     def check_params(self, params: dict[str, Any]) -> None:
         """Reject parameters that are not in the ``run`` signature."""
@@ -162,26 +203,35 @@ def register(
     name: str,
     title: str,
     run: Callable[..., Any],
-    engines: tuple[str, ...] = ("scalar",),
+    engines: Mapping[str, Callable[..., Any] | None] | Sequence[str] = ("scalar",),
     artifact: str | None = None,
     fast_params: dict[str, Any] | None = None,
     summarize: Callable[[Any], list[str]] | None = None,
     metrics: Callable[[Any], dict[str, float]] | None = None,
     plot: Callable[[Any], Any] | None = None,
 ) -> Experiment:
-    """Register a driver; called once at the bottom of each driver module."""
+    """Register a driver; called once at the bottom of each driver module.
+
+    ``engines`` is preferably a capability table mapping each engine name
+    to its implementation callable (a plain name sequence is still
+    accepted and stored with ``None`` implementations).
+    """
     if name in _REGISTRY:
         raise ConfigurationError(f"experiment {name!r} is already registered")
-    if not engines:
+    if isinstance(engines, Mapping):
+        table: dict[str, Callable[..., Any] | None] = dict(engines)
+    else:
+        table = {engine: None for engine in engines}
+    if not table:
         raise ConfigurationError(f"experiment {name!r} must declare at least one engine")
-    unknown = sorted(set(engines) - set(KNOWN_ENGINES))
+    unknown = sorted(set(table) - set(KNOWN_ENGINES))
     if unknown:
         raise ConfigurationError(f"experiment {name!r} declares unknown engines {unknown}; known: {KNOWN_ENGINES}")
     experiment = Experiment(
         name=name,
         title=title,
         run=run,
-        engines=tuple(engines),
+        engines=table,
         artifact=artifact,
         fast_params=dict(fast_params or {}),
         summarize=summarize,

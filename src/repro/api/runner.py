@@ -12,6 +12,12 @@ carry on their own:
   :class:`~repro.exceptions.ConfigurationError` (never a silent scalar
   fallback).  Drivers with a native ``engine`` keyword receive it; for
   scalar-only drivers ``scalar`` is implied.
+* **Backend resolution** — experiments with a ``backend`` parameter run on
+  the array backend from the spec, then the runner, then
+  :func:`repro.mc.backend.default_backend` (the ``REPRO_BACKEND``
+  environment variable, else numpy).  The resolved name is recorded on the
+  envelope and is part of result identity; requesting a backend for an
+  experiment that takes none raises.
 * **Sharding** — ``Runner(jobs=N)`` executes spec batches across ``N``
   worker processes (:class:`concurrent.futures.ProcessPoolExecutor`).
   Every spec's effective seed is resolved *before* dispatch, each spec
@@ -46,14 +52,20 @@ from repro.api.result import Result
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, invocation_key
 from repro.exceptions import ConfigurationError
+from repro.mc.backend import default_backend, get_backend
 from repro.obs import metrics as obs
 from repro.obs.metrics import Collector
 
 __all__ = ["Runner"]
 
 
+def _recorded_params(call_params: dict[str, Any]) -> dict[str, Any]:
+    """Driver call params minus the dispatch keywords recorded separately."""
+    return {name: value for name, value in call_params.items() if name not in ("engine", "backend")}
+
+
 def _run_spec_task(
-    task: tuple[dict[str, Any], int | None, str | None, str | None, bool],
+    task: tuple[dict[str, Any], int | None, str | None, str | None, str | None, bool],
 ) -> dict[str, Any]:
     """Worker entry point: execute one serialized spec, return its envelope.
 
@@ -62,8 +74,8 @@ def _run_spec_task(
     dataclasses never need to pickle.  When a store directory is given the
     worker appends the envelope to its own PID-named shard.
     """
-    spec_dict, seed, engine, store_dir, telemetry = task
-    runner = Runner(seed=seed, engine=engine, telemetry=telemetry)
+    spec_dict, seed, engine, backend, store_dir, telemetry = task
+    runner = Runner(seed=seed, engine=engine, backend=backend, telemetry=telemetry)
     result = runner._execute(ExperimentSpec.from_dict(spec_dict))
     document = result.to_dict()
     if store_dir is not None:
@@ -83,6 +95,9 @@ class Runner:
     engine:
         Default engine for every run; ``None`` uses each experiment's
         first registered engine (``scalar`` everywhere today).
+    backend:
+        Default array backend for experiments that take one; ``None``
+        falls back to :func:`repro.mc.backend.default_backend`.
     jobs:
         Worker processes for :meth:`run_batch` / :meth:`run_all`.  ``1``
         (the default) executes in-process; results are identical either
@@ -98,6 +113,7 @@ class Runner:
         *,
         seed: int | None = None,
         engine: str | None = None,
+        backend: str | None = None,
         jobs: int = 1,
         telemetry: bool = True,
     ):
@@ -105,6 +121,7 @@ class Runner:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.seed = seed
         self.engine = engine
+        self.backend = backend
         self.jobs = jobs
         self.telemetry = telemetry
 
@@ -115,6 +132,7 @@ class Runner:
         params: dict[str, Any] | None = None,
         engine: str | None = None,
         seed: int | None = None,
+        backend: str | None = None,
     ) -> Result:
         """Run one experiment and wrap its payload in a :class:`Result`.
 
@@ -123,15 +141,18 @@ class Runner:
         """
         if isinstance(experiment, ExperimentSpec):
             spec = experiment
-            if params or engine or seed is not None:
+            if params or engine or seed is not None or backend is not None:
                 spec = ExperimentSpec(
                     experiment=spec.experiment,
                     params={**spec.params, **(params or {})},
                     engine=engine or spec.engine,
                     seed=seed if seed is not None else spec.seed,
+                    backend=backend or spec.backend,
                 )
         else:
-            spec = ExperimentSpec(experiment=experiment, params=dict(params or {}), engine=engine, seed=seed)
+            spec = ExperimentSpec(
+                experiment=experiment, params=dict(params or {}), engine=engine, seed=seed, backend=backend
+            )
         return self._execute(spec)
 
     def run_batch(
@@ -211,7 +232,7 @@ class Runner:
             return
         store_dir = str(store.root) if store is not None else None
         tasks = [
-            (specs[index].to_dict(), self.seed, self.engine, store_dir, self.telemetry)
+            (specs[index].to_dict(), self.seed, self.engine, self.backend, store_dir, self.telemetry)
             for index in pending
         ]
         chunksize = max(1, len(tasks) // (self.jobs * 4))
@@ -248,13 +269,13 @@ class Runner:
     def _resolve_identity(self, spec: ExperimentSpec) -> tuple[str, Experiment]:
         """Validate *spec* and return its invocation key (without running it)."""
         experiment = spec.resolve()
-        call_params, engine, seed = self._resolve_call(spec, experiment)
-        recorded = {name: value for name, value in call_params.items() if name != "engine"}
-        return invocation_key(experiment.name, engine, seed, recorded), experiment
+        call_params, engine, seed, backend = self._resolve_call(spec, experiment)
+        recorded = _recorded_params(call_params)
+        return invocation_key(experiment.name, engine, seed, recorded, backend=backend), experiment
 
     def _execute(self, spec: ExperimentSpec) -> Result:
         experiment = spec.resolve()
-        call_params, effective_engine, effective_seed = self._resolve_call(spec, experiment)
+        call_params, effective_engine, effective_seed, effective_backend = self._resolve_call(spec, experiment)
         telemetry: dict[str, Any] | None = None
         start = time.perf_counter()
         if self.telemetry:
@@ -267,12 +288,12 @@ class Runner:
         else:
             payload = experiment.run(**call_params)
         runtime = time.perf_counter() - start
-        recorded = {name: value for name, value in call_params.items() if name != "engine"}
         return Result(
             experiment=experiment.name,
             engine=effective_engine,
             seed=effective_seed,
-            params=recorded,
+            backend=effective_backend,
+            params=_recorded_params(call_params),
             runtime_s=runtime,
             payload=payload,
             telemetry=telemetry,
@@ -280,15 +301,26 @@ class Runner:
 
     def _resolve_call(
         self, spec: ExperimentSpec, experiment: Experiment
-    ) -> tuple[dict[str, Any], str, int | None]:
+    ) -> tuple[dict[str, Any], str, int | None, str | None]:
         params = dict(spec.params)
 
-        engine = spec.engine or self.engine or experiment.engines[0]
+        engine = spec.engine or self.engine or experiment.default_engine
         # A runner-level default engine may not fit every experiment in a
         # batch; a spec-level request was already validated by resolve().
         experiment.check_engine(engine)
         if experiment.takes_engine:
             params["engine"] = engine
+
+        backend: str | None = None
+        if experiment.takes_backend:
+            backend = spec.backend or self.backend or default_backend().name
+            get_backend(backend)  # unknown names abort before any work runs
+            params["backend"] = backend
+        elif spec.backend or self.backend:
+            requested = spec.backend or self.backend
+            raise ConfigurationError(
+                f"experiment {experiment.name!r} does not accept an array backend (got {requested!r})"
+            )
 
         seed: int | None = None
         if experiment.takes_seed:
@@ -301,4 +333,4 @@ class Runner:
             else:
                 seed = experiment.default_seed
             params["seed"] = seed
-        return params, engine, seed
+        return params, engine, seed, backend

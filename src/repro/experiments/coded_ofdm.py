@@ -1,0 +1,215 @@
+"""Coded-OFDM waveform sweep — hard vs soft Viterbi over AWGN (beyond the paper).
+
+The paper's PER experiments lean on the analytic 802.11b link abstraction;
+this driver exercises the *waveform-accurate* 802.11a/g coding chain in
+:mod:`repro.mc` instead: scramble → convolutional encode → puncture →
+interleave → map → AWGN → demap → deinterleave → depuncture → batched
+Viterbi → descramble, a whole batch of codewords per vectorised call.
+
+Both receivers run on **identical channel realisations** (same seed, and
+the message/noise draws happen before the decision branch), so the
+comparison is paired: the hard receiver demaps to bits before the trellis,
+the soft receiver feeds max-log LLRs into the soft-metric Viterbi.  Coding
+theory puts the soft decoder ~2 dB ahead at the PER ≈ 10⁻² operating
+point; the sweep measures that gap directly by log-interpolating each
+curve's crossing of ``target_error_rate``.
+
+The chain runs on any registered array backend (``backend=`` /
+``REPRO_BACKEND``); random draws stay on the numpy ``Generator``, so the
+results are float-identical across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.registry import register, resolve_engine
+from repro.exceptions import ConfigurationError
+from repro.mc.backend import resolve_engine_backend
+from repro.mc.sweep import CodedOfdmPipeline, run_sweep
+from repro.plots.figure import Figure, Series
+from repro.wifi.ofdm.rates import OfdmRate
+
+__all__ = ["CodedOfdmSweepResult", "run", "summarize"]
+
+
+@dataclass(frozen=True)
+class CodedOfdmSweepResult:
+    """Paired hard/soft sweep of the batched coding chain.
+
+    Attributes
+    ----------
+    snr_db:
+        Operating points (per-symbol SNR).
+    rate_mbps / statistic / trials:
+        Sweep configuration (statistic is ``"per"`` or ``"ber"``).
+    hard_error_rate / soft_error_rate:
+        The two receivers' mean error statistic at each point.
+    hard_std_error / soft_std_error:
+        Standard error of those means.
+    target_error_rate:
+        The operating point the crossings are interpolated at.
+    hard_crossing_snr_db / soft_crossing_snr_db:
+        SNR where each curve crosses the target (log-interpolated;
+        ``nan`` when the curve never crosses inside the grid).
+    soft_gain_db:
+        ``hard_crossing − soft_crossing`` — the soft-decision coding
+        gain at the target error rate.
+    """
+
+    snr_db: np.ndarray
+    rate_mbps: float
+    statistic: str
+    trials: int
+    hard_error_rate: np.ndarray
+    soft_error_rate: np.ndarray
+    hard_std_error: np.ndarray
+    soft_std_error: np.ndarray
+    target_error_rate: float
+    hard_crossing_snr_db: float
+    soft_crossing_snr_db: float
+    soft_gain_db: float
+
+
+def _crossing_snr_db(snr_db: np.ndarray, error_rate: np.ndarray, target: float, *, floor: float) -> float:
+    """SNR where the (monotone-trend) curve first reaches *target*, log-interpolated.
+
+    Zero-event points are floored at half a count so the interpolation in
+    ``log10(error rate)`` stays finite; ``nan`` means the curve never
+    reaches the target inside the grid.
+    """
+    rates = np.maximum(np.asarray(error_rate, dtype=float), floor)
+    below = np.flatnonzero(rates <= target)
+    if below.size == 0:
+        return float("nan")
+    index = int(below[0])
+    if index == 0:
+        return float(snr_db[0])
+    left, right = np.log10(rates[index - 1]), np.log10(rates[index])
+    fraction = (np.log10(target) - left) / (right - left)
+    return float(snr_db[index - 1] + fraction * (snr_db[index] - snr_db[index - 1]))
+
+
+def _sweep_batch(rate, snr_points, trials, num_symbols, statistic, decision, seed, xp):
+    """One decision's whole sweep through the batched kernel chain."""
+    pipeline = CodedOfdmPipeline(rate, num_symbols=num_symbols, statistic=statistic, decision=decision)
+    return run_sweep(snr_points, trials, pipeline, seed=seed, xp=xp)
+
+
+_ENGINES = {"batch": _sweep_batch}
+
+
+def run(
+    *,
+    rate_mbps: float = 12.0,
+    snr_start_db: float = 0.0,
+    snr_stop_db: float = 9.0,
+    snr_step_db: float = 0.5,
+    trials: int = 1000,
+    num_symbols: int = 4,
+    statistic: str = "per",
+    target_error_rate: float = 0.01,
+    seed: int = 2016,
+    engine: str = "batch",
+    backend: str | None = None,
+) -> CodedOfdmSweepResult:
+    """Sweep the coded-OFDM chain with hard and soft decoding at every point.
+
+    Both decisions reuse the same ``seed``, and the pipeline draws its
+    message and noise *before* the decision branch — so each trial is the
+    same channel realisation decoded twice, and the soft curve sits at or
+    below the hard curve point by point up to Monte-Carlo noise.
+    ``engine="batch"`` is the only engine (the chain *is* the batched
+    kernels); ``backend`` picks the array namespace the kernels run on.
+    """
+    sweep = resolve_engine("coded_ofdm", engine, _ENGINES)
+    xp = resolve_engine_backend("coded_ofdm", engine, backend)
+    if snr_stop_db < snr_start_db:
+        raise ConfigurationError("snr_stop_db must be >= snr_start_db")
+    if snr_step_db <= 0:
+        raise ConfigurationError("snr_step_db must be positive")
+    rate = OfdmRate.from_mbps(float(rate_mbps))
+    points = np.arange(snr_start_db, snr_stop_db + snr_step_db / 2.0, snr_step_db)
+    hard = sweep(rate, points, trials, num_symbols, statistic, "hard", seed, xp)
+    soft = sweep(rate, points, trials, num_symbols, statistic, "soft", seed, xp)
+    floor = 1.0 / (2.0 * trials)
+    hard_crossing = _crossing_snr_db(points, hard.error_rate, target_error_rate, floor=floor)
+    soft_crossing = _crossing_snr_db(points, soft.error_rate, target_error_rate, floor=floor)
+    return CodedOfdmSweepResult(
+        snr_db=points,
+        rate_mbps=float(rate_mbps),
+        statistic=statistic,
+        trials=trials,
+        hard_error_rate=hard.error_rate,
+        soft_error_rate=soft.error_rate,
+        hard_std_error=hard.std_error,
+        soft_std_error=soft.std_error,
+        target_error_rate=target_error_rate,
+        hard_crossing_snr_db=hard_crossing,
+        soft_crossing_snr_db=soft_crossing,
+        soft_gain_db=hard_crossing - soft_crossing,
+    )
+
+
+def summarize(result: CodedOfdmSweepResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    label = result.statistic.upper()
+    if np.isnan(result.soft_gain_db):
+        gain = f"{label} {result.target_error_rate:g} not reached inside the SNR grid at this trial budget"
+    else:
+        gain = (
+            f"soft-decision gain {result.soft_gain_db:.1f} dB at {label} {result.target_error_rate:g} "
+            f"(hard crosses at {result.hard_crossing_snr_db:.1f} dB, soft at "
+            f"{result.soft_crossing_snr_db:.1f} dB)"
+        )
+    return [
+        f"{result.rate_mbps:g} Mbps, {result.trials} codewords/point: {gain}",
+        f"{label} at {result.snr_db[-1]:g} dB SNR: hard {result.hard_error_rate[-1]:.4f}, "
+        f"soft {result.soft_error_rate[-1]:.4f}",
+        "theory: soft-metric Viterbi buys ~2 dB over hard slicing at PER ~ 1e-2",
+    ]
+
+
+def metrics(result: CodedOfdmSweepResult) -> dict[str, float]:
+    """Scalar headline metrics for cross-campaign aggregation."""
+    return {
+        "soft_gain_db": float(result.soft_gain_db),
+        "hard_crossing_snr_db": float(result.hard_crossing_snr_db),
+        "soft_crossing_snr_db": float(result.soft_crossing_snr_db),
+    }
+
+
+def plot(result: CodedOfdmSweepResult) -> Figure:
+    """Declarative figure: hard vs soft error-rate curves over SNR."""
+    label = result.statistic.upper()
+    edges = np.array([float(result.snr_db[0]), float(result.snr_db[-1])])
+    return Figure(
+        title=f"Coded OFDM — hard vs soft Viterbi ({result.rate_mbps:g} Mbps)",
+        xlabel="SNR (dB)",
+        ylabel=label,
+        series=(
+            Series(label="hard decision", x=result.snr_db, y=result.hard_error_rate),
+            Series(label="soft decision (LLR)", x=result.snr_db, y=result.soft_error_rate),
+            Series(
+                label=f"target {label} {result.target_error_rate:g}",
+                x=edges,
+                y=np.array([result.target_error_rate, result.target_error_rate]),
+            ),
+        ),
+        caption="Identical channel realisations decoded twice: the LLR trellis crosses the "
+        "target error rate ~2 dB before hard slicing.",
+    )
+
+
+register(
+    name="coded_ofdm",
+    title="Coded OFDM — hard vs soft Viterbi over AWGN (beyond the paper)",
+    run=run,
+    engines=_ENGINES,
+    fast_params={"snr_step_db": 2.0, "snr_stop_db": 8.0, "trials": 400},
+    summarize=summarize,
+    metrics=metrics,
+    plot=plot,
+)

@@ -15,8 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.placement import distance_grid, furthest_reach
-from repro.api.registry import register
-from repro.exceptions import ConfigurationError
+from repro.api.registry import register, resolve_engine
 from repro.channel.geometry import feet_to_meters
 from repro.core.downlink import InterscatterDownlink
 from repro.plots.figure import Figure, Series
@@ -46,6 +45,36 @@ class DownlinkBerResult:
     range_below_1pct_feet: float
 
 
+def _ber_scalar(downlink, distances, tx_power_dbm, message_bits, rng):
+    """Per-distance simulate_link loop, bit-identical to historical seeds."""
+    ber = np.empty(distances.size)
+    rssi = np.empty(distances.size)
+    bits = rng.integers(0, 2, message_bits).astype(np.uint8)
+    for index, distance in enumerate(distances):
+        result = downlink.simulate_link(
+            bits, feet_to_meters(float(distance)), tx_power_dbm=tx_power_dbm, rng=rng
+        )
+        ber[index] = result.bit_error_rate
+        rssi[index] = result.rssi_dbm if result.rssi_dbm is not None else np.nan
+    return ber, rssi
+
+
+def _ber_batch(downlink, distances, tx_power_dbm, message_bits, rng):
+    """One vectorised binomial draw over the analytic BER curve."""
+    rng.integers(0, 2, message_bits)  # consume the message draw like scalar
+    analytic = np.empty(distances.size)
+    rssi = np.empty(distances.size)
+    for index, distance in enumerate(distances):
+        analytic[index], rssi[index] = downlink.link_bit_error_rate(
+            feet_to_meters(float(distance)), tx_power_dbm=tx_power_dbm
+        )
+    ber = rng.binomial(message_bits, analytic, size=distances.size) / message_bits
+    return ber, rssi
+
+
+_ENGINES = {"scalar": _ber_scalar, "batch": _ber_batch}
+
+
 def run(
     *,
     max_distance_feet: float = 26.0,
@@ -62,28 +91,11 @@ def run(
     historical seeds; ``"batch"`` draws every distance's bit errors as one
     vectorised binomial over the analytic BER curve.
     """
-    if engine not in ("scalar", "batch"):
-        raise ConfigurationError(f"unknown engine {engine!r}; use 'scalar' or 'batch'")
+    measure = resolve_engine("fig13", engine, _ENGINES)
     rng = np.random.default_rng(seed)
     downlink = InterscatterDownlink(rng=rng)
     distances = distance_grid(1.0, max_distance_feet, step_feet)
-    ber = np.empty(distances.size)
-    rssi = np.empty(distances.size)
-    bits = rng.integers(0, 2, message_bits).astype(np.uint8)
-    if engine == "batch":
-        analytic = np.empty(distances.size)
-        for index, distance in enumerate(distances):
-            analytic[index], rssi[index] = downlink.link_bit_error_rate(
-                feet_to_meters(float(distance)), tx_power_dbm=tx_power_dbm
-            )
-        ber = rng.binomial(message_bits, analytic, size=distances.size) / message_bits
-    else:
-        for index, distance in enumerate(distances):
-            result = downlink.simulate_link(
-                bits, feet_to_meters(float(distance)), tx_power_dbm=tx_power_dbm, rng=rng
-            )
-            ber[index] = result.bit_error_rate
-            rssi[index] = result.rssi_dbm if result.rssi_dbm is not None else np.nan
+    ber, rssi = measure(downlink, distances, tx_power_dbm, message_bits, rng)
     return DownlinkBerResult(
         distances_feet=distances,
         ber=ber,
@@ -128,7 +140,7 @@ register(
     name="fig13",
     title="Fig. 13 — downlink BER vs distance (802.11g AM → peak detector)",
     run=run,
-    engines=("scalar", "batch"),
+    engines=_ENGINES,
     artifact="Fig. 13",
     fast_params={"step_feet": 2.0, "message_bits": 256},
     summarize=summarize,

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.placement import empirical_cdf, shadowed_backscatter_budget
-from repro.api.registry import register
-from repro.exceptions import ConfigurationError
+from repro.api.registry import register, resolve_engine
 from repro.channel.geometry import feet_to_meters
+from repro.mc.backend import resolve_engine_backend, to_numpy
 from repro.mc.channel import backscatter_link_batch
 from repro.plots.figure import Figure, Series
 
@@ -48,6 +48,30 @@ class ZigbeeRssiResult:
     detectable_fraction: float
 
 
+def _sample_scalar(budget, locations_feet, bluetooth_to_tag_feet, packets_per_location, rng, xp):
+    """Per-packet loop, bit-identical to historical seeds (numpy-only)."""
+    samples: list[float] = []
+    for distance in locations_feet:
+        for _ in range(packets_per_location):
+            link = budget.evaluate(
+                feet_to_meters(bluetooth_to_tag_feet), feet_to_meters(float(distance)), rng=rng
+            )
+            samples.append(link.rssi_dbm)
+    return np.array(samples)
+
+
+def _sample_batch(budget, locations_feet, bluetooth_to_tag_feet, packets_per_location, rng, xp):
+    """Every (location, packet) link realisation in one vectorised call."""
+    distances = np.repeat(np.asarray(locations_feet, dtype=float), packets_per_location)
+    link = backscatter_link_batch(
+        budget, feet_to_meters(bluetooth_to_tag_feet), feet_to_meters(distances), rng=rng, xp=xp
+    )
+    return to_numpy(link.rssi_dbm)
+
+
+_ENGINES = {"scalar": _sample_scalar, "batch": _sample_batch}
+
+
 def run(
     *,
     locations_feet: tuple[float, ...] = (3.0, 6.0, 9.0, 12.0, 15.0),
@@ -57,16 +81,18 @@ def run(
     receiver_sensitivity_dbm: float = -97.0,
     seed: int = 14,
     engine: str = "scalar",
+    backend: str | None = None,
 ) -> ZigbeeRssiResult:
     """Simulate the Fig. 14 RSSI CDF.
 
     ``engine="scalar"`` (default) keeps the original per-packet loop,
     bit-identical to historical seeds; ``"batch"`` evaluates every
     (location, packet) link realisation in one vectorised :mod:`repro.mc`
-    call.
+    call, on any registered array ``backend`` (random draws stay on the
+    numpy generator, so every backend is float-identical).
     """
-    if engine not in ("scalar", "batch"):
-        raise ConfigurationError(f"unknown engine {engine!r}; use 'scalar' or 'batch'")
+    sample = resolve_engine("fig14", engine, _ENGINES)
+    xp = resolve_engine_backend("fig14", engine, backend)
     rng = np.random.default_rng(seed)
     budget = shadowed_backscatter_budget(
         tx_power_dbm,
@@ -74,21 +100,7 @@ def run(
         noise_bandwidth_hz=2e6,
         receiver_sensitivity_dbm=receiver_sensitivity_dbm,
     )
-    if engine == "batch":
-        distances = np.repeat(np.asarray(locations_feet, dtype=float), packets_per_location)
-        link = backscatter_link_batch(
-            budget, feet_to_meters(bluetooth_to_tag_feet), feet_to_meters(distances), rng=rng
-        )
-        rssi = link.rssi_dbm
-    else:
-        samples: list[float] = []
-        for distance in locations_feet:
-            for _ in range(packets_per_location):
-                link = budget.evaluate(
-                    feet_to_meters(bluetooth_to_tag_feet), feet_to_meters(float(distance)), rng=rng
-                )
-                samples.append(link.rssi_dbm)
-        rssi = np.array(samples)
+    rssi = sample(budget, locations_feet, bluetooth_to_tag_feet, packets_per_location, rng, xp)
     return ZigbeeRssiResult(
         locations_feet=np.array(locations_feet),
         rssi_samples_dbm=rssi,
@@ -133,7 +145,7 @@ register(
     name="fig14",
     title="Fig. 14 — ZigBee RSSI CDF for backscatter-generated 802.15.4 packets",
     run=run,
-    engines=("scalar", "batch"),
+    engines=_ENGINES,
     artifact="Fig. 14",
     fast_params={"packets_per_location": 10},
     summarize=summarize,

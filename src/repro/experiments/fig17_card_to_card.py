@@ -14,9 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.placement import distance_grid, furthest_reach
-from repro.api.registry import register
+from repro.api.registry import register, resolve_engine
 from repro.apps.card_to_card import CARD_PAYLOAD_BITS, CardToCardLink
-from repro.exceptions import ConfigurationError
 from repro.plots.figure import Figure, Series
 
 __all__ = ["CardToCardBerResult", "run", "summarize"]
@@ -44,6 +43,29 @@ class CardToCardBerResult:
     usable_range_inches: float
 
 
+def _ber_scalar(link, separations, analytic, messages_per_point, rng):
+    """Every 18-bit message through the link one at a time (historical seeds)."""
+    measured = np.empty(separations.size)
+    for index, separation in enumerate(separations):
+        errors = 0
+        bits = 0
+        for _ in range(messages_per_point):
+            result = link.send_message(card_separation_inches=float(separation), rng=rng)
+            errors += result.bit_errors
+            bits += result.sent_bits.size
+        measured[index] = errors / bits
+    return measured
+
+
+def _ber_batch(link, separations, analytic, messages_per_point, rng):
+    """Each separation's total bit-error count as one binomial draw."""
+    total_bits = messages_per_point * CARD_PAYLOAD_BITS
+    return rng.binomial(total_bits, analytic, size=separations.size) / total_bits
+
+
+_ENGINES = {"scalar": _ber_scalar, "batch": _ber_batch}
+
+
 def run(
     *,
     phone_power_dbm: float = 10.0,
@@ -62,8 +84,7 @@ def run(
     binomial over the analytic BER curve.  The engines consume the RNG in
     different orders, so they agree up to Monte-Carlo noise.
     """
-    if engine not in ("scalar", "batch"):
-        raise ConfigurationError(f"unknown engine {engine!r}; use 'scalar' or 'batch'")
+    measure = resolve_engine("fig17", engine, _ENGINES)
     rng = np.random.default_rng(seed)
     link = CardToCardLink(
         phone_power_dbm=phone_power_dbm,
@@ -72,19 +93,7 @@ def run(
     )
     separations = distance_grid(2.0, max_separation_inches, step_inches)
     analytic = link.ber_sweep(separations)
-    if engine == "batch":
-        total_bits = messages_per_point * CARD_PAYLOAD_BITS
-        measured = rng.binomial(total_bits, analytic, size=separations.size) / total_bits
-    else:
-        measured = np.empty(separations.size)
-        for index, separation in enumerate(separations):
-            errors = 0
-            bits = 0
-            for _ in range(messages_per_point):
-                result = link.send_message(card_separation_inches=float(separation), rng=rng)
-                errors += result.bit_errors
-                bits += result.sent_bits.size
-            measured[index] = errors / bits
+    measured = measure(link, separations, analytic, messages_per_point, rng)
     return CardToCardBerResult(
         separations_inches=separations,
         analytic_ber=analytic,
@@ -129,7 +138,7 @@ register(
     name="fig17",
     title="Fig. 17 — card-to-card BER vs separation",
     run=run,
-    engines=("scalar", "batch"),
+    engines=_ENGINES,
     artifact="Fig. 17",
     fast_params={"messages_per_point": 20, "step_inches": 4.0},
     summarize=summarize,

@@ -20,8 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api.registry import register
-from repro.exceptions import ConfigurationError
+from repro.api.registry import register, resolve_engine
 from repro.netsim.fleet import FleetScenario, FleetSimulator
 from repro.plots.figure import Figure, Series
 
@@ -64,6 +63,24 @@ class MacScalingResult:
     latency_p50_s: dict[str, np.ndarray]
 
 
+def _simulate(phy_fast_path: bool, **scenario_kwargs):
+    scenario = FleetScenario(phy_fast_path=phy_fast_path, **scenario_kwargs)
+    return FleetSimulator(scenario).run().aggregate()
+
+
+def _simulate_exact(**scenario_kwargs):
+    """Analytic PHY error model evaluated per packet."""
+    return _simulate(False, **scenario_kwargs)
+
+
+def _simulate_fast_path(**scenario_kwargs):
+    """Packet fates from the memoised LinkAbstraction PER tables."""
+    return _simulate(True, **scenario_kwargs)
+
+
+_ENGINES = {"scalar": _simulate_exact, "fast_path": _simulate_fast_path}
+
+
 def run(
     *,
     fleet_sizes: tuple[int, ...] = DEFAULT_FLEET_SIZES,
@@ -86,8 +103,7 @@ def run(
     (statistically equivalent up to the table's SINR binning, essential for
     1000+ device fleets).
     """
-    if engine not in ("scalar", "fast_path"):
-        raise ConfigurationError(f"unknown engine {engine!r}; use 'scalar' or 'fast_path'")
+    simulate = resolve_engine("mac_scaling", engine, _ENGINES)
     series: dict[str, dict[str, list[float]]] = {
         metric: {mac: [] for mac in macs}
         for metric in (
@@ -100,16 +116,14 @@ def run(
     }
     for mac in macs:
         for size in fleet_sizes:
-            scenario = FleetScenario(
+            aggregate = simulate(
                 profile=profile,
                 num_devices=size,
                 mac=mac,
                 duration_s=duration_s,
                 period_s=period_s,
                 seed=seed,
-                phy_fast_path=engine == "fast_path",
             )
-            aggregate = FleetSimulator(scenario).run().aggregate()
             series["delivery_ratio"][mac].append(aggregate.delivery_ratio)
             series["throughput_bps"][mac].append(aggregate.throughput_bps)
             series["attempt_per"][mac].append(aggregate.attempt_per)
@@ -170,7 +184,7 @@ register(
     name="mac_scaling",
     title="MAC scaling — fleet size × MAC policy sweep (beyond the paper)",
     run=run,
-    engines=("scalar", "fast_path"),
+    engines=_ENGINES,
     fast_params={"fleet_sizes": (1, 5, 10), "duration_s": 0.5},
     summarize=summarize,
     metrics=metrics,

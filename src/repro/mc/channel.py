@@ -8,16 +8,24 @@ vectorised ``rng.normal(size=...)``.  Statistics are identical to looping
 the scalar evaluator; only the RNG consumption order differs, which is why
 the experiments expose both engines (``scalar`` for bit-reproducibility of
 historical seeds, ``batch`` for speed).
+
+Both batch evaluators take an array namespace via the keyword-only ``xp``
+argument.  The shadowing draw itself stays on the numpy ``Generator``
+(the RNG escape hatch shared with the rest of :mod:`repro.mc`), so the
+same seed yields float-identical results on every backend; the dB-domain
+arithmetic downstream of the draw runs on ``xp``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.channel.link_budget import BackscatterLinkBudget, DirectLinkBudget
 from repro.channel.tissue import tissue_attenuation_db
+from repro.mc.backend import resolve_namespace
 from repro.obs import metrics as obs
 
 __all__ = ["BatchLinkResult", "backscatter_link_batch", "direct_rssi_batch"]
@@ -30,13 +38,13 @@ class BatchLinkResult:
     Attributes
     ----------
     rssi_dbm / incident_power_dbm / snr_db / detectable:
-        Arrays, one entry per link realisation.
+        Arrays (on the evaluating backend), one entry per link realisation.
     """
 
-    rssi_dbm: np.ndarray
-    incident_power_dbm: np.ndarray
-    snr_db: np.ndarray
-    detectable: np.ndarray
+    rssi_dbm: Any
+    incident_power_dbm: Any
+    snr_db: Any
+    detectable: Any
 
 
 def _shadowed_loss_db(
@@ -48,7 +56,9 @@ def _shadowed_loss_db(
     """Path loss for an array of realisations under *model*'s shadowing.
 
     ``PathLossModel.loss_db`` broadcasts with one independent shadowing draw
-    per element, so the batch path is a plain delegation.
+    per element, so the batch path is a plain delegation.  This is the
+    numpy-only escape hatch: the draw happens on the numpy ``Generator``
+    and the caller lifts the result onto its ``xp`` namespace.
     """
     return np.asarray(model.loss_db(np.asarray(distance_m, dtype=float), rng=rng))
 
@@ -59,12 +69,14 @@ def backscatter_link_batch(
     tag_to_receiver_m: np.ndarray | float,
     *,
     rng: np.random.Generator | None = None,
+    xp=None,
 ) -> BatchLinkResult:
     """Evaluate the two-hop budget for arrays of hop distances at once.
 
     Scalars broadcast, so a fixed source→tag hop with many tag→receiver
     realisations is one call.
     """
+    xp = resolve_namespace(xp)
     d_in, d_out = np.broadcast_arrays(
         np.asarray(source_to_tag_m, dtype=float), np.asarray(tag_to_receiver_m, dtype=float)
     )
@@ -75,7 +87,7 @@ def backscatter_link_batch(
     incident = (
         budget.source_power_dbm
         + budget.source_antenna.gain_dbi
-        - _shadowed_loss_db(budget.path_loss, d_in, rng=rng)
+        - xp.asarray(_shadowed_loss_db(budget.path_loss, d_in, rng=rng))
         + budget.tag_antenna.gain_dbi
         - tissue_loss
     )
@@ -84,13 +96,14 @@ def backscatter_link_batch(
         reflected
         + budget.tag_antenna.gain_dbi
         - tissue_loss
-        - _shadowed_loss_db(budget.path_loss, d_out, rng=rng)
+        - xp.asarray(_shadowed_loss_db(budget.path_loss, d_out, rng=rng))
         + budget.receiver_antenna.gain_dbi
     )
+    # NoiseModel.snr_db is a scalar dB offset, portable across namespaces.
     return BatchLinkResult(
         rssi_dbm=rssi,
         incident_power_dbm=incident,
-        snr_db=np.asarray(budget.noise.snr_db(rssi)),
+        snr_db=budget.noise.snr_db(rssi),
         detectable=rssi >= budget.receiver_sensitivity_dbm,
     )
 
@@ -100,8 +113,10 @@ def direct_rssi_batch(
     distance_m: np.ndarray,
     *,
     rng: np.random.Generator | None = None,
-) -> np.ndarray:
+    xp=None,
+):
     """Received power of the one-hop link for an array of distances."""
+    xp = resolve_namespace(xp)
     obs.count("channel.link_realisations", int(np.size(distance_m)))
     tissue_loss = 0.0
     if budget.tissue is not None:
@@ -109,7 +124,7 @@ def direct_rssi_batch(
     return (
         budget.tx_power_dbm
         + budget.tx_antenna.gain_dbi
-        - _shadowed_loss_db(budget.path_loss, np.asarray(distance_m, dtype=float), rng=rng)
+        - xp.asarray(_shadowed_loss_db(budget.path_loss, np.asarray(distance_m, dtype=float), rng=rng))
         + budget.rx_antenna.gain_dbi
         - tissue_loss
     )

@@ -6,12 +6,25 @@ bit-exact with the scalar implementation it mirrors:
 * :func:`map_batch` / :func:`demap_batch` ↔ :mod:`repro.wifi.ofdm.mapping`
   (the demapper's nearest-level quantiser keeps the scalar ``argmin``
   tie-break: a point exactly between two levels snaps to the lower one);
+* :func:`demap_soft_batch` — the LLR-producing variant feeding
+  soft-decision Viterbi (max-log per-axis LLRs for the Gray-coded square
+  constellations; positive LLR ⇒ bit 1);
 * :func:`interleave_batch` / :func:`deinterleave_batch` ↔
   :mod:`repro.wifi.ofdm.interleaver`;
 * :func:`scramble_batch` ↔ :class:`repro.wifi.scrambler.Ieee80211Scrambler`
   (keystreams are cached per seed — the x^7+x^4+1 LFSR has only 127 states);
 * :func:`puncture_batch` / :func:`depuncture_batch` ↔ the pattern masks of
   :mod:`repro.wifi.ofdm.convolutional`.
+
+Each kernel takes an explicit array namespace via the keyword-only ``xp``
+argument (``None`` → :func:`repro.mc.backend.default_backend`) and uses
+only array-API-portable operations: gathers are ``take`` with
+precomputed index maps instead of fancy/boolean indexing or scatter
+assignment, so the same code runs under numpy, CuPy, JAX and
+``array-api-strict``.  Small constant tables (permutations, constellation
+levels, LFSR keystreams) are built in numpy and converted once per call
+with ``xp.asarray`` — the documented numpy-only escape hatch, shared with
+the RNG draws upstream.
 """
 
 from __future__ import annotations
@@ -19,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.mc.backend import resolve_namespace
 from repro.wifi.ofdm.convolutional import PUNCTURE_PATTERNS
 from repro.wifi.ofdm.interleaver import interleaver_permutation
 from repro.wifi.ofdm.mapping import Modulation, _axis_table
@@ -27,6 +41,7 @@ from repro.wifi.scrambler import Ieee80211Scrambler
 __all__ = [
     "map_batch",
     "demap_batch",
+    "demap_soft_batch",
     "interleave_batch",
     "deinterleave_batch",
     "scramble_batch",
@@ -35,15 +50,22 @@ __all__ = [
 ]
 
 
-def _as_matrix(bits: np.ndarray, dtype=np.uint8, *, validate_bits: bool = False) -> np.ndarray:
-    """Coerce input to a 2-D matrix ``[N, L]`` (1-D input becomes one row)."""
-    arr = np.asarray(bits)
+def _as_matrix(bits, xp, *, dtype=None, keep_floating: bool = False, validate_bits: bool = False):
+    """Coerce input to a 2-D matrix ``[N, L]`` (1-D input becomes one row).
+
+    ``dtype`` is the target dtype; with ``keep_floating`` a real-floating
+    input keeps its dtype (LLR rows flow through the bit-plumbing kernels
+    unquantised).
+    """
+    arr = xp.asarray(bits)
     if arr.ndim == 1:
         arr = arr[None, :]
     if arr.ndim != 2:
         raise ConfigurationError(f"expected a [N, L] matrix, got shape {arr.shape}")
-    arr = arr.astype(dtype, copy=False)
-    if validate_bits and arr.size and arr.max(initial=0) > 1:
+    if not (keep_floating and xp.isdtype(arr.dtype, "real floating")):
+        if dtype is not None and arr.dtype != dtype:
+            arr = xp.astype(arr, dtype)
+    if validate_bits and arr.size and bool(xp.any(arr > 1)):
         raise ValueError("bit arrays may only contain 0 and 1")
     return arr
 
@@ -63,59 +85,113 @@ def _axis_tables(bits_per_axis: int) -> tuple[np.ndarray, np.ndarray, np.ndarray
     return levels, level_bits, by_index
 
 
-def map_batch(bits: np.ndarray, modulation: Modulation) -> np.ndarray:
+def _take_rows(xp, table, index):
+    """Gather ``table[index]`` for an integer index array of any shape.
+
+    Portable replacement for multi-dimensional fancy indexing: flatten
+    the indices, ``take`` along axis 0, and restore the shape (plus the
+    table's trailing axes, if any).
+    """
+    flat = xp.take(table, xp.reshape(index, (-1,)), axis=0)
+    return xp.reshape(flat, index.shape + table.shape[1:])
+
+
+def map_batch(bits, modulation: Modulation, *, xp=None):
     """Map coded bits ``[N, L]`` to constellation points ``[N, L / bps]``."""
-    arr = _as_matrix(bits)
+    xp = resolve_namespace(xp)
+    arr = _as_matrix(bits, xp, dtype=xp.uint8)
     n, length = arr.shape
     bps = modulation.bits_per_symbol
     if length % bps != 0:
         raise ConfigurationError(f"bit count {length} not a multiple of {bps}")
-    groups = arr.reshape(n, -1, bps)
+    groups = xp.reshape(arr, (n, length // bps, bps))
     if modulation is Modulation.BPSK:
-        return (2.0 * groups[:, :, 0].astype(float) - 1.0).astype(complex)
+        return xp.astype(2.0 * xp.astype(groups[:, :, 0], xp.float64) - 1.0, xp.complex128)
     half = bps // 2
     _, _, by_index = _axis_tables(half)
-    weights = 1 << np.arange(half - 1, -1, -1)
-    i_index = groups[:, :, :half].astype(np.int64) @ weights
-    q_index = groups[:, :, half:].astype(np.int64) @ weights
-    return modulation.normalization * (by_index[i_index] + 1j * by_index[q_index])
+    by_index = xp.asarray(by_index)
+    weights = xp.asarray(1 << np.arange(half - 1, -1, -1), dtype=xp.int64)
+    i_index = xp.matmul(xp.astype(groups[:, :, :half], xp.int64), weights)
+    q_index = xp.matmul(xp.astype(groups[:, :, half:], xp.int64), weights)
+    i_level = _take_rows(xp, by_index, i_index)
+    q_level = _take_rows(xp, by_index, q_index)
+    return (xp.astype(i_level, xp.complex128) + 1j * xp.astype(q_level, xp.complex128)) * modulation.normalization
 
 
-def demap_batch(symbols: np.ndarray, modulation: Modulation) -> np.ndarray:
+def demap_batch(symbols, modulation: Modulation, *, xp=None):
     """Hard-decision demap ``[N, S]`` points back to coded bits ``[N, S * bps]``."""
-    sym = _as_matrix(symbols, dtype=complex)
+    xp = resolve_namespace(xp)
+    sym = _as_matrix(symbols, xp, dtype=xp.complex128)
     n, count = sym.shape
     bps = modulation.bits_per_symbol
     if modulation is Modulation.BPSK:
-        return (sym.real > 0).astype(np.uint8)
+        return xp.astype(xp.real(sym) > 0, xp.uint8)
     half = bps // 2
     levels, level_bits, _ = _axis_tables(half)
-    midpoints = (levels[:-1] + levels[1:]) / 2.0
+    midpoints = xp.asarray((levels[:-1] + levels[1:]) / 2.0)
+    level_bits = xp.asarray(level_bits)
     scaled = sym / modulation.normalization
     # side='left': a point exactly on a midpoint picks the lower level, the
     # same choice the scalar demapper's first-occurrence argmin makes.
-    i_bits = level_bits[np.searchsorted(midpoints, scaled.real, side="left")]
-    q_bits = level_bits[np.searchsorted(midpoints, scaled.imag, side="left")]
-    out = np.empty((n, count, bps), dtype=np.uint8)
-    out[:, :, :half] = i_bits
-    out[:, :, half:] = q_bits
-    return out.reshape(n, count * bps)
+    i_bits = _take_rows(xp, level_bits, xp.searchsorted(midpoints, xp.reshape(xp.real(scaled), (-1,)), side="left"))
+    q_bits = _take_rows(xp, level_bits, xp.searchsorted(midpoints, xp.reshape(xp.imag(scaled), (-1,)), side="left"))
+    out = xp.concat([xp.reshape(i_bits, (n, count, half)), xp.reshape(q_bits, (n, count, half))], axis=2)
+    return xp.reshape(out, (n, count * bps))
 
 
-def interleave_batch(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+def demap_soft_batch(symbols, modulation: Modulation, *, noise_var: float, xp=None):
+    """Max-log LLRs ``[N, S * bps]`` for received points ``[N, S]``.
+
+    ``noise_var`` is the total complex noise variance E|n|² (twice the
+    per-axis variance).  Sign convention: positive LLR ⇒ bit 1, matching
+    :meth:`BatchViterbiDecoder.decode_batch` with ``soft=True``; a hard
+    decision on the LLR sign reproduces :func:`demap_batch` exactly.
+
+    For the Gray-coded square constellations the I and Q axes are
+    independent PAM, so each coded bit's LLR is a per-axis two-minimum
+    expression: ``(min_{levels: bit=0} d² − min_{levels: bit=1} d²) /
+    noise_var`` with ``d`` the distance from the received coordinate to
+    the scaled level.
+    """
+    if noise_var <= 0:
+        raise ConfigurationError(f"noise_var must be positive, got {noise_var}")
+    xp = resolve_namespace(xp)
+    sym = _as_matrix(symbols, xp, dtype=xp.complex128)
+    n, count = sym.shape
+    bps = modulation.bits_per_symbol
+    if modulation is Modulation.BPSK:
+        return 4.0 * xp.real(sym) / noise_var
+    half = bps // 2
+    levels, level_bits, _ = _axis_tables(half)
+    scaled_levels = xp.asarray(levels * modulation.normalization)
+    columns = []
+    for coordinate in (xp.real(sym), xp.imag(sym)):
+        distance_sq = (coordinate[:, :, None] - scaled_levels[None, None, :]) ** 2
+        for position in range(half):
+            zero_levels = xp.asarray(np.flatnonzero(level_bits[:, position] == 0))
+            one_levels = xp.asarray(np.flatnonzero(level_bits[:, position] == 1))
+            nearest_zero = xp.min(xp.take(distance_sq, zero_levels, axis=2), axis=2)
+            nearest_one = xp.min(xp.take(distance_sq, one_levels, axis=2), axis=2)
+            columns.append((nearest_zero - nearest_one) / noise_var)
+    return xp.reshape(xp.stack(columns, axis=2), (n, count * bps))
+
+
+def interleave_batch(bits, bits_per_subcarrier: int, *, xp=None):
     """Interleave each row (one OFDM symbol's coded bits) of ``[N, n_cbps]``."""
-    arr = _as_matrix(bits)
+    xp = resolve_namespace(xp)
+    arr = _as_matrix(bits, xp, dtype=xp.uint8, keep_floating=True)
     perm = interleaver_permutation(arr.shape[1], bits_per_subcarrier)
-    out = np.zeros_like(arr)
-    out[:, perm] = arr
-    return out
+    # out[:, perm] = arr  ⇔  gather with the inverse permutation (scatter
+    # assignment is not array-API-portable).
+    return xp.take(arr, xp.asarray(np.argsort(perm)), axis=1)
 
 
-def deinterleave_batch(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+def deinterleave_batch(bits, bits_per_subcarrier: int, *, xp=None):
     """Invert :func:`interleave_batch` row-wise."""
-    arr = _as_matrix(bits)
+    xp = resolve_namespace(xp)
+    arr = _as_matrix(bits, xp, dtype=xp.uint8, keep_floating=True)
     perm = interleaver_permutation(arr.shape[1], bits_per_subcarrier)
-    return arr[:, perm]
+    return xp.take(arr, xp.asarray(perm), axis=1)
 
 
 _KEYSTREAM_CACHE: dict[int, np.ndarray] = {}
@@ -129,42 +205,51 @@ def _keystream(seed: int, length: int) -> np.ndarray:
     return cached[:length]
 
 
-def scramble_batch(bits: np.ndarray, seeds: int | np.ndarray) -> np.ndarray:
+def scramble_batch(bits, seeds, *, xp=None):
     """Scramble (or descramble) ``[N, L]`` bit rows.
 
-    ``seeds`` is one shared 7-bit seed or a per-row array of them.
+    ``seeds`` is one shared 7-bit seed or a per-row array of them (always
+    host-side integers — the LFSR keystream is the numpy escape hatch).
     """
-    arr = _as_matrix(bits)
+    xp = resolve_namespace(xp)
+    arr = _as_matrix(bits, xp, dtype=xp.uint8)
     n, length = arr.shape
     if np.isscalar(seeds):
-        return np.bitwise_xor(arr, _keystream(int(seeds), length)[None, :])
+        return xp.bitwise_xor(arr, xp.asarray(_keystream(int(seeds), length))[None, :])
     seed_arr = np.asarray(seeds, dtype=np.int64).ravel()
     if seed_arr.size != n:
         raise ConfigurationError(f"need one seed per row: {seed_arr.size} != {n}")
     keystreams = np.stack([_keystream(int(seed), length) for seed in seed_arr])
-    return np.bitwise_xor(arr, keystreams)
+    return xp.bitwise_xor(arr, xp.asarray(keystreams))
 
 
-def puncture_batch(coded_bits: np.ndarray, rate: str) -> np.ndarray:
+def puncture_batch(coded_bits, rate: str, *, xp=None):
     """Puncture each row of rate-1/2 coded bits up to 2/3 or 3/4."""
     if rate not in PUNCTURE_PATTERNS:
         raise ConfigurationError(f"unknown coding rate {rate!r}")
+    xp = resolve_namespace(xp)
     pattern = PUNCTURE_PATTERNS[rate]
-    coded = _as_matrix(coded_bits)
+    coded = _as_matrix(coded_bits, xp, dtype=xp.uint8, keep_floating=True)
     if coded.shape[1] % pattern.size != 0:
         raise ValueError(
             f"coded bit count {coded.shape[1]} not a multiple of puncture block {pattern.size}"
         )
     mask = np.tile(pattern, coded.shape[1] // pattern.size).astype(bool)
-    return coded[:, mask]
+    return xp.take(coded, xp.asarray(np.flatnonzero(mask)), axis=1)
 
 
-def depuncture_batch(punctured_bits: np.ndarray, rate: str) -> tuple[np.ndarray, np.ndarray]:
-    """Re-insert erasures row-wise; returns ``(bits[N, L], known_mask[L])``."""
+def depuncture_batch(punctured_bits, rate: str, *, xp=None):
+    """Re-insert erasures row-wise; returns ``(bits[N, L], known_mask[L])``.
+
+    Hard bit rows come back zero-filled ``uint8``; real-floating rows
+    (LLRs) keep their dtype with erasures at LLR 0 — the "no information"
+    value — and ``known_mask`` is always a host-side numpy bool array.
+    """
     if rate not in PUNCTURE_PATTERNS:
         raise ConfigurationError(f"unknown coding rate {rate!r}")
+    xp = resolve_namespace(xp)
     pattern = PUNCTURE_PATTERNS[rate]
-    punctured = _as_matrix(punctured_bits)
+    punctured = _as_matrix(punctured_bits, xp, dtype=xp.uint8, keep_floating=True)
     kept_per_block = int(np.sum(pattern))
     if punctured.shape[1] % kept_per_block != 0:
         raise ValueError(
@@ -172,6 +257,11 @@ def depuncture_batch(punctured_bits: np.ndarray, rate: str) -> tuple[np.ndarray,
         )
     blocks = punctured.shape[1] // kept_per_block
     mask = np.tile(pattern, blocks).astype(bool)
-    full = np.zeros((punctured.shape[0], blocks * pattern.size), dtype=np.uint8)
-    full[:, mask] = punctured
+    # full[:, mask] = punctured  ⇔  gather from [punctured | one zero column]:
+    # surviving positions index their source column, punctured positions the
+    # appended zero column.
+    kept_total = punctured.shape[1]
+    gather = np.where(mask, np.cumsum(mask) - 1, kept_total)
+    zero_column = xp.zeros((punctured.shape[0], 1), dtype=punctured.dtype)
+    full = xp.take(xp.concat([punctured, zero_column], axis=1), xp.asarray(gather), axis=1)
     return full, mask

@@ -1,10 +1,10 @@
-"""Trellis-batched K=7 convolutional encoder and hard-decision Viterbi.
+"""Trellis-batched K=7 convolutional encoder and batched Viterbi decoding.
 
 The scalar implementations in :mod:`repro.wifi.ofdm.convolutional` walk the
 trellis one state and one bit at a time; decoding N codewords costs
 ``N × L × 64 × 2`` Python-level iterations.  The batched versions here keep
 the *entire* batch's state metrics in one ``[N, 64]`` array and advance all
-N trellises per step with a handful of numpy operations, which is what makes
+N trellises per step with a handful of array operations, which is what makes
 Monte-Carlo PER sweeps over thousands of codewords tractable.
 
 Both functions are bit-exact with their scalar counterparts (including
@@ -13,6 +13,21 @@ candidate on a tie, and for every next state the two predecessors arrive in
 ascending state order, so ``argmin`` (first occurrence) reproduces the
 identical survivor choice.  The equivalence tests in ``tests/mc`` assert
 this across random codewords, erasure masks and start states.
+
+``decode_batch`` also accepts demapper log-likelihood ratios
+(``soft=True``): the trellis already carries float path metrics, so the
+branch cost simply changes from masked Hamming distance to the negative
+correlation ``−Σ (2c−1)·λ`` between the branch's expected coded bits and
+the received LLRs (positive LLR ⇒ bit 1, the
+:func:`repro.mc.kernels.demap_soft_batch` convention).  Feeding the
+hard-decision LLRs ``2r−1`` reproduces the hard decoder's survivors
+exactly — the per-step costs differ only by a positive affine map, which
+preserves every comparison including ties.
+
+Every entry point takes an explicit array namespace via the keyword-only
+``xp`` argument (``None`` → the default backend) and uses only
+array-API-portable operations; the constant trellis tables are built in
+numpy once and converted per call with ``xp.asarray``.
 """
 
 from __future__ import annotations
@@ -20,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.mc.backend import resolve_namespace
 from repro.mc.kernels import _as_matrix
 from repro.obs import metrics as obs
 from repro.wifi.ofdm.convolutional import (
@@ -34,46 +50,46 @@ _NUM_STATES = 1 << (CONSTRAINT_LENGTH - 1)
 _HISTORY_BITS = CONSTRAINT_LENGTH - 1
 
 
-def _as_bit_matrix(bits: np.ndarray) -> np.ndarray:
+def _as_bit_matrix(bits, xp):
     """Coerce input to a 2-D ``uint8`` 0/1 matrix ``[N, L]``."""
-    return _as_matrix(bits, validate_bits=True)
+    return _as_matrix(bits, xp, dtype=xp.uint8, validate_bits=True)
 
 
-def encode_batch(bits: np.ndarray, *, initial_history: np.ndarray | None = None) -> np.ndarray:
+def encode_batch(bits, *, initial_history=None, xp=None):
     """Encode ``bits[N, L]`` to interleaved pairs ``C1 C2`` of shape ``[N, 2L]``.
 
     ``initial_history`` is the ``[b[k-1], ..., b[k-6]]`` preload shared by all
     rows (or per-row when given as ``[N, 6]``); the default all-zeros matches
     the 802.11 frame start, exactly like the scalar encoder.
     """
-    arr = _as_bit_matrix(bits)
+    xp = resolve_namespace(xp)
+    arr = _as_bit_matrix(bits, xp)
     n, length = arr.shape
     if initial_history is None:
-        history = np.zeros((n, _HISTORY_BITS), dtype=np.uint8)
+        history = xp.zeros((n, _HISTORY_BITS), dtype=xp.uint8)
     else:
-        history = np.asarray(initial_history, dtype=np.uint8)
+        history = xp.astype(xp.asarray(initial_history), xp.uint8)
         if history.ndim == 1:
-            history = np.broadcast_to(history, (n, history.size))
+            history = xp.broadcast_to(history[None, :], (n, history.shape[0]))
         if history.shape != (n, _HISTORY_BITS):
             raise ConfigurationError(
                 f"history must have {_HISTORY_BITS} bits per row, got shape {history.shape}"
             )
     # padded[:, 6 - d : 6 - d + L] is b[k-d]; column layout [b[k-6] .. b[k-1] b[0] ..].
-    padded = np.concatenate([history[:, ::-1], arr], axis=1)
-    c1 = np.zeros((n, length), dtype=np.uint8)
-    c2 = np.zeros((n, length), dtype=np.uint8)
+    padded = xp.concat([xp.flip(history, axis=1), arr], axis=1)
+    c1 = xp.zeros((n, length), dtype=xp.uint8)
+    c2 = xp.zeros((n, length), dtype=xp.uint8)
     for tap in _G1_TAPS:
-        c1 ^= padded[:, _HISTORY_BITS - tap : _HISTORY_BITS - tap + length]
+        c1 = xp.bitwise_xor(c1, padded[:, _HISTORY_BITS - tap : _HISTORY_BITS - tap + length])
     for tap in _G2_TAPS:
-        c2 ^= padded[:, _HISTORY_BITS - tap : _HISTORY_BITS - tap + length]
-    out = np.empty((n, 2 * length), dtype=np.uint8)
-    out[:, 0::2] = c1
-    out[:, 1::2] = c2
-    return out
+        c2 = xp.bitwise_xor(c2, padded[:, _HISTORY_BITS - tap : _HISTORY_BITS - tap + length])
+    # out[:, 0::2] = c1; out[:, 1::2] = c2 — expressed as a portable
+    # stack-then-reshape instead of strided scatter assignment.
+    return xp.reshape(xp.stack([c1, c2], axis=2), (n, 2 * length))
 
 
 class BatchViterbiDecoder:
-    """Hard-decision Viterbi over a batch of codewords at once.
+    """Batched Viterbi over many codewords at once (hard or soft decision).
 
     ``decode_batch(coded[N, L])`` advances all N trellises together: the
     branch metrics for every (predecessor state, input bit) pair are computed
@@ -110,67 +126,101 @@ class BatchViterbiDecoder:
         )  # [64, 2]
         # Expected output pair of each next state's two incoming branches.
         self._branch_outputs = outputs[self._pred, self._entry_bit[:, None], :]  # [64, 2, 2]
+        # ±1 branch symbols for the soft (correlation) metric.
+        self._branch_signs = 2.0 * self._branch_outputs.astype(np.float64) - 1.0
 
     def decode_batch(
         self,
-        coded_bits: np.ndarray,
+        coded_bits,
         *,
-        known_mask: np.ndarray | None = None,
+        known_mask=None,
         initial_state: int = 0,
-    ) -> np.ndarray:
+        soft: bool = False,
+        xp=None,
+    ):
         """Decode ``coded_bits[N, L]`` (``C1 C2`` interleaved) to ``[N, L // 2]``.
 
-        ``known_mask`` marks real (non-erasure) positions exactly as in the
-        scalar decoder and may be ``[L]`` (shared) or ``[N, L]`` (per row).
+        With ``soft=False`` the input is hard coded bits; with ``soft=True``
+        it is demapper LLRs (positive ⇒ bit 1) and the branch metric is the
+        negative LLR correlation.  ``known_mask`` marks real (non-erasure)
+        positions exactly as in the scalar decoder and may be ``[L]``
+        (shared) or ``[N, L]`` (per row); for LLR input an erased position
+        simply contributes 0 either way.
         """
-        coded = _as_bit_matrix(coded_bits)
+        xp = resolve_namespace(xp)
+        if soft:
+            coded = _as_matrix(coded_bits, xp, dtype=xp.float64, keep_floating=True)
+        else:
+            coded = _as_bit_matrix(coded_bits, xp)
         n, length = coded.shape
         if length % 2 != 0:
             raise ValueError("coded bit count must be even")
         if known_mask is None:
-            known = np.ones((n, length), dtype=bool)
+            known = xp.ones((n, length), dtype=xp.bool)
         else:
-            known = np.asarray(known_mask, dtype=bool)
+            known = xp.astype(xp.asarray(known_mask), xp.bool)
             if known.ndim == 1:
-                known = np.broadcast_to(known, (n, length))
+                known = xp.broadcast_to(known[None, :], (n, length))
             if known.shape != (n, length):
                 raise ValueError("known_mask shape mismatch")
         num_steps = length // 2
 
         with obs.span("mc.viterbi.decode_batch", codewords=int(n), coded_bits=int(length)):
             obs.count("mc.viterbi.codewords_decoded", n)
-            metrics = np.full((n, _NUM_STATES), np.inf)
-            metrics[:, initial_state] = 0.0
+            start = xp.where(
+                xp.arange(_NUM_STATES) == initial_state,
+                xp.zeros(_NUM_STATES, dtype=xp.float64),
+                xp.full(_NUM_STATES, xp.inf, dtype=xp.float64),
+            )
+            metrics = xp.broadcast_to(start[None, :], (n, _NUM_STATES))
             # Survivor choice per step: which of the two ordered predecessors won.
-            choices = np.empty((num_steps, n, _NUM_STATES), dtype=np.uint8)
+            choices: list = [None] * num_steps
 
-            branch = self._branch_outputs  # [64, 2, 2]
-            pred = self._pred  # [64, 2]
+            branch = xp.asarray(self._branch_outputs)  # [64, 2, 2]
+            signs = xp.asarray(self._branch_signs)  # [64, 2, 2]
+            pred_flat = xp.asarray(self._pred.reshape(-1))  # [128]
+            if soft:
+                # Masked LLRs: an erased position carries zero evidence.
+                llrs = coded * xp.astype(known, xp.float64)
             for step in range(num_steps):
-                r = coded[:, 2 * step : 2 * step + 2]  # [N, 2]
-                m = known[:, 2 * step : 2 * step + 2]  # [N, 2]
-                # Branch cost of each next state's two incoming transitions.  The
-                # boolean mismatch terms must be cast *before* summing: numpy adds
-                # booleans as logical OR, which would collapse a two-bit mismatch
-                # into a cost of 1.
-                cost = (
-                    ((branch[None, :, :, 0] != r[:, None, None, 0]) & m[:, None, None, 0]).astype(
-                        np.float64
-                    )
-                    + ((branch[None, :, :, 1] != r[:, None, None, 1]) & m[:, None, None, 1]).astype(
-                        np.float64
-                    )
-                )  # [N, 64, 2]
-                candidates = metrics[:, pred] + cost  # [N, 64, 2]
-                choice = np.argmin(candidates, axis=2)  # ties -> lower predecessor
-                choices[step] = choice
-                metrics = np.take_along_axis(candidates, choice[:, :, None], axis=2)[:, :, 0]
+                if soft:
+                    lam = llrs[:, 2 * step : 2 * step + 2]  # [N, 2]
+                    # Negative correlation between the branch's ±1 coded
+                    # symbols and the received LLRs: agreeing evidence
+                    # lowers the path metric.
+                    cost = -(
+                        signs[None, :, :, 0] * lam[:, None, None, 0]
+                        + signs[None, :, :, 1] * lam[:, None, None, 1]
+                    )  # [N, 64, 2]
+                else:
+                    r = coded[:, 2 * step : 2 * step + 2]  # [N, 2]
+                    m = known[:, 2 * step : 2 * step + 2]  # [N, 2]
+                    # Branch cost of each next state's two incoming transitions.
+                    # The boolean mismatch terms must be cast *before* summing:
+                    # booleans add as logical OR, which would collapse a two-bit
+                    # mismatch into a cost of 1.
+                    cost = xp.astype(
+                        (branch[None, :, :, 0] != r[:, None, None, 0]) & m[:, None, None, 0],
+                        xp.float64,
+                    ) + xp.astype(
+                        (branch[None, :, :, 1] != r[:, None, None, 1]) & m[:, None, None, 1],
+                        xp.float64,
+                    )  # [N, 64, 2]
+                # metrics[:, pred] — a 2-D gather, expressed portably as a
+                # flat take over the predecessor table.
+                prev = xp.reshape(xp.take(metrics, pred_flat, axis=1), (n, _NUM_STATES, 2))
+                candidates = prev + cost  # [N, 64, 2]
+                choice = xp.argmin(candidates, axis=2)  # ties -> lower predecessor
+                choices[step] = xp.astype(choice, xp.uint8)
+                # min() selects the same (first-occurrence) element argmin did.
+                metrics = xp.min(candidates, axis=2)
 
-            decoded = np.empty((n, num_steps), dtype=np.uint8)
-            state = np.argmin(metrics, axis=1)  # [N]; first occurrence, as scalar
-            rows = np.arange(n)
+            state = xp.argmin(metrics, axis=1)  # [N]; first occurrence, as scalar
+            row_offsets = xp.arange(n) * _NUM_STATES
+            columns: list = [None] * num_steps
             for step in range(num_steps - 1, -1, -1):
-                decoded[:, step] = state & 1
-                winner = choices[step, rows, state]
-                state = (state >> 1) | (winner.astype(np.int64) << (_HISTORY_BITS - 1))
-            return decoded
+                columns[step] = xp.astype(state & 1, xp.uint8)
+                # choices[step][rows, state] as a flat portable gather.
+                winner = xp.take(xp.reshape(choices[step], (-1,)), row_offsets + state)
+                state = (state >> 1) | (xp.astype(winner, xp.int64) << (_HISTORY_BITS - 1))
+            return xp.stack(columns, axis=1)

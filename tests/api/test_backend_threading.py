@@ -1,0 +1,155 @@
+"""Tests for array-backend threading: spec → Runner → envelope → store → CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ExperimentSpec, Result, ResultStore, Runner, payload_equal
+from repro.api.analytics import replicate_groups
+from repro.api.campaign import SweepSpec
+from repro.api.cli import main
+from repro.api.store import result_key
+from repro.exceptions import ConfigurationError
+from repro.mc.backend import ENV_VAR
+
+STRICT = "array-api-strict"
+FIG14_FAST = {"packets_per_location": 5}
+
+
+class TestEnvelopeRoundTrip:
+    def test_backend_survives_json_round_trip(self):
+        result = Runner().run("fig14", engine="batch", backend=STRICT, params=FIG14_FAST)
+        assert result.backend == STRICT
+        restored = Result.from_json(result.to_json())
+        assert restored.backend == STRICT
+        assert result_key(restored) == result_key(result)
+
+    def test_legacy_document_without_backend_decodes_as_none(self):
+        result = Runner().run("table_power")
+        document = result.to_dict()
+        del document["backend"]
+        assert Result.from_dict(document).backend is None
+
+    def test_backend_is_result_key_provenance(self):
+        numpy_run = Runner().run("fig14", engine="batch", backend="numpy", params=FIG14_FAST)
+        strict_run = Runner().run("fig14", engine="batch", backend=STRICT, params=FIG14_FAST)
+        assert result_key(numpy_run) != result_key(strict_run)
+        # …but numpy remains the reference: the payloads are identical.
+        assert payload_equal(numpy_run.payload, strict_run.payload)
+
+    def test_store_keeps_backends_as_distinct_invocations(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for backend in ("numpy", STRICT):
+            store.append(Runner().run("fig14", engine="batch", backend=backend, params=FIG14_FAST))
+        assert len(store) == 2
+        strict_only = store.query("fig14", backend=STRICT)
+        assert [r.backend for r in strict_only] == [STRICT]
+
+
+class TestSpecValidation:
+    def test_spec_round_trips_backend(self):
+        spec = ExperimentSpec("fig14", engine="batch", backend=STRICT)
+        assert ExperimentSpec.from_dict(spec.to_dict()).backend == STRICT
+
+    def test_backend_in_params_rejected(self):
+        spec = ExperimentSpec("fig14", params={"backend": STRICT})
+        with pytest.raises(ConfigurationError, match="ExperimentSpec.backend"):
+            spec.resolve()
+
+    def test_backend_on_non_backend_experiment_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not accept an array backend"):
+            ExperimentSpec("table_power", backend=STRICT).resolve()
+
+    def test_sweep_round_trips_backend(self):
+        sweep = SweepSpec("fig14", grid={"packets_per_location": [5, 10]}, backend=STRICT)
+        restored = SweepSpec.from_dict(sweep.to_dict())
+        assert restored.backend == STRICT
+        assert all(spec.backend == STRICT for spec in restored.expand())
+
+    def test_sweep_backend_reserved_in_grid(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            SweepSpec("fig14", grid={"backend": ["numpy", STRICT]}).resolve()
+
+    def test_sweep_backend_on_non_backend_experiment_rejected(self):
+        with pytest.raises(ConfigurationError, match="takes none"):
+            SweepSpec("fig06", grid={}, backend=STRICT).resolve()
+
+
+class TestRunnerResolution:
+    def test_acceptance_fig14_strict_matches_numpy_exactly(self):
+        """The PR's acceptance criterion: fig14 batch is float-identical across backends."""
+        numpy_run = Runner().run("fig14", engine="batch", backend="numpy", params=FIG14_FAST)
+        strict_run = Runner().run("fig14", engine="batch", backend=STRICT, params=FIG14_FAST)
+        assert payload_equal(numpy_run.payload, strict_run.payload)
+
+    def test_default_records_numpy_explicitly(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        result = Runner().run("fig14", engine="batch", params=FIG14_FAST)
+        assert result.backend == "numpy"
+
+    def test_env_var_picks_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, STRICT)
+        result = Runner().run("fig14", engine="batch", params=FIG14_FAST)
+        assert result.backend == STRICT
+
+    def test_spec_backend_beats_runner_backend(self):
+        runner = Runner(backend="numpy")
+        spec = ExperimentSpec("fig14", engine="batch", backend=STRICT, params=FIG14_FAST)
+        assert runner.run(spec).backend == STRICT
+
+    def test_non_backend_experiment_never_records_backend(self):
+        assert Runner().run("table_power").backend is None
+
+    def test_backend_on_non_backend_experiment_raises(self):
+        with pytest.raises(ConfigurationError, match="does not accept an array backend"):
+            Runner().run("table_power", backend=STRICT)
+
+    def test_unknown_backend_aborts_before_work(self):
+        with pytest.raises(ConfigurationError, match="warp-drive"):
+            Runner().run("fig14", engine="batch", backend="warp-drive", params=FIG14_FAST)
+
+
+class TestCli:
+    def test_backends_verb_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out and STRICT in out
+        assert "* default backend" in out
+
+    def test_backends_verb_json(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in entries}
+        assert by_name["numpy"]["default"] is True
+        assert STRICT in by_name
+
+    def test_run_with_backend_flag_records_it(self, tmp_path, capsys):
+        out_path = tmp_path / "fig14.json"
+        code = main(
+            ["run", "fig14", "--engine", "batch", "--backend", STRICT]
+            + ["--set", "packets_per_location=5", "--json", str(out_path)]
+        )
+        assert code == 0
+        assert json.loads(out_path.read_text())["backend"] == STRICT
+
+    def test_run_with_unknown_backend_fails_cleanly(self, capsys):
+        assert main(["run", "fig14", "--engine", "batch", "--backend", "warp-drive"]) == 1
+        assert "unknown array backend" in capsys.readouterr().err
+
+    def test_info_lists_backends_for_capable_experiments(self, capsys):
+        assert main(["info", "fig14"]) == 0
+        assert "backends:" in capsys.readouterr().out
+
+
+class TestAnalytics:
+    def test_replicate_groups_split_by_backend(self):
+        results = [
+            Runner(seed=seed).run("fig14", engine="batch", backend=backend, params=FIG14_FAST)
+            for backend in ("numpy", STRICT)
+            for seed in (1, 2)
+        ]
+        groups = replicate_groups(results)
+        assert sorted(group.backend for group in groups) == [STRICT, "numpy"]
+        assert all(group.replicates == 2 for group in groups)

@@ -8,6 +8,7 @@ from repro.api import experiment_names, get_experiment, iter_experiments, regist
 from repro.exceptions import ConfigurationError
 
 ALL_EXPERIMENTS = [
+    "coded_ofdm",
     "fig06",
     "fig09",
     "fig10",
@@ -25,7 +26,7 @@ ALL_EXPERIMENTS = [
 
 
 class TestDiscovery:
-    def test_all_thirteen_experiments_registered(self):
+    def test_all_fourteen_experiments_registered(self):
         assert sorted(experiment_names()) == sorted(ALL_EXPERIMENTS)
 
     def test_iter_matches_names(self):
@@ -39,14 +40,28 @@ class TestDiscovery:
 class TestMetadata:
     def test_batch_engines_declared(self):
         for name in ("fig10", "fig11", "fig13", "fig14", "fig17"):
-            assert get_experiment(name).engines == ("scalar", "batch")
+            experiment = get_experiment(name)
+            assert experiment.engine_names == ("scalar", "batch")
+            # The capability table carries a real implementation per engine.
+            assert all(callable(impl) for impl in experiment.engines.values())
 
     def test_mac_scaling_declares_fast_path(self):
-        assert get_experiment("mac_scaling").engines == ("scalar", "fast_path")
+        assert get_experiment("mac_scaling").engine_names == ("scalar", "fast_path")
+
+    def test_coded_ofdm_is_batch_only(self):
+        experiment = get_experiment("coded_ofdm")
+        assert experiment.engine_names == ("batch",)
+        assert experiment.default_engine == "batch"
+
+    def test_backend_capability_declared(self):
+        for name in ("fig10", "fig11", "fig14", "coded_ofdm"):
+            assert get_experiment(name).takes_backend
+        for name in ("fig06", "fig13", "fig17", "mac_scaling"):
+            assert not get_experiment(name).takes_backend
 
     def test_scalar_only_experiments(self):
         for name in ("fig06", "fig09", "fig12", "fig15", "fig16", "table_power", "table_packet_sizes"):
-            assert get_experiment(name).engines == ("scalar",)
+            assert get_experiment(name).engine_names == ("scalar",)
 
     def test_every_experiment_has_title_summary_and_schema(self):
         for experiment in iter_experiments():

@@ -61,7 +61,7 @@ class TestShardDeterminism:
         # The worker entry point itself, executed in-process: spec dict in,
         # envelope dict out, shard appended.
         spec = _grid_specs()[0]
-        document = _run_spec_task((spec.to_dict(), None, None, str(tmp_path), True))
+        document = _run_spec_task((spec.to_dict(), None, None, None, str(tmp_path), True))
         assert document["experiment"] == "mac_scaling"
         assert document["telemetry"]["counters"]["netsim.events.dispatched"] > 0
         assert len(ResultStore(tmp_path)) == 1

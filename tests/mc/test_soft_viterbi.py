@@ -1,0 +1,102 @@
+"""Tests for soft-decision batched Viterbi and the LLR demapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mc.kernels import demap_batch, demap_soft_batch, depuncture_batch, puncture_batch
+from repro.mc.sweep import CodedOfdmPipeline, run_sweep
+from repro.mc.viterbi import BatchViterbiDecoder, encode_batch
+from repro.wifi.ofdm.mapping import Modulation
+from repro.wifi.ofdm.rates import OfdmRate
+
+
+class TestLlrDemapper:
+    @pytest.mark.parametrize(
+        "modulation", [Modulation.BPSK, Modulation.QPSK, Modulation.QAM16, Modulation.QAM64]
+    )
+    def test_llr_sign_matches_hard_decision(self, modulation):
+        # Positive LLR ⇔ bit 1, so thresholding the LLRs at zero must
+        # reproduce the hard demapper on noisy symbols.
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, size=(16, 24 * modulation.bits_per_symbol), dtype=np.uint8)
+        from repro.mc.kernels import map_batch
+
+        symbols = map_batch(bits, modulation)
+        noisy = symbols + 0.05 * (rng.standard_normal(symbols.shape) + 1j * rng.standard_normal(symbols.shape))
+        hard = demap_batch(noisy, modulation)
+        llrs = demap_soft_batch(noisy, modulation, noise_var=0.5)
+        np.testing.assert_array_equal((llrs > 0).astype(np.uint8), hard)
+
+    def test_noise_var_scales_confidence_not_sign(self):
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2, size=(4, 48), dtype=np.uint8)
+        from repro.mc.kernels import map_batch
+
+        symbols = map_batch(bits, Modulation.QPSK)
+        crisp = demap_soft_batch(symbols, Modulation.QPSK, noise_var=0.1)
+        fuzzy = demap_soft_batch(symbols, Modulation.QPSK, noise_var=1.0)
+        np.testing.assert_array_equal(np.sign(crisp), np.sign(fuzzy))
+        assert np.all(np.abs(crisp) > np.abs(fuzzy))
+
+    def test_noise_var_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="noise_var"):
+            demap_soft_batch(np.zeros((1, 2), dtype=complex), Modulation.QPSK, noise_var=0.0)
+
+
+class TestSoftDecoder:
+    def test_soft_with_antipodal_llrs_equals_hard(self):
+        # Equal-magnitude ±1 LLRs carry exactly the hard bits' information:
+        # each step's soft branch cost is a positive affine map of the hard
+        # mismatch count, so the trellis decisions (ties included) must
+        # coincide — even with real bit errors in the stream.
+        rng = np.random.default_rng(13)
+        bits = rng.integers(0, 2, size=(12, 96), dtype=np.uint8)
+        flipped = encode_batch(bits) ^ (rng.random((12, 192)) < 0.06).astype(np.uint8)
+        decoder = BatchViterbiDecoder()
+        hard = decoder.decode_batch(flipped)
+        soft = decoder.decode_batch(2.0 * flipped.astype(np.float64) - 1.0, soft=True)
+        np.testing.assert_array_equal(hard, soft)
+
+    def test_soft_equals_hard_under_erasure_mask(self):
+        rng = np.random.default_rng(17)
+        bits = rng.integers(0, 2, size=(6, 72), dtype=np.uint8)
+        punctured = puncture_batch(encode_batch(bits), "3/4")
+        punctured = punctured ^ (rng.random(punctured.shape) < 0.03).astype(np.uint8)
+        full, known = depuncture_batch(punctured, "3/4")
+        decoder = BatchViterbiDecoder()
+        hard = decoder.decode_batch(full, known_mask=known)
+        llrs = (2.0 * full.astype(np.float64) - 1.0) * known
+        soft = decoder.decode_batch(llrs, known_mask=known, soft=True)
+        np.testing.assert_array_equal(hard, soft)
+
+    def test_confident_llrs_decode_noiselessly(self):
+        rng = np.random.default_rng(19)
+        bits = rng.integers(0, 2, size=(4, 48), dtype=np.uint8)
+        llrs = 8.0 * (2.0 * encode_batch(bits).astype(np.float64) - 1.0)
+        decoded = BatchViterbiDecoder().decode_batch(llrs, soft=True)
+        np.testing.assert_array_equal(decoded, bits)
+
+
+class TestSoftVsHardSweep:
+    def test_soft_ber_at_or_below_hard_across_snr_grid(self):
+        # Paired comparison: the pipeline draws message and noise before
+        # the decision branch, so the same seed gives both receivers
+        # identical channel realisations.
+        points = np.arange(1.0, 7.0, 1.0)
+        trials = 96
+        curves = {}
+        for decision in ("hard", "soft"):
+            pipeline = CodedOfdmPipeline(
+                OfdmRate.RATE_12, num_symbols=2, statistic="ber", decision=decision
+            )
+            curves[decision] = run_sweep(points, trials, pipeline, seed=2016).error_rate
+        assert np.all(curves["soft"] <= curves["hard"])
+        # And the advantage is real, not a tie across the board.
+        assert curves["soft"].sum() < curves["hard"].sum()
+
+    def test_decision_validated(self):
+        with pytest.raises(ConfigurationError, match="decision"):
+            CodedOfdmPipeline(OfdmRate.RATE_12, decision="fuzzy")

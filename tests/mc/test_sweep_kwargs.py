@@ -1,0 +1,44 @@
+"""Tests for run_sweep's keyword-only signature and its deprecation shim."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.mc.sweep import AnalyticWifiPerPipeline, run_sweep
+
+POINTS = np.array([4.0, 8.0])
+
+
+def _pipeline() -> AnalyticWifiPerPipeline:
+    return AnalyticWifiPerPipeline(rate_mbps=2.0, payload_bytes=1000)
+
+
+class TestKeywordOnly:
+    def test_keyword_call_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_sweep(POINTS, 32, _pipeline(), seed=5, max_batch=16)
+
+    def test_positional_legacy_args_warn_and_still_work(self):
+        rng = np.random.default_rng(5)
+        with pytest.warns(DeprecationWarning, match="keyword-only"):
+            legacy = run_sweep(POINTS, 32, _pipeline(), rng)
+        modern = run_sweep(POINTS, 32, _pipeline(), rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(legacy.error_rate, modern.error_rate)
+
+    def test_positional_seed_and_max_batch_map_in_order(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_sweep(POINTS, 32, _pipeline(), None, 9, 8)
+        modern = run_sweep(POINTS, 32, _pipeline(), seed=9, max_batch=8)
+        np.testing.assert_array_equal(legacy.error_rate, modern.error_rate)
+
+    def test_double_assignment_raises(self):
+        with pytest.warns(DeprecationWarning), pytest.raises(TypeError, match="multiple values"):
+            run_sweep(POINTS, 32, _pipeline(), None, 9, seed=9)
+
+    def test_too_many_positionals_raise(self):
+        with pytest.raises(TypeError, match="positional"):
+            run_sweep(POINTS, 32, _pipeline(), None, 9, 8, "extra")
