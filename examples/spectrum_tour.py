@@ -27,7 +27,7 @@ def ascii_spectrum(frequencies: np.ndarray, psd_db: np.ndarray, *, bins: int = 6
     floor = np.percentile(psd_db, 10)
     ceiling = psd_db.max()
     span = max(ceiling - floor, 1.0)
-    for low, high in zip(edges[:-1], edges[1:]):
+    for low, high in zip(edges[:-1], edges[1:], strict=True):
         mask = (frequencies >= low) & (frequencies < high)
         if not np.any(mask):
             continue

@@ -354,7 +354,7 @@ def aggregate(
     for key in sorted(buckets):
         members = sorted(buckets[key], key=_seed_order)
         _check_homogeneous(members, group_by)
-        for name, value in zip(group_by, key_values[key]):
+        for name, value in zip(group_by, key_values[key], strict=True):
             group_columns[name].append(value)
         replicate_column.append(len(members))
         engines_column.append(",".join(sorted({member.engine for member in members})))

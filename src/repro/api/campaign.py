@@ -157,7 +157,7 @@ class SweepSpec:
         axes = list(self.grid.items())
         specs: list[ExperimentSpec] = []
         for combo in itertools.product(*(values for _, values in axes)):
-            point = {**self.params, **{name: value for (name, _), value in zip(axes, combo)}}
+            point = {**self.params, **{name: value for (name, _), value in zip(axes, combo, strict=True)}}
             for replicate in range(self.replicates):
                 seed: int | None = None
                 if self.seed is not None and experiment.takes_seed:
@@ -239,7 +239,7 @@ def load_specs(document: Any) -> list[ExperimentSpec]:
         specs = []
         for index, element in enumerate(document.get("sweeps") or []):
             specs.extend(_element_to_specs(element, f"sweeps[{index}]"))
-        for index, element in enumerate(document.get("specs") or []):
+        for element in document.get("specs") or []:
             specs.append(ExperimentSpec.from_dict(element))
         return specs
     return _element_to_specs(document, "document")

@@ -61,6 +61,16 @@ Subcommands
     Fold source stores into a destination store, logging each source's
     :class:`~repro.api.store.MergeStats` (ingested / deduplicated /
     torn lines skipped).
+``lint [PATHS ...]``
+    Run the :mod:`repro.lint` contract checker (backend purity, RNG
+    discipline, determinism, telemetry isolation, registry completeness,
+    exception hygiene) over the given paths (default ``src/repro``).
+    ``--rule ID`` restricts to specific rules, ``--json`` emits the
+    strict schema-versioned document, ``--markdown PATH`` writes the CI
+    summary table, ``--baseline FILE`` grandfathers known findings,
+    ``--write-baseline`` records the current findings as that baseline,
+    and ``--check`` is the CI gate: new findings *or* stale baseline
+    entries fail, so the baseline only ever ratchets towards zero.
 """
 
 from __future__ import annotations
@@ -81,6 +91,16 @@ from repro.api.runner import Runner
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, representative
 from repro.exceptions import ReproError
+from repro.lint import (
+    apply_baseline,
+    build_document,
+    lint_paths,
+    load_baseline,
+    render_markdown,
+    render_text,
+    select_rules,
+    write_baseline,
+)
 from repro.mc.backend import backend_names, default_backend, get_backend
 from repro.obs.metrics import format_span_tree
 from repro.obs.stats import counter_totals, stats_frame
@@ -92,6 +112,9 @@ __all__ = ["main"]
 #: Unquoted words that are neither JSON nor Python literals pass through as
 #: strings (`--set profile=contact_lens`); anything else must parse.
 _BARE_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_.+-]*")
+
+#: Baseline the `lint` verb picks up automatically when it exists.
+_DEFAULT_BASELINE = "lint-baseline.json"
 
 
 def _parse_value(key: str, raw: str) -> Any:
@@ -250,6 +273,40 @@ def _build_parser() -> argparse.ArgumentParser:
     merge_parser = sub.add_parser("merge", help="fold source stores into a destination store")
     merge_parser.add_argument("sources", nargs="+", metavar="SOURCE", help="store directories to merge from")
     merge_parser.add_argument("--into", required=True, metavar="DIR", help="destination store directory")
+
+    lint_parser = sub.add_parser("lint", help="check the repo's static contracts (repro.lint)")
+    lint_parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH", help="files or directories to lint (default: src/repro)"
+    )
+    lint_parser.add_argument(
+        "--rule",
+        dest="rules",
+        metavar="ID",
+        action="append",
+        default=[],
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    lint_parser.add_argument("--list-rules", action="store_true", help="list the rule catalogue and exit")
+    lint_parser.add_argument("--json", action="store_true", help="emit the strict schema-versioned JSON document")
+    lint_parser.add_argument(
+        "--markdown", default=None, metavar="PATH", help="also write a findings table for CI job summaries"
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"grandfathered-findings file (default: {_DEFAULT_BASELINE} when it exists)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the baseline instead of failing on them",
+    )
+    lint_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: fail on new findings and on stale baseline entries",
+    )
     return parser
 
 
@@ -565,6 +622,58 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    rules = select_rules(args.rules or None)
+    if args.list_rules:
+        width = max(len(rule.id) for rule in rules)
+        category_width = max(len(rule.category) for rule in rules)
+        for rule in rules:
+            print(f"{rule.id.ljust(width)}  {rule.category.ljust(category_width)}  {rule.description}")
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    findings, files_checked = lint_paths(paths, args.rules or None)
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(_DEFAULT_BASELINE).is_file():
+        baseline_path = _DEFAULT_BASELINE
+    if args.write_baseline:
+        target = baseline_path or _DEFAULT_BASELINE
+        write_baseline(target, findings)
+        print(f"wrote {target}: {len(findings)} grandfathered finding(s) from {files_checked} file(s)")
+        return 0
+
+    suppressed: list = []
+    stale: list = []
+    if baseline_path is not None and Path(baseline_path).is_file():
+        outcome = apply_baseline(findings, load_baseline(baseline_path))
+        findings, suppressed, stale = list(outcome.new), list(outcome.suppressed), list(outcome.stale)
+
+    if args.markdown:
+        Path(args.markdown).write_text(render_markdown(findings))
+    if args.json:
+        document = build_document(
+            findings,
+            rules=rules,
+            files_checked=files_checked,
+            suppressed=suppressed,
+            stale=stale,
+        )
+        print(json.dumps(document, indent=2))
+    else:
+        for line in render_text(findings, suppressed=suppressed, stale=stale):
+            print(line)
+
+    failed = bool(findings) or (args.check and bool(stale))
+    if not args.json:
+        state = "failed" if failed else "clean"
+        print(
+            f"lint: {files_checked} file(s), {len(findings)} finding(s), "
+            f"{len(suppressed)} grandfathered, {len(stale)} stale baseline entr(ies) — {state}"
+        )
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -585,6 +694,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "merge":
             return _cmd_merge(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _cmd_run(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -51,7 +51,7 @@ from repro.api.registry import Experiment, iter_experiments, load_registry
 from repro.api.result import Result
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, invocation_key
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.mc.backend import default_backend, get_backend
 from repro.obs import metrics as obs
 from repro.obs.metrics import Collector
@@ -212,7 +212,11 @@ class Runner:
                 result = cached[index]
             else:
                 fresh_index, result = next(fresh)
-                assert fresh_index == index
+                if fresh_index != index:
+                    raise ReproError(
+                        f"batch execution order desynchronised: expected spec {index}, "
+                        f"got {fresh_index}"
+                    )
             if on_result is not None:
                 on_result(index, result, was_cached)
             results.append(result)
@@ -237,7 +241,7 @@ class Runner:
         ]
         chunksize = max(1, len(tasks) // (self.jobs * 4))
         with ProcessPoolExecutor(max_workers=self.jobs, initializer=load_registry) as executor:
-            for index, document in zip(pending, executor.map(_run_spec_task, tasks, chunksize=chunksize)):
+            for index, document in zip(pending, executor.map(_run_spec_task, tasks, chunksize=chunksize), strict=True):
                 yield index, Result.from_dict(document)
 
     def run_all(

@@ -208,7 +208,7 @@ def payload_equal(left: Any, right: Any) -> bool:
     if isinstance(left, (list, tuple)):
         if type(left) is not type(right) or len(left) != len(right):
             return False
-        return all(payload_equal(a, b) for a, b in zip(left, right))
+        return all(payload_equal(a, b) for a, b in zip(left, right, strict=True))
     if isinstance(left, float) and isinstance(right, float):
         return left == right or (np.isnan(left) and np.isnan(right))
     return bool(left == right)

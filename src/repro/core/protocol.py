@@ -215,7 +215,7 @@ class QueryReplyProtocol:
             ReservationStrategy.RTS_CTS,
             ReservationStrategy.DATA_FIRST,
         ) else adv_events
-        for index, adv in enumerate(data_copies[:num_data_packets]):
+        for adv in data_copies[:num_data_packets]:
             protected = False
             if reservation is not None:
                 window_start = reservation.start_s if protected_from is None else protected_from

@@ -128,6 +128,7 @@ register(
     name="fig06",
     title="Fig. 6 — single-sideband vs double-sideband backscatter spectrum",
     run=run,
+    engines={"scalar": run},
     artifact="Fig. 6",
     fast_params={"payload": b"\x55" * 16},
     summarize=summarize,

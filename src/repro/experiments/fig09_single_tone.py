@@ -143,6 +143,7 @@ register(
     name="fig09",
     title="Fig. 9 — BLE single-tone spectra on three commodity devices",
     run=run,
+    engines={"scalar": run},
     artifact="Fig. 9",
     fast_params={"samples_per_symbol": 4},
     summarize=summarize,

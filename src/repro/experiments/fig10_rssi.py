@@ -67,7 +67,7 @@ class RssiVsDistanceResult:
         return self.curves[(tx_power_dbm, separation_feet)]
 
 
-def _curve_scalar(budget, hop_in, hop_out, xp):
+def _curve_scalar(budget, hop_in, hop_out, xp):  # lint-ok: RL001 -- scalar engine is numpy-only by declaration
     """Two-hop budget one receiver offset at a time."""
     rssi = np.empty(hop_in.size)
     for index in range(hop_in.size):

@@ -49,7 +49,7 @@ class PerCdfResult:
     mean_rate_gap: float
 
 
-def _per_scalar(budget, distances, rates_mbps, payload_bytes, num_packets, rng, xp):
+def _per_scalar(budget, distances, rates_mbps, payload_bytes, num_packets, rng, xp):  # lint-ok: RL001 -- scalar engine is numpy-only by declaration
     """One-location-at-a-time loop, bit-identical to historical seeds."""
     per_by_rate = {rate: np.empty(distances.size) for rate in rates_mbps}
     for index, distance in enumerate(distances):

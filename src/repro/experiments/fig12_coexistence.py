@@ -106,6 +106,7 @@ register(
     name="fig12",
     title="Fig. 12 — iperf throughput under backscatter interference",
     run=run,
+    engines={"scalar": run},
     artifact="Fig. 12",
     summarize=summarize,
     metrics=metrics,

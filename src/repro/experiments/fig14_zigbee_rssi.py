@@ -48,7 +48,7 @@ class ZigbeeRssiResult:
     detectable_fraction: float
 
 
-def _sample_scalar(budget, locations_feet, bluetooth_to_tag_feet, packets_per_location, rng, xp):
+def _sample_scalar(budget, locations_feet, bluetooth_to_tag_feet, packets_per_location, rng, xp):  # lint-ok: RL001 -- scalar engine is numpy-only by declaration
     """Per-packet loop, bit-identical to historical seeds (numpy-only)."""
     samples: list[float] = []
     for distance in locations_feet:
@@ -62,7 +62,7 @@ def _sample_scalar(budget, locations_feet, bluetooth_to_tag_feet, packets_per_lo
 
 def _sample_batch(budget, locations_feet, bluetooth_to_tag_feet, packets_per_location, rng, xp):
     """Every (location, packet) link realisation in one vectorised call."""
-    distances = np.repeat(np.asarray(locations_feet, dtype=float), packets_per_location)
+    distances = np.repeat(np.asarray(locations_feet, dtype=float), packets_per_location)  # lint-ok: RL001 -- host-side grid for the numpy RNG hatch
     link = backscatter_link_batch(
         budget, feet_to_meters(bluetooth_to_tag_feet), feet_to_meters(distances), rng=rng, xp=xp
     )

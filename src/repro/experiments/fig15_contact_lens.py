@@ -112,6 +112,7 @@ register(
     name="fig15",
     title="Fig. 15 — smart contact lens RSSI vs distance",
     run=run,
+    engines={"scalar": run},
     artifact="Fig. 15",
     fast_params={"step_inches": 4.0},
     summarize=summarize,

@@ -113,6 +113,7 @@ register(
     name="fig16",
     title="Fig. 16 — implanted neural recorder RSSI vs distance",
     run=run,
+    engines={"scalar": run},
     artifact="Fig. 16",
     fast_params={"step_inches": 8.0},
     summarize=summarize,

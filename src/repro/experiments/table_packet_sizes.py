@@ -106,6 +106,7 @@ register(
     name="table_packet_sizes",
     title="§2.3.3 — Wi-Fi payload per Bluetooth advertisement",
     run=run,
+    engines={"scalar": run},
     artifact="§2.3.3 table",
     summarize=summarize,
     metrics=metrics,

@@ -114,6 +114,7 @@ register(
     name="table_power",
     title="§3 — the 28 µW interscatter IC power budget",
     run=run,
+    engines={"scalar": run},
     artifact="§3 table",
     summarize=summarize,
     metrics=metrics,

@@ -1,0 +1,220 @@
+"""The committed-baseline mechanism: grandfather old findings, fail new ones.
+
+A baseline is a strict-JSON document listing findings that existed when a
+rule landed and are tracked down to zero instead of blocking the PR that
+introduced the rule.  Each entry is identified by a *fingerprint* — a
+content hash of ``rule | path | snippet`` — so entries survive unrelated
+line-number drift but die with the offending code.
+
+:func:`apply_baseline` partitions a lint run three ways:
+
+* **new** findings — not covered by the baseline → the run fails;
+* **suppressed** findings — matched a baseline entry (up to its
+  ``count``) → reported as grandfathered, exit stays green;
+* **stale** entries — baseline entries the tree no longer produces →
+  the ratchet: ``--check`` fails until they are removed, so the file
+  only ever shrinks.
+
+``python -m repro lint --write-baseline`` regenerates the document from
+the current findings; each entry keeps a free-form ``note`` field for
+linking the follow-up that will retire it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.lint.engine import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineResult",
+    "apply_baseline",
+    "baseline_from_findings",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Version stamp of the baseline document layout.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Content hash identifying a finding independent of its line number."""
+    material = f"{finding.rule}|{finding.path}|{finding.snippet}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (or *count* identical ones).
+
+    Attributes
+    ----------
+    fingerprint:
+        :func:`fingerprint` of the grandfathered finding.
+    rule:
+        Rule id, kept readable in the committed document.
+    path:
+        Offending file, kept readable in the committed document.
+    snippet:
+        The offending source line (stripped) the fingerprint hashes.
+    count:
+        How many identical findings the entry covers (same rule, path
+        and snippet text can legitimately occur on several lines).
+    note:
+        Free-form link to the follow-up that will retire the entry.
+    """
+
+    fingerprint: str
+    rule: str
+    path: str
+    snippet: str
+    count: int = 1
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON form, as committed."""
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "count": self.count,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A parsed baseline document."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON document form."""
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of checking findings against a baseline."""
+
+    new: tuple[Finding, ...] = ()
+    suppressed: tuple[Finding, ...] = ()
+    stale: tuple[BaselineEntry, ...] = ()
+
+
+def _entry_from_dict(data: Any, index: int) -> BaselineEntry:
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"baseline entry {index} must be an object")
+    required = {"fingerprint": str, "rule": str, "path": str, "snippet": str}
+    for name, expected in required.items():
+        if not isinstance(data.get(name), expected):
+            raise ConfigurationError(
+                f"baseline entry {index} field {name!r} must be a {expected.__name__}"
+            )
+    count = data.get("count", 1)
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise ConfigurationError(f"baseline entry {index} field 'count' must be a positive integer")
+    note = data.get("note", "")
+    if not isinstance(note, str):
+        raise ConfigurationError(f"baseline entry {index} field 'note' must be a string")
+    return BaselineEntry(
+        fingerprint=data["fingerprint"],
+        rule=data["rule"],
+        path=data["path"],
+        snippet=data["snippet"],
+        count=count,
+        note=note,
+    )
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read and validate a committed baseline document."""
+    target = Path(path)
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"baseline file not found: {target}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline file {target} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline file {target} must be an object with version {BASELINE_VERSION}"
+        )
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise ConfigurationError(f"baseline file {target} field 'entries' must be a list")
+    parsed = tuple(_entry_from_dict(entry, index) for index, entry in enumerate(entries))
+    seen = Counter(entry.fingerprint for entry in parsed)
+    duplicates = sorted(name for name, count in seen.items() if count > 1)
+    if duplicates:
+        raise ConfigurationError(
+            f"baseline file {target} has duplicate fingerprints {duplicates}; "
+            "merge them into one entry with a count"
+        )
+    return Baseline(entries=parsed)
+
+
+def baseline_from_findings(findings: Iterable[Finding], *, note: str = "") -> Baseline:
+    """Build a baseline grandfathering exactly the given findings."""
+    entries: dict[str, BaselineEntry] = {}
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        key = fingerprint(finding)
+        if key in entries:
+            entries[key] = BaselineEntry(
+                **{**entries[key].to_dict(), "count": entries[key].count + 1}
+            )
+        else:
+            entries[key] = BaselineEntry(
+                fingerprint=key,
+                rule=finding.rule,
+                path=finding.path,
+                snippet=finding.snippet,
+                note=note,
+            )
+    return Baseline(entries=tuple(entries.values()))
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding], *, note: str = "") -> Baseline:
+    """Write the baseline for *findings* to *path* (strict JSON, trailing newline)."""
+    baseline = baseline_from_findings(findings, note=note)
+    text = json.dumps(baseline.to_dict(), indent=2, allow_nan=False) + "\n"
+    Path(path).write_text(text, encoding="utf-8")
+    return baseline
+
+
+def apply_baseline(findings: Iterable[Finding], baseline: Baseline) -> BaselineResult:
+    """Partition *findings* into new vs suppressed, and find stale entries.
+
+    Findings matching an entry's fingerprint are suppressed up to the
+    entry's ``count``; any beyond it are new (the code regressed).
+    Entries matched fewer times than their count are stale — the ratchet
+    that forces the baseline to shrink as violations are fixed.
+    """
+    budget = {entry.fingerprint: entry.count for entry in baseline.entries}
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    stale = tuple(
+        entry for entry in baseline.entries if budget.get(entry.fingerprint, 0) > 0
+    )
+    return BaselineResult(new=tuple(new), suppressed=tuple(suppressed), stale=stale)

@@ -63,7 +63,7 @@ def _shadowed_loss_db(
     return np.asarray(model.loss_db(np.asarray(distance_m, dtype=float), rng=rng))
 
 
-def backscatter_link_batch(
+def backscatter_link_batch(  # lint-ok: RL001 -- host-side staging for the numpy shadowing-RNG hatch
     budget: BackscatterLinkBudget,
     source_to_tag_m: np.ndarray | float,
     tag_to_receiver_m: np.ndarray | float,
@@ -108,7 +108,7 @@ def backscatter_link_batch(
     )
 
 
-def direct_rssi_batch(
+def direct_rssi_batch(  # lint-ok: RL001 -- host-side staging for the numpy shadowing-RNG hatch
     budget: DirectLinkBudget,
     distance_m: np.ndarray,
     *,

@@ -205,6 +205,17 @@ def _keystream(seed: int, length: int) -> np.ndarray:
     return cached[:length]
 
 
+def _keystream_table(seeds, rows: int, length: int) -> np.ndarray:
+    """Host-side LFSR keystreams: ``[length]`` for a shared scalar seed,
+    ``[rows, length]`` for per-row seeds (numpy — lifted by the caller)."""
+    if np.isscalar(seeds):
+        return _keystream(int(seeds), length)
+    seed_arr = np.asarray(seeds, dtype=np.int64).ravel()
+    if seed_arr.size != rows:
+        raise ConfigurationError(f"need one seed per row: {seed_arr.size} != {rows}")
+    return np.stack([_keystream(int(seed), length) for seed in seed_arr])
+
+
 def scramble_batch(bits, seeds, *, xp=None):
     """Scramble (or descramble) ``[N, L]`` bit rows.
 
@@ -214,13 +225,22 @@ def scramble_batch(bits, seeds, *, xp=None):
     xp = resolve_namespace(xp)
     arr = _as_matrix(bits, xp, dtype=xp.uint8)
     n, length = arr.shape
-    if np.isscalar(seeds):
-        return xp.bitwise_xor(arr, xp.asarray(_keystream(int(seeds), length))[None, :])
-    seed_arr = np.asarray(seeds, dtype=np.int64).ravel()
-    if seed_arr.size != n:
-        raise ConfigurationError(f"need one seed per row: {seed_arr.size} != {n}")
-    keystreams = np.stack([_keystream(int(seed), length) for seed in seed_arr])
+    keystreams = _keystream_table(seeds, n, length)
+    if keystreams.ndim == 1:
+        return xp.bitwise_xor(arr, xp.asarray(keystreams)[None, :])
     return xp.bitwise_xor(arr, xp.asarray(keystreams))
+
+
+def _survivor_mask(pattern: np.ndarray, width: int) -> np.ndarray:
+    """Host-side boolean survivor mask: *pattern* tiled out to *width*."""
+    return np.tile(pattern, width // pattern.size).astype(bool)
+
+
+def _depuncture_gather(mask: np.ndarray, kept_total: int) -> np.ndarray:
+    """Host-side gather map realising ``full[:, mask] = punctured``:
+    surviving positions index their source column, punctured positions the
+    zero column appended at index *kept_total*."""
+    return np.where(mask, np.cumsum(mask) - 1, kept_total)
 
 
 def puncture_batch(coded_bits, rate: str, *, xp=None):
@@ -234,7 +254,7 @@ def puncture_batch(coded_bits, rate: str, *, xp=None):
         raise ValueError(
             f"coded bit count {coded.shape[1]} not a multiple of puncture block {pattern.size}"
         )
-    mask = np.tile(pattern, coded.shape[1] // pattern.size).astype(bool)
+    mask = _survivor_mask(pattern, coded.shape[1])
     return xp.take(coded, xp.asarray(np.flatnonzero(mask)), axis=1)
 
 
@@ -250,18 +270,15 @@ def depuncture_batch(punctured_bits, rate: str, *, xp=None):
     xp = resolve_namespace(xp)
     pattern = PUNCTURE_PATTERNS[rate]
     punctured = _as_matrix(punctured_bits, xp, dtype=xp.uint8, keep_floating=True)
-    kept_per_block = int(np.sum(pattern))
+    kept_per_block = int(pattern.sum())
     if punctured.shape[1] % kept_per_block != 0:
         raise ValueError(
             f"punctured bit count {punctured.shape[1]} not a multiple of {kept_per_block}"
         )
     blocks = punctured.shape[1] // kept_per_block
-    mask = np.tile(pattern, blocks).astype(bool)
-    # full[:, mask] = punctured  ⇔  gather from [punctured | one zero column]:
-    # surviving positions index their source column, punctured positions the
-    # appended zero column.
+    mask = _survivor_mask(pattern, blocks * pattern.size)
     kept_total = punctured.shape[1]
-    gather = np.where(mask, np.cumsum(mask) - 1, kept_total)
+    gather = _depuncture_gather(mask, kept_total)
     zero_column = xp.zeros((punctured.shape[0], 1), dtype=punctured.dtype)
     full = xp.take(xp.concat([punctured, zero_column], axis=1), xp.asarray(gather), axis=1)
     return full, mask

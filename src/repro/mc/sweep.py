@@ -25,14 +25,13 @@ into every kernel.  Random draws stay on the numpy ``Generator`` — the
 documented escape hatch that makes results float-identical across
 backends — and each batch's statistic is converted back to numpy at the
 driver boundary.  ``rng``/``seed``/``max_batch``/``xp`` are
-keyword-only; the historical positional spellings still work for one
-release behind a :class:`DeprecationWarning`.
+keyword-only (the one-release positional shim was removed on schedule).
 """
 
 from __future__ import annotations
 
 import inspect
-import warnings
+import math
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -103,18 +102,14 @@ class SweepResult:
     trials: int
 
 
-_UNSET = object()
-_LEGACY_POSITIONALS = ("rng", "seed", "max_batch")
-
-
-def run_sweep(
+def run_sweep(  # lint-ok: RL001 -- statistics aggregate in numpy at the driver boundary (documented)
     snr_points_db: np.ndarray,
     trials: int,
     pipeline: SweepPipeline,
-    *legacy,
-    rng=_UNSET,
-    seed=_UNSET,
-    max_batch=_UNSET,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int = 0,
+    max_batch: int = 4096,
     xp=None,
 ) -> SweepResult:
     """Run *pipeline* at every operating point with *trials* realisations each.
@@ -126,31 +121,7 @@ def run_sweep(
     the realisations evaluated per vectorised call so arbitrarily large
     trial counts stay within memory (the batched Viterbi's survivor
     history is the dominant allocation: ``steps × N × 64`` bytes).
-
-    .. deprecated::
-        Positional ``rng``/``seed``/``max_batch`` still work for one
-        release and emit a :class:`DeprecationWarning`.
     """
-    values = {"rng": rng, "seed": seed, "max_batch": max_batch}
-    if legacy:
-        if len(legacy) > len(_LEGACY_POSITIONALS):
-            raise TypeError(
-                f"run_sweep() takes at most {3 + len(_LEGACY_POSITIONALS)} positional arguments"
-            )
-        warnings.warn(
-            "passing rng/seed/max_batch to run_sweep positionally is deprecated; "
-            "they are keyword-only (this shim lasts one release)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        for name, value in zip(_LEGACY_POSITIONALS, legacy):
-            if values[name] is not _UNSET:
-                raise TypeError(f"run_sweep() got multiple values for argument {name!r}")
-            values[name] = value
-    rng = values["rng"] if values["rng"] is not _UNSET else None
-    seed = values["seed"] if values["seed"] is not _UNSET else 0
-    max_batch = values["max_batch"] if values["max_batch"] is not _UNSET else 4096
-
     if trials < 1:
         raise ConfigurationError("trials must be at least 1")
     points = np.atleast_1d(np.asarray(snr_points_db, dtype=float))
@@ -274,7 +245,7 @@ class CodedOfdmPipeline:
         per_symbol = xp.reshape(punctured, (trials * self.num_symbols, n_cbps))
         symbols = map_batch(interleave_batch(per_symbol, bps, xp=xp), params.modulation, xp=xp)
 
-        sigma = np.sqrt(10.0 ** (-snr_db / 10.0) / 2.0)
+        sigma = math.sqrt(10.0 ** (-snr_db / 10.0) / 2.0)
         noise = sigma * (
             rng.standard_normal(symbols.shape) + 1j * rng.standard_normal(symbols.shape)
         )
@@ -295,7 +266,7 @@ class CodedOfdmPipeline:
         )
         decoded = to_numpy(scramble_batch(decoded_scrambled, seeds, xp=xp))
 
-        bit_errors = np.count_nonzero(decoded != message, axis=1)
+        bit_errors = np.count_nonzero(decoded != message, axis=1)  # lint-ok: RL001 -- host-side statistic after to_numpy
         if self.statistic == "per":
             return (bit_errors > 0).astype(float)
         return bit_errors / data_bits

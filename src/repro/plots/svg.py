@@ -175,7 +175,7 @@ def _axes_elements(figure: Figure, x_scale: _Scale, y_scale: _Scale) -> list[str
     else:
         y_ticks = [t for t in _nice_ticks(y_scale.low, y_scale.high) if y_scale.low <= t <= y_scale.high]
         y_labels = [_tick_label(t) for t in y_ticks]
-    for tick, label in zip(y_ticks, y_labels):
+    for tick, label in zip(y_ticks, y_labels, strict=True):
         py = _fmt(y_scale(tick))
         parts.append(f'<line x1="{_LEFT}" y1="{py}" x2="{right}" y2="{py}" stroke="#e0e0e0" stroke-width="1"/>')
         parts.append(f'<line x1="{_LEFT - 4}" y1="{py}" x2="{_LEFT}" y2="{py}" stroke="#444444" stroke-width="1"/>')
@@ -233,7 +233,7 @@ def _polyline_elements(
         if figure.yscale == "log":
             y = np.log10(np.clip(y, floor, None))
         segments: list[list[str]] = [[]]
-        for px, py in zip(x, y):
+        for px, py in zip(x, y, strict=True):
             if math.isfinite(px) and math.isfinite(py):
                 segments[-1].append(f"{_fmt(x_scale(px))},{_fmt(y_scale(py))}")
             elif segments[-1]:

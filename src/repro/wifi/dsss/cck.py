@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DecodeError
 from repro.utils.bits import as_bit_array
 
 __all__ = [
@@ -169,7 +169,8 @@ def cck_decode_symbol(
             best_mag = float(np.abs(corr))
             best_corr = corr
             best_key = key
-    assert best_key is not None
+    if best_key is None:
+        raise DecodeError("CCK codeword table is empty; no correlation candidate")
     phi1_estimate = float(np.angle(best_corr))
     # Differential phase relative to the previous symbol's phi1 gives d0 d1.
     dqpsk_table = _DQPSK_ODD if symbol_index % 2 else _DQPSK_EVEN

@@ -109,11 +109,11 @@ class OfdmSymbolBuilder:
                 f"expected {len(DATA_SUBCARRIER_INDICES)} data points, got {data_points.size}"
             )
         spectrum = np.zeros(OFDM_FFT_SIZE, dtype=complex)
-        for point, logical in zip(data_points, DATA_SUBCARRIER_INDICES):
+        for point, logical in zip(data_points, DATA_SUBCARRIER_INDICES, strict=True):
             spectrum[_fft_bin(logical)] = point
         polarity = PILOT_POLARITY_SEQUENCE[(symbol_index + 1) % PILOT_POLARITY_SEQUENCE.size]
         pilot_values = np.array([1.0, 1.0, 1.0, -1.0]) * polarity
-        for value, logical in zip(pilot_values, PILOT_SUBCARRIER_INDICES):
+        for value, logical in zip(pilot_values, PILOT_SUBCARRIER_INDICES, strict=True):
             spectrum[_fft_bin(logical)] = value
         time_domain = np.fft.ifft(spectrum) * np.sqrt(OFDM_FFT_SIZE)
         if self.cyclic_prefix:

@@ -61,13 +61,13 @@ def build_preamble() -> np.ndarray:
          0, 0, 1 + 1j, 0, 0, 0, 1 + 1j, 0, 0, 0, 1 + 1j, 0, 0, 0, 1 + 1j, 0, 0],
         dtype=complex,
     )
-    for offset, value in zip(range(-26, 27), pattern):
+    for offset, value in zip(range(-26, 27), pattern, strict=True):
         short_freq[offset % OFDM_FFT_SIZE] = value
     short_time = np.fft.ifft(short_freq) * np.sqrt(OFDM_FFT_SIZE)
     short_preamble = np.tile(short_time[:16], 10)
 
     long_freq = np.zeros(OFDM_FFT_SIZE, dtype=complex)
-    for offset, value in zip(range(-26, 27), _long_training_sequence()):
+    for offset, value in zip(range(-26, 27), _long_training_sequence(), strict=True):
         long_freq[offset % OFDM_FFT_SIZE] = value
     long_time = np.fft.ifft(long_freq) * np.sqrt(OFDM_FFT_SIZE)
     long_preamble = np.concatenate([long_time[-32:], long_time, long_time])

@@ -47,7 +47,7 @@ class TestAppendAndIterate:
             store.append(result)
         restored = list(store.iter_results())
         assert len(restored) == len(results)
-        for original, decoded in zip(results, restored):
+        for original, decoded in zip(results, restored, strict=True):
             assert decoded.experiment == original.experiment
             assert payload_equal(decoded.payload, original.payload)
 

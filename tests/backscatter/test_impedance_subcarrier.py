@@ -68,7 +68,7 @@ class TestQuadratureStates:
             optimize_states_for_antenna(0.0)
 
     def test_prototype_components_are_reactive(self):
-        for name, kwargs in FPGA_PROTOTYPE_COMPONENTS.items():
+        for kwargs in FPGA_PROTOTYPE_COMPONENTS.values():
             impedance = component_impedance(**kwargs)
             assert abs(impedance.real) < 1e-6 or kwargs.get("open_circuit")
 

@@ -42,7 +42,7 @@ class TestDataChannels:
 
     def test_data_channels_2mhz_spacing(self):
         freqs = sorted(ch.frequency_mhz for ch in DATA_CHANNELS.values())
-        gaps = {round(b - a, 3) for a, b in zip(freqs, freqs[1:])}
+        gaps = {round(b - a, 3) for a, b in zip(freqs, freqs[1:], strict=False)}
         # All gaps are 2 MHz except the 4 MHz hole around advertising ch. 38.
         assert gaps <= {2.0, 4.0}
 

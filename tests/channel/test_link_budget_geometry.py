@@ -137,7 +137,7 @@ class TestErrorModels:
 
     def test_wifi_per_monotonic_in_snr(self):
         pers = [wifi_packet_error_rate(snr, rate_mbps=2.0, payload_bytes=31) for snr in (0, 5, 10, 15)]
-        assert all(a >= b for a, b in zip(pers, pers[1:]))
+        assert all(a >= b for a, b in zip(pers, pers[1:], strict=False))
 
     def test_required_snr_ordering(self):
         assert required_snr_db(1.0) < required_snr_db(2.0) < required_snr_db(11.0)

@@ -1,0 +1,132 @@
+"""Baseline mechanics: fingerprints, round trips, the shrink-only ratchet."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lint import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    apply_baseline,
+    baseline_from_findings,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _finding(line: int = 4, snippet: str = "np.random.seed(0)", path: str = "src/repro/mc/x.py") -> Finding:
+    return Finding(
+        rule="RL002",
+        category="rng-discipline",
+        path=path,
+        line=line,
+        message="legacy RNG",
+        snippet=snippet,
+        fix_hint="use default_rng",
+    )
+
+
+class TestFingerprint:
+    def test_independent_of_line_number(self):
+        assert fingerprint(_finding(line=4)) == fingerprint(_finding(line=104))
+
+    def test_sensitive_to_rule_path_and_snippet(self):
+        base = fingerprint(_finding())
+        assert fingerprint(_finding(snippet="np.random.rand(3)")) != base
+        assert fingerprint(_finding(path="src/repro/mc/y.py")) != base
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_entries(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        written = write_baseline(target, [_finding(), _finding(line=9)], note="ratchet to zero")
+        loaded = load_baseline(target)
+        assert loaded == written
+        assert len(loaded.entries) == 1
+        assert loaded.entries[0].count == 2
+        assert loaded.entries[0].note == "ratchet to zero"
+        assert target.read_text().endswith("\n")
+
+    def test_distinct_findings_get_distinct_entries(self):
+        baseline = baseline_from_findings([_finding(), _finding(snippet="np.random.rand(3)")])
+        assert len(baseline.entries) == 2
+
+    def test_empty_baseline_document(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 1, "entries": []}\n')
+        assert load_baseline(target) == Baseline()
+
+
+class TestLoadValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text("{")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_baseline(target)
+
+    def test_wrong_version(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ConfigurationError, match="version"):
+            load_baseline(target)
+
+    def test_bad_count(self, tmp_path):
+        target = tmp_path / "bad.json"
+        entry = {"fingerprint": "ab", "rule": "RL002", "path": "p", "snippet": "s", "count": 0}
+        target.write_text(json.dumps({"version": 1, "entries": [entry]}))
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            load_baseline(target)
+
+    def test_duplicate_fingerprints_rejected(self, tmp_path):
+        target = tmp_path / "bad.json"
+        entry = {"fingerprint": "ab", "rule": "RL002", "path": "p", "snippet": "s"}
+        target.write_text(json.dumps({"version": 1, "entries": [entry, dict(entry)]}))
+        with pytest.raises(ConfigurationError, match="duplicate fingerprints"):
+            load_baseline(target)
+
+
+class TestApply:
+    def test_grandfathered_findings_are_suppressed(self):
+        baseline = baseline_from_findings([_finding()])
+        outcome = apply_baseline([_finding()], baseline)
+        assert outcome.new == ()
+        assert len(outcome.suppressed) == 1
+        assert outcome.stale == ()
+
+    def test_count_budget_marks_the_excess_as_new(self):
+        baseline = baseline_from_findings([_finding()])
+        outcome = apply_baseline([_finding(line=4), _finding(line=9)], baseline)
+        assert len(outcome.suppressed) == 1
+        assert len(outcome.new) == 1
+
+    def test_unmatched_entries_are_stale(self):
+        baseline = baseline_from_findings([_finding()])
+        outcome = apply_baseline([], baseline)
+        assert outcome.new == ()
+        assert outcome.suppressed == ()
+        assert [entry.fingerprint for entry in outcome.stale] == [fingerprint(_finding())]
+
+    def test_uncovered_findings_are_new(self):
+        outcome = apply_baseline([_finding()], Baseline())
+        assert len(outcome.new) == 1
+
+    def test_partial_count_use_is_still_stale(self):
+        entry = BaselineEntry(
+            fingerprint=fingerprint(_finding()),
+            rule="RL002",
+            path="src/repro/mc/x.py",
+            snippet="np.random.seed(0)",
+            count=3,
+        )
+        outcome = apply_baseline([_finding()], Baseline(entries=(entry,)))
+        assert len(outcome.suppressed) == 1
+        assert len(outcome.stale) == 1

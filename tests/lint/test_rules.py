@@ -1,0 +1,366 @@
+"""Each RL rule fires on a bad fixture and stays silent on a good one."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source
+
+
+def _lint(source: str, path: str, *rules: str) -> list:
+    return lint_source(textwrap.dedent(source), path, rules=rules or None)
+
+
+class TestRL001BackendPurity:
+    def test_fires_on_direct_numpy_call_in_xp_kernel(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def kernel(data, xp):
+                return np.sum(data)
+            """,
+            "src/repro/mc/kernels.py",
+            "RL001",
+        )
+        assert [f.rule for f in findings] == ["RL001"]
+        assert "kernel()" in findings[0].message
+        assert "numpy.sum" in findings[0].message
+
+    def test_fires_under_import_numpy_alias(self):
+        findings = _lint(
+            """
+            import numpy
+
+            def kernel(data, xp):
+                return numpy.stack([data, data])
+            """,
+            "src/repro/mc/kernels.py",
+            "RL001",
+        )
+        assert [f.rule for f in findings] == ["RL001"]
+
+    def test_asarray_lift_dtypes_and_generators_are_allowed(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def kernel(data, xp):
+                table = xp.asarray(np.arange(8, dtype=np.uint8))
+                rng = np.random.default_rng(7)
+                noise = xp.asarray(rng.standard_normal(4))
+                return xp.sum(xp.asarray(data, dtype=np.float64) + table) + noise
+            """,
+            "src/repro/mc/kernels.py",
+            "RL001",
+        )
+        assert findings == []
+
+    def test_numpy_asarray_is_not_a_lift(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def kernel(data, xp):
+                return np.asarray(data)
+            """,
+            "src/repro/mc/kernels.py",
+            "RL001",
+        )
+        assert [f.rule for f in findings] == ["RL001"]
+
+    def test_functions_without_xp_are_exempt(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def host_side(data):
+                return np.sum(data)
+            """,
+            "src/repro/mc/kernels.py",
+            "RL001",
+        )
+        assert findings == []
+
+    def test_nested_kernel_with_own_xp_is_checked_separately(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def outer(data, xp):
+                def inner(block, xp):
+                    return np.cumsum(block)
+                return inner(data, xp)
+            """,
+            "src/repro/mc/kernels.py",
+            "RL001",
+        )
+        # The violation belongs to inner(), not outer().
+        assert [f.rule for f in findings] == ["RL001"]
+        assert "inner()" in findings[0].message
+
+    def test_def_line_pragma_blesses_the_whole_boundary_function(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def staging(data, xp):  # lint-ok: RL001 -- documented numpy boundary
+                lifted = np.asarray(data)
+                return np.sum(lifted)
+            """,
+            "src/repro/mc/kernels.py",
+            "RL001",
+        )
+        assert findings == []
+
+
+class TestRL002RngDiscipline:
+    def test_fires_on_stdlib_random_and_legacy_numpy_api(self):
+        findings = _lint(
+            """
+            import random
+            import numpy as np
+
+            def draw(n):
+                np.random.seed(0)
+                return [random.random() for _ in range(n)] + list(np.random.rand(n))
+            """,
+            "src/repro/mc/draws.py",
+            "RL002",
+        )
+        assert [f.rule for f in findings] == ["RL002", "RL002", "RL002"]
+        messages = " ".join(f.message for f in findings)
+        assert "stdlib `random`" in messages
+        assert "numpy.random.seed" in messages
+        assert "numpy.random.rand" in messages
+
+    def test_fires_on_from_random_import(self):
+        findings = _lint(
+            """
+            from random import choice
+            """,
+            "src/repro/mc/draws.py",
+            "RL002",
+        )
+        assert [f.rule for f in findings] == ["RL002"]
+
+    def test_seeded_generators_are_allowed(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from numpy.random import Generator, default_rng
+
+            def draw(n, seed):
+                rng = np.random.default_rng(np.random.SeedSequence(seed))
+                assert isinstance(rng, Generator)
+                return rng.random(n)
+            """,
+            "src/repro/mc/draws.py",
+            "RL002",
+        )
+        assert findings == []
+
+    def test_local_variable_named_random_is_not_flagged(self):
+        findings = _lint(
+            """
+            def pick(random):
+                return random.choice([1, 2])
+            """,
+            "src/repro/mc/draws.py",
+            "RL002",
+        )
+        assert findings == []
+
+
+class TestRL003Determinism:
+    def test_fires_on_clock_entropy_and_set_iteration(self):
+        source = """
+        import time
+        import uuid
+
+        def stamp(names):
+            lines = [name for name in set(names)]
+            for item in {1, 2}:
+                lines.append(str(item))
+            return time.time(), uuid.uuid4(), lines
+        """
+        findings = _lint(source, "src/repro/api/report.py", "RL003")
+        assert [f.rule for f in findings] == ["RL003"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "time.time()" in messages
+        assert "uuid.uuid4()" in messages
+        assert "iterating a set" in messages
+
+    def test_scope_only_covers_result_producing_modules(self):
+        source = """
+        import time
+
+        def now():
+            return time.time()
+        """
+        assert _lint(source, "src/repro/obs/metrics.py", "RL003") == []
+        assert len(_lint(source, "src/repro/plots/render.py", "RL003")) == 1
+        assert len(_lint(source, "src/repro/api/result.py", "RL003")) == 1
+
+    def test_sorted_set_iteration_is_allowed(self):
+        findings = _lint(
+            """
+            def lines(names):
+                return [name for name in sorted(set(names))]
+            """,
+            "src/repro/api/report.py",
+            "RL003",
+        )
+        assert findings == []
+
+
+class TestRL004TelemetryIsolation:
+    def test_fires_on_attribute_subscript_and_get(self):
+        source = """
+        def leak(result, document):
+            a = result.telemetry
+            b = document["telemetry"]
+            c = document.get("telemetry")
+            return a, b, c
+        """
+        findings = _lint(source, "src/repro/api/store.py", "RL004")
+        assert [f.rule for f in findings] == ["RL004"] * 3
+
+    def test_scope_excludes_the_obs_package(self):
+        source = """
+        def consume(result):
+            return result.telemetry
+        """
+        assert _lint(source, "src/repro/obs/stats.py", "RL004") == []
+        assert len(_lint(source, "src/repro/plots/gallery.py", "RL004")) == 1
+
+    def test_other_keys_are_fine(self):
+        findings = _lint(
+            """
+            def read(document):
+                return document["payload"], document.get("params")
+            """,
+            "src/repro/api/store.py",
+            "RL004",
+        )
+        assert findings == []
+
+
+class TestRL005RegistryCompleteness:
+    def test_fires_when_a_driver_never_registers(self):
+        findings = _lint(
+            """
+            def run():
+                return 1
+            """,
+            "src/repro/experiments/fig99_demo.py",
+            "RL005",
+        )
+        assert [f.rule for f in findings] == ["RL005"]
+        assert "never calls" in findings[0].message
+
+    def test_fires_on_missing_or_none_hooks(self):
+        findings = _lint(
+            """
+            from repro.api.registry import register
+
+            def run():
+                return 1
+
+            register(name="fig99", title="demo", run=run, engines={"scalar": run}, plot=None)
+            """,
+            "src/repro/experiments/fig99_demo.py",
+            "RL005",
+        )
+        assert [f.rule for f in findings] == ["RL005"]
+        assert "metrics" in findings[0].message
+        assert "plot" in findings[0].message
+
+    def test_complete_driver_is_clean(self):
+        findings = _lint(
+            """
+            from repro.api.registry import register
+
+            def run():
+                return 1
+
+            def metrics(result):
+                return {}
+
+            def plot(result):
+                return None
+
+            register(
+                name="fig99", title="demo", run=run,
+                engines={"scalar": run}, metrics=metrics, plot=plot,
+            )
+            """,
+            "src/repro/experiments/fig99_demo.py",
+            "RL005",
+        )
+        assert findings == []
+
+    def test_facade_cross_check_catches_unimported_drivers(self, tmp_path):
+        from repro.lint import lint_paths
+
+        package = tmp_path / "repro" / "experiments"
+        package.mkdir(parents=True)
+        driver = textwrap.dedent(
+            """
+            from repro.api.registry import register
+
+            def run():
+                return 1
+
+            register(name="x", title="t", run=run, engines={"s": run}, metrics=run, plot=run)
+            """
+        )
+        (package / "fig98_listed.py").write_text(driver)
+        (package / "fig99_orphan.py").write_text(driver)
+        (package / "__init__.py").write_text("from repro.experiments import fig98_listed\n")
+        findings, files_checked = lint_paths([tmp_path], rules=["RL005"])
+        assert files_checked == 3
+        assert [f.rule for f in findings] == ["RL005"]
+        assert "fig99_orphan" in findings[0].message
+        assert findings[0].path.endswith("fig99_orphan.py")
+
+
+class TestRL006ExceptionHygiene:
+    def test_fires_on_assert_and_bare_raises(self):
+        source = """
+        def check(value):
+            assert value > 0
+            if value > 10:
+                raise Exception("too big")
+            raise AssertionError("unreachable")
+        """
+        findings = _lint(source, "src/repro/wifi/frames.py", "RL006")
+        assert [f.rule for f in findings] == ["RL006"] * 3
+
+    def test_typed_exceptions_and_reraise_are_clean(self):
+        findings = _lint(
+            """
+            from repro.exceptions import ConfigurationError
+
+            def check(value):
+                if value <= 0:
+                    raise ConfigurationError("value must be positive")
+                try:
+                    return 1 / value
+                except ZeroDivisionError:
+                    raise
+            """,
+            "src/repro/wifi/frames.py",
+            "RL006",
+        )
+        assert findings == []
+
+    def test_test_code_is_exempt(self):
+        source = """
+        def test_value():
+            assert 1 + 1 == 2
+        """
+        assert _lint(source, "tests/wifi/test_frames.py", "RL006") == []
+        assert _lint(source, "src/repro/conftest.py", "RL006") == []

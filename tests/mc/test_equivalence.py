@@ -49,7 +49,7 @@ class TestEncoderEquivalence:
         rng = np.random.default_rng(1)
         bits = rng.integers(0, 2, (16, 120), dtype=np.uint8)
         batched = encode_batch(bits)
-        for row, reference in zip(batched, bits):
+        for row, reference in zip(batched, bits, strict=True):
             assert np.array_equal(row, ConvolutionalEncoder().encode(reference))
 
     def test_history_preload_matches_scalar(self):
@@ -57,7 +57,7 @@ class TestEncoderEquivalence:
         bits = rng.integers(0, 2, (8, 48), dtype=np.uint8)
         histories = rng.integers(0, 2, (8, 6), dtype=np.uint8)
         batched = encode_batch(bits, initial_history=histories)
-        for row, reference, history in zip(batched, bits, histories):
+        for row, reference, history in zip(batched, bits, histories, strict=True):
             assert np.array_equal(
                 row, ConvolutionalEncoder(initial_history=history).encode(reference)
             )
@@ -80,7 +80,7 @@ class TestViterbiEquivalence:
         coded = encode_batch(bits)
         noisy = coded ^ (rng.random(coded.shape) < flip_probability).astype(np.uint8)
         decoded = batch_viterbi.decode_batch(noisy)
-        for row, reference in zip(decoded, noisy):
+        for row, reference in zip(decoded, noisy, strict=True):
             assert np.array_equal(row, scalar_viterbi.decode(reference))
 
     @pytest.mark.parametrize("rate", sorted(PUNCTURE_PATTERNS))
@@ -104,7 +104,7 @@ class TestViterbiEquivalence:
         noisy = encode_batch(bits) ^ (rng.random((4, 96)) < 0.1).astype(np.uint8)
         for initial_state in (0, 17, 63):
             decoded = batch_viterbi.decode_batch(noisy, initial_state=initial_state)
-            for row, reference in zip(decoded, noisy):
+            for row, reference in zip(decoded, noisy, strict=True):
                 assert np.array_equal(
                     row, scalar_viterbi.decode(reference, initial_state=initial_state)
                 )
@@ -125,7 +125,7 @@ class TestMappingEquivalence:
         rng = np.random.default_rng(11)
         bits = rng.integers(0, 2, (10, 48 * modulation.bits_per_symbol), dtype=np.uint8)
         batched = map_batch(bits, modulation)
-        for row, reference in zip(batched, bits):
+        for row, reference in zip(batched, bits, strict=True):
             assert np.allclose(row, map_bits(reference, modulation))
 
     @pytest.mark.parametrize("modulation", list(Modulation))
@@ -137,7 +137,7 @@ class TestMappingEquivalence:
             rng.standard_normal(symbols.shape) + 1j * rng.standard_normal(symbols.shape)
         )
         batched = demap_batch(noisy, modulation)
-        for row, reference in zip(batched, noisy):
+        for row, reference in zip(batched, noisy, strict=True):
             assert np.array_equal(row, demap_symbols(reference, modulation))
 
     @pytest.mark.parametrize("modulation", [Modulation.QAM16, Modulation.QAM64])
@@ -178,7 +178,7 @@ class TestScramblerEquivalence:
         bits = rng.integers(0, 2, (16, 257), dtype=np.uint8)
         seeds = rng.integers(1, 128, 16)
         scrambled = scramble_batch(bits, seeds)
-        for row, reference, seed in zip(scrambled, bits, seeds):
+        for row, reference, seed in zip(scrambled, bits, seeds, strict=True):
             assert np.array_equal(row, Ieee80211Scrambler(int(seed)).scramble(reference))
 
     def test_shared_seed_and_involution(self):

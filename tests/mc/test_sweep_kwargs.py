@@ -1,4 +1,4 @@
-"""Tests for run_sweep's keyword-only signature and its deprecation shim."""
+"""Tests for run_sweep's keyword-only signature (the positional shim is gone)."""
 
 from __future__ import annotations
 
@@ -22,23 +22,15 @@ class TestKeywordOnly:
             warnings.simplefilter("error")
             run_sweep(POINTS, 32, _pipeline(), seed=5, max_batch=16)
 
-    def test_positional_legacy_args_warn_and_still_work(self):
-        rng = np.random.default_rng(5)
-        with pytest.warns(DeprecationWarning, match="keyword-only"):
-            legacy = run_sweep(POINTS, 32, _pipeline(), rng)
-        modern = run_sweep(POINTS, 32, _pipeline(), rng=np.random.default_rng(5))
-        np.testing.assert_array_equal(legacy.error_rate, modern.error_rate)
+    def test_rng_keyword_matches_seed_construction(self):
+        by_rng = run_sweep(POINTS, 32, _pipeline(), rng=np.random.default_rng(5))
+        by_seed = run_sweep(POINTS, 32, _pipeline(), seed=5)
+        np.testing.assert_array_equal(by_rng.error_rate, by_seed.error_rate)
 
-    def test_positional_seed_and_max_batch_map_in_order(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_sweep(POINTS, 32, _pipeline(), None, 9, 8)
-        modern = run_sweep(POINTS, 32, _pipeline(), seed=9, max_batch=8)
-        np.testing.assert_array_equal(legacy.error_rate, modern.error_rate)
-
-    def test_double_assignment_raises(self):
-        with pytest.warns(DeprecationWarning), pytest.raises(TypeError, match="multiple values"):
-            run_sweep(POINTS, 32, _pipeline(), None, 9, seed=9)
-
-    def test_too_many_positionals_raise(self):
+    def test_positional_rng_is_rejected(self):
         with pytest.raises(TypeError, match="positional"):
-            run_sweep(POINTS, 32, _pipeline(), None, 9, 8, "extra")
+            run_sweep(POINTS, 32, _pipeline(), np.random.default_rng(5))
+
+    def test_positional_seed_and_max_batch_are_rejected(self):
+        with pytest.raises(TypeError, match="positional"):
+            run_sweep(POINTS, 32, _pipeline(), None, 9, 8)

@@ -77,7 +77,7 @@ class TestRates:
         assert params.data_bits_per_symbol == 144
 
     def test_all_rates_consistent(self):
-        for rate, params in OFDM_RATE_PARAMETERS.items():
+        for params in OFDM_RATE_PARAMETERS.values():
             assert params.coded_bits_per_symbol == 48 * params.modulation.bits_per_symbol
             numerator, denominator = params.coding_rate.split("/")
             expected = params.coded_bits_per_symbol * int(numerator) // int(denominator)

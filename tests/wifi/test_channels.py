@@ -25,7 +25,7 @@ class TestWifiChannels:
     def test_non_overlapping(self):
         assert NON_OVERLAPPING_CHANNELS == (1, 6, 11)
         freqs = [wifi_channel_frequency_mhz(c) for c in NON_OVERLAPPING_CHANNELS]
-        for a, b in zip(freqs, freqs[1:]):
+        for a, b in zip(freqs, freqs[1:], strict=False):
             assert b - a >= WIFI_80211B_BANDWIDTH_MHZ
 
     def test_invalid_channel(self):
