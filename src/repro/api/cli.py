@@ -27,13 +27,21 @@ Subcommands
     command.  ``--validate`` round-trips every envelope through the JSON
     schema and fails on any mismatch (the CI smoke job runs this).
 ``run --specs GRID.json``
-    Execute a declarative campaign: the JSON document's sweeps/specs
-    expand to a batch (see :mod:`repro.api.campaign`).  ``--jobs N``
-    shards any batch (``--specs`` or ``--all``) across N worker
-    processes — bit-identical results regardless of N — and
+    Execute a declarative campaign: each JSON document's sweeps/specs
+    expand to a batch (see :mod:`repro.api.campaign`; ``--specs`` is
+    repeatable — batches concatenate in order, duplicates are rejected).
+    ``--jobs N`` shards any batch (``--specs`` or ``--all``) across N
+    worker processes — bit-identical results regardless of N — and
     ``--store DIR`` streams the envelopes into a
     :class:`~repro.api.store.ResultStore` (reruns skip work the store
-    already holds).
+    already holds).  Resume matching follows ``--cache``: ``content``
+    (the default) keys on the driver module's normalized source as well
+    as the invocation, so caches survive comment/formatting refactors
+    and invalidate on behavioural edits; ``--refresh`` forces
+    re-execution regardless.  ``--shard-index I --shard-count N``
+    executes one deterministic slice of the expanded batch
+    (:mod:`repro.fabric.slicing`) and ``--manifest PATH`` records the
+    shard's campaign manifest for fan-in validation.
 ``report --store DIR``
     Regenerate the registry-driven paper-vs-measured ``EXPERIMENTS.md``
     from a result store.  ``--check`` verifies the committed document is
@@ -51,8 +59,10 @@ Subcommands
     Per-experiment telemetry tables from the envelopes' attached
     :mod:`repro.obs` documents: wall time mean/p50/p95, span counts,
     events/sec and the netsim fast-path hit rate, plus every counter's
-    store-wide total.  ``--experiment NAME`` restricts the view and
-    ``--json`` emits the same as machine-readable JSON.
+    store-wide total and the campaign-level counters (cache hits and
+    misses, merge fan-in) from the store's telemetry sidecar.
+    ``--experiment NAME`` restricts the view and ``--json`` emits the
+    same as machine-readable JSON.
 ``trace NAME``
     Execute one run (same ``--engine``/``--seed``/``--set``/``--fast``
     policy as ``run``) and print its telemetry span tree and counters —
@@ -60,7 +70,11 @@ Subcommands
 ``merge --into DIR SOURCE [SOURCE ...]``
     Fold source stores into a destination store, logging each source's
     :class:`~repro.api.store.MergeStats` (ingested / deduplicated /
-    torn lines skipped).
+    torn lines skipped).  Sources may be local directories or
+    ``file://``/``http(s)://`` shard URIs; ``--manifest PATH``
+    (repeatable) validates and combines campaign manifests first and
+    merges every shard URI they list, and ``--json`` emits the
+    per-source stats machine-readably.
 ``lint [PATHS ...]``
     Run the :mod:`repro.lint` contract checker (backend purity, RNG
     discipline, determinism, telemetry isolation, registry completeness,
@@ -83,7 +97,6 @@ import sys
 from pathlib import Path
 from typing import Any
 
-from repro.api.campaign import read_specs
 from repro.api.registry import Experiment, get_experiment, iter_experiments
 from repro.api.report import check_report, generate_report, write_report
 from repro.api.result import Result, validate_result_dict
@@ -91,6 +104,16 @@ from repro.api.runner import Runner
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, representative
 from repro.exceptions import ReproError
+from repro.fabric.cas import CACHE_POLICIES
+from repro.fabric.manifest import (
+    CampaignManifest,
+    ShardEntry,
+    combine_manifests,
+    grid_hash,
+    read_manifest,
+    write_manifest,
+)
+from repro.fabric.slicing import read_spec_files, shard_slice
 from repro.lint import (
     apply_baseline,
     build_document,
@@ -102,8 +125,8 @@ from repro.lint import (
     write_baseline,
 )
 from repro.mc.backend import backend_names, default_backend, get_backend
-from repro.obs.metrics import format_span_tree
-from repro.obs.stats import counter_totals, stats_frame
+from repro.obs.metrics import Collector, format_span_tree
+from repro.obs.stats import campaign_counter_totals, counter_totals, stats_frame
 from repro.plots.gallery import check_gallery, write_gallery
 from repro.plots.render import FORMATS, figure_filename, render_experiment
 
@@ -162,7 +185,26 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("names", nargs="*", help="experiment names (see `list`)")
     run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
     run_parser.add_argument(
-        "--specs", default=None, metavar="GRID.json", help="declarative sweep/spec document to expand and run"
+        "--specs",
+        action="append",
+        default=None,
+        metavar="GRID.json",
+        help="declarative sweep/spec document to expand and run "
+        "(repeatable; batches concatenate in order, duplicate specs are rejected)",
+    )
+    run_parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="with --specs: execute only shard I of --shard-count disjoint slices of the expanded batch",
+    )
+    run_parser.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --specs: total number of shards the batch is sliced into",
     )
     run_parser.add_argument("--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path)")
     run_parser.add_argument("--seed", type=int, default=None, help="seed override for seedable experiments")
@@ -189,6 +231,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-resume",
         action="store_true",
         help="with --store: re-execute specs even when the store already holds their results",
+    )
+    run_parser.add_argument(
+        "--cache",
+        choices=CACHE_POLICIES,
+        default="content",
+        help="store-resume matching policy: content (invocation + normalized driver source, the default), "
+        "invocation (exact key only), or off (never reuse)",
+    )
+    run_parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="force re-execution of every spec regardless of the cache policy (results still append to --store)",
+    )
+    run_parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="with --specs: write a campaign manifest for this (shard of the) run after it completes",
     )
     run_parser.add_argument("--json", dest="json_path", default=None, help="write the result envelope to this file")
     run_parser.add_argument("--json-dir", default=None, help="write one <name>.json envelope per result here")
@@ -270,9 +330,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("--fast", action="store_true", help="use the experiment's reduced smoke parameters")
 
-    merge_parser = sub.add_parser("merge", help="fold source stores into a destination store")
-    merge_parser.add_argument("sources", nargs="+", metavar="SOURCE", help="store directories to merge from")
+    merge_parser = sub.add_parser("merge", help="fold source stores (or shard URIs) into a destination store")
+    merge_parser.add_argument(
+        "sources",
+        nargs="*",
+        metavar="SOURCE",
+        help="store directories or file://|http(s):// shard URIs to merge from",
+    )
     merge_parser.add_argument("--into", required=True, metavar="DIR", help="destination store directory")
+    merge_parser.add_argument(
+        "--manifest",
+        dest="manifests",
+        metavar="PATH",
+        action="append",
+        default=[],
+        help="campaign manifest(s) to fan in from (repeatable; validated and combined first, "
+        "then every shard URI they list is merged)",
+    )
+    merge_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable per-source MergeStats JSON"
+    )
 
     lint_parser = sub.add_parser("lint", help="check the repo's static contracts (repro.lint)")
     lint_parser.add_argument(
@@ -409,10 +486,22 @@ def _emit(result: Result, experiment: Experiment, args: argparse.Namespace) -> N
             print("  result envelope validated against the schema")
 
 
-def _run_campaign(specs: list[ExperimentSpec], args: argparse.Namespace) -> int:
-    """Batch path: sharded execution, optional store, one progress line per spec."""
+def _run_campaign(
+    specs: list[ExperimentSpec],
+    args: argparse.Namespace,
+    *,
+    full_batch: list[ExperimentSpec] | None = None,
+) -> int:
+    """Batch path: sharded execution, optional store, one progress line per spec.
+
+    ``full_batch`` is the whole expanded grid when *specs* is a shard
+    slice of it — the campaign manifest hashes the full batch so shards
+    of different grids can never be fanned back in together.
+    """
     store = ResultStore(args.store) if args.store else None
-    runner = Runner(seed=args.seed, engine=args.engine, backend=args.backend, jobs=args.jobs)
+    runner = Runner(
+        seed=args.seed, engine=args.engine, backend=args.backend, jobs=args.jobs, cache=args.cache
+    )
     total = len(specs)
     counts = {"ran": 0, "cached": 0}
 
@@ -425,11 +514,40 @@ def _run_campaign(specs: list[ExperimentSpec], args: argparse.Namespace) -> int:
             seed = f" seed={result.seed}" if result.seed is not None else ""
             print(f"[{index + 1}/{total}] {result.experiment} [{result.engine}]{seed} {state}")
 
-    runner.run_batch(specs, store=store, resume=not args.no_resume, on_result=on_result)
+    # The campaign collector sees what no per-run document can: cache
+    # hits and misses happen in this process, between driver calls.  It
+    # lands in the store's telemetry sidecar, never inside an envelope.
+    collector = Collector()
+    with collector.activate():
+        runner.run_batch(specs, store=store, resume=not (args.no_resume or args.refresh), on_result=on_result)
+    if store is not None and collector.counters:
+        store.append_campaign_telemetry(collector.to_dict())
     summary = f"{counts['ran']} executed, {counts['cached']} reused"
     if store is not None:
         summary += f"; store {store.root} now holds {len(store)} result(s)"
     print(f"campaign: {total} spec(s), {summary}")
+    if args.manifest:
+        batch = full_batch if full_batch is not None else specs
+        shard_count = args.shard_count if args.shard_count is not None else 1
+        shard_index = args.shard_index if args.shard_index is not None else 0
+        manifest = CampaignManifest(
+            grid_hash=grid_hash(batch),
+            spec_count=len(batch),
+            shard_count=shard_count,
+            shards=(
+                ShardEntry(
+                    index=shard_index,
+                    status="complete",
+                    uri=Path(store.root).resolve().as_uri() if store is not None else None,
+                    result_count=total,
+                ),
+            ),
+        )
+        write_manifest(args.manifest, manifest)
+        print(
+            f"wrote manifest {args.manifest} "
+            f"(shard {shard_index + 1}/{shard_count}, grid {manifest.grid_hash[:12]})"
+        )
     return 0
 
 
@@ -441,6 +559,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if (args.shard_index is None) != (args.shard_count is None):
+        print("error: --shard-index and --shard-count come as a pair", file=sys.stderr)
+        return 2
+    if args.shard_count is not None and args.specs is None:
+        print("error: --shard-index/--shard-count require --specs", file=sys.stderr)
+        return 2
+    if args.manifest is not None and args.specs is None:
+        print("error: --manifest requires --specs (the manifest records the grid identity)", file=sys.stderr)
+        return 2
     overrides = dict(args.overrides)
 
     if args.specs is not None:
@@ -450,7 +577,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.json_path or args.json_dir:
             print("error: use --store (not --json/--json-dir) with --specs", file=sys.stderr)
             return 2
-        return _run_campaign(read_specs(args.specs), args)
+        batch = read_spec_files(args.specs)
+        selected = batch
+        if args.shard_count is not None:
+            selected = shard_slice(batch, args.shard_index, args.shard_count)
+        return _run_campaign(selected, args, full_batch=batch)
 
     names = [e.name for e in iter_experiments()] if args.all else args.names
     if args.json_path and len(names) > 1:
@@ -570,8 +701,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 1
     frame = stats_frame(results)
     totals = counter_totals(results)
+    campaign = campaign_counter_totals(store)
     if args.json:
-        print(json.dumps({"experiments": frame.rows(), "counters": totals}, indent=2))
+        print(
+            json.dumps(
+                {"experiments": frame.rows(), "counters": totals, "campaign_counters": campaign},
+                indent=2,
+            )
+        )
         return 0
     width = max(len(name) for name in frame.column("experiment"))
     header = f"{'experiment'.ljust(width)}  runs  obs  mean s   p50 s    p95 s    spans  events/s  fast-path"
@@ -587,6 +724,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("\ncounters (store-wide totals):")
         name_width = max(len(name) for name in totals)
         for name, value in totals.items():
+            print(f"  {name.ljust(name_width)}  {value}")
+    if campaign:
+        print("\ncampaign counters (cache + fan-in totals):")
+        name_width = max(len(name) for name in campaign)
+        for name, value in campaign.items():
             print(f"  {name.ljust(name_width)}  {value}")
     return 0
 
@@ -609,15 +751,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
+    sources = list(args.sources)
+    combined: CampaignManifest | None = None
+    if args.manifests:
+        # Fan-in gate: the manifests must reassemble one complete campaign
+        # before a single envelope moves — a missing or conflicting shard
+        # aborts here rather than publishing a partial grid.
+        combined = combine_manifests([read_manifest(path) for path in args.manifests])
+        sources.extend(entry.uri for entry in combined.shards if entry.uri is not None)
+    if not sources:
+        print("error: give SOURCE stores/URIs and/or --manifest files listing shard URIs", file=sys.stderr)
+        return 2
     destination = ResultStore(args.into)
+    merged: list[tuple[str, Any]] = []
     ingested = 0
-    for source in args.sources:
+    for source in sources:
         stats = destination.merge(source)
+        merged.append((source, stats))
         ingested += stats.ingested
-        print(
-            f"{source}: {stats.ingested} ingested, {stats.deduped} deduplicated, "
-            f"{stats.torn_lines_skipped} torn line(s) skipped"
-        )
+        if not args.json:
+            print(
+                f"{source}: {stats.ingested} ingested, {stats.deduped} deduplicated, "
+                f"{stats.torn_lines_skipped} torn line(s) skipped"
+            )
+    if args.json:
+        document: dict[str, Any] = {
+            "sources": [{"source": source, **stats.to_dict()} for source, stats in merged],
+            "ingested": ingested,
+            "deduped": sum(stats.deduped for _, stats in merged),
+            "torn_lines_skipped": sum(stats.torn_lines_skipped for _, stats in merged),
+            "results": len(destination),
+        }
+        if combined is not None:
+            document["manifest"] = combined.to_dict()
+        print(json.dumps(document, indent=2))
+        return 0
     print(f"store {args.into} now holds {len(destination)} result(s) (+{ingested})")
     return 0
 

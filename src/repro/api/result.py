@@ -69,6 +69,13 @@ class Result:
         Optional :mod:`repro.obs` telemetry document (already strict
         JSON), or ``None`` when the run was not observed.  Never part of
         result identity or of generated-document bytes.
+    source_hash:
+        Normalized source digest of the driver module that produced this
+        run (:func:`repro.fabric.cas.driver_source_hash`), or ``None``
+        when unavailable.  Cache metadata only: the content-addressed
+        resume policy matches against it, but like ``runtime_s`` it
+        never participates in :func:`~repro.api.store.result_key`
+        identity or generated-document bytes.
     """
 
     experiment: str
@@ -79,6 +86,7 @@ class Result:
     runtime_s: float = 0.0
     payload: Any = None
     telemetry: dict[str, Any] | None = None
+    source_hash: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Strict-JSON-compatible dict form of the envelope."""
@@ -94,6 +102,8 @@ class Result:
         }
         if self.telemetry is not None:
             document["telemetry"] = self.telemetry
+        if self.source_hash is not None:
+            document["source_hash"] = self.source_hash
         return document
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -113,6 +123,7 @@ class Result:
             runtime_s=float(data["runtime_s"]),
             payload=decode(data["payload"]),
             telemetry=data.get("telemetry"),
+            source_hash=data.get("source_hash"),
         )
 
     @classmethod
@@ -150,6 +161,9 @@ def validate_result_dict(data: Any) -> None:
         raise ConfigurationError("result field 'backend' must be a string or null")
     if "payload" not in data:
         raise ConfigurationError("result document is missing required field 'payload'")
+    # Envelopes written before the campaign fabric existed omit the field.
+    if not (data.get("source_hash") is None or isinstance(data["source_hash"], str)):
+        raise ConfigurationError("result field 'source_hash' must be a string or null")
     if data.get("telemetry") is not None:
         validate_telemetry(data["telemetry"])
     validate_encoded(data["params"], path="params")

@@ -50,8 +50,13 @@ from typing import Any
 from repro.api.registry import Experiment, iter_experiments, load_registry
 from repro.api.result import Result
 from repro.api.spec import ExperimentSpec
-from repro.api.store import ResultStore, invocation_key
+from repro.api.store import ResultStore, document_content_key, invocation_key
 from repro.exceptions import ConfigurationError, ReproError
+
+# Module (not name) import: repro.fabric.cas itself imports repro.api
+# submodules, so binding its names here would break whichever package is
+# imported second.  Attribute lookup at call time sidesteps the cycle.
+from repro.fabric import cas as _cas
 from repro.mc.backend import default_backend, get_backend
 from repro.obs import metrics as obs
 from repro.obs.metrics import Collector
@@ -62,6 +67,22 @@ __all__ = ["Runner"]
 def _recorded_params(call_params: dict[str, Any]) -> dict[str, Any]:
     """Driver call params minus the dispatch keywords recorded separately."""
     return {name: value for name, value in call_params.items() if name not in ("engine", "backend")}
+
+
+def _keyed_store_documents(store: ResultStore, policy: str):
+    """``(cache key, raw envelope)`` pairs from *store* under *policy*.
+
+    Under the content policy, envelopes that recorded no driver source
+    hash (pre-fabric stores) are skipped entirely — they can never be
+    content hits.
+    """
+    if policy == "invocation":
+        yield from store.iter_keyed_documents()
+        return
+    for document in store.iter_documents():
+        key = document_content_key(document)
+        if key is not None:
+            yield key, document
 
 
 def _run_spec_task(
@@ -106,6 +127,18 @@ class Runner:
         Whether to collect a :mod:`repro.obs` telemetry document per run
         and attach it to the envelope (default ``True``).  Payloads,
         result keys, reports and figures are byte-identical either way.
+    cache:
+        Store-resume policy for :meth:`run_batch`:
+
+        * ``"content"`` (the default) matches specs against stored
+          envelopes by :func:`repro.fabric.cas.content_key` — the
+          invocation material *plus* the driver module's normalized
+          source digest — so caches survive parameter-preserving
+          refactors and invalidate on behavioural edits;
+        * ``"invocation"`` is the historical exact invocation-key match
+          (blind to driver source);
+        * ``"off"`` never matches (every spec re-executes; fresh
+          envelopes are still appended to the store).
     """
 
     def __init__(
@@ -116,6 +149,7 @@ class Runner:
         backend: str | None = None,
         jobs: int = 1,
         telemetry: bool = True,
+        cache: str = "content",
     ):
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -124,6 +158,7 @@ class Runner:
         self.backend = backend
         self.jobs = jobs
         self.telemetry = telemetry
+        self.cache = _cas.check_policy(cache)
 
     def run(
         self,
@@ -179,17 +214,18 @@ class Runner:
         specs = list(specs)
         # Resolve every spec up front: invalid names/params/engines abort the
         # batch before any work (or worker process) starts, and the resolved
-        # identities are what resume-skipping matches against the store.
+        # identities are what cache matching compares against the store.
         identities = [self._resolve_identity(spec) for spec in specs]
 
         cached: dict[int, Result] = {}
         pending: list[int] = list(range(len(specs)))
-        if store is not None and resume:
+        policy = self.cache if (store is not None and resume) else "off"
+        if policy != "off":
             # One pass over the raw shard lines: keys come from the cheap
             # params-only hash, and only envelopes this batch actually wants
             # pay for a full payload decode.
-            by_key = {key: index for index, (key, _) in enumerate(identities)}
-            for key, document in store.iter_keyed_documents():
+            by_key = self._cache_index(identities, policy)
+            for key, document in _keyed_store_documents(store, policy):
                 index = by_key.get(key)
                 if index is not None and index not in cached:
                     cached[index] = Result.from_dict(document)
@@ -198,8 +234,10 @@ class Runner:
             # document; record only what actually happened.
             if cached:
                 obs.count("store.resume_hits", len(cached))
+                obs.count("fabric.cache.hits", len(cached))
             if pending:
                 obs.count("store.resume_misses", len(pending))
+                obs.count("fabric.cache.misses", len(pending))
 
         # Cached and pending indices are complementary and both ascending, so
         # walking spec order and pulling fresh results lazily reports each
@@ -270,12 +308,45 @@ class Runner:
         ]
         return self.run_batch(specs, store=store, resume=resume)
 
-    def _resolve_identity(self, spec: ExperimentSpec) -> tuple[str, Experiment]:
-        """Validate *spec* and return its invocation key (without running it)."""
+    def _resolve_identity(
+        self, spec: ExperimentSpec
+    ) -> tuple[Experiment, str, int | None, str | None, dict[str, Any]]:
+        """Validate *spec* and return its resolved invocation material.
+
+        ``(experiment, engine, seed, backend, recorded params)`` — enough
+        to derive either cache key without running anything.
+        """
         experiment = spec.resolve()
         call_params, engine, seed, backend = self._resolve_call(spec, experiment)
-        recorded = _recorded_params(call_params)
-        return invocation_key(experiment.name, engine, seed, recorded, backend=backend), experiment
+        return experiment, engine, seed, backend, _recorded_params(call_params)
+
+    def _cache_index(
+        self,
+        identities: list[tuple[Experiment, str, int | None, str | None, dict[str, Any]]],
+        policy: str,
+    ) -> dict[str, int]:
+        """Map each spec's cache key (under *policy*) to its batch position.
+
+        Under the content policy the driver source is hashed once per
+        distinct experiment; drivers whose source is unavailable get no
+        entry at all, so they can never false-hit — they just re-run.
+        """
+        index: dict[str, int] = {}
+        source_hashes: dict[str, str | None] = {}
+        for position, (experiment, engine, seed, backend, recorded) in enumerate(identities):
+            if policy == "invocation":
+                key = invocation_key(experiment.name, engine, seed, recorded, backend=backend)
+            else:
+                if experiment.name not in source_hashes:
+                    source_hashes[experiment.name] = _cas.driver_source_hash(experiment)
+                source_hash = source_hashes[experiment.name]
+                if source_hash is None:
+                    continue
+                key = _cas.content_key(
+                    experiment.name, engine, seed, recorded, backend=backend, source_hash=source_hash
+                )
+            index[key] = position
+        return index
 
     def _execute(self, spec: ExperimentSpec) -> Result:
         experiment = spec.resolve()
@@ -301,6 +372,7 @@ class Runner:
             runtime_s=runtime,
             payload=payload,
             telemetry=telemetry,
+            source_hash=_cas.driver_source_hash(experiment),
         )
 
     def _resolve_call(

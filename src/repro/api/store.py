@@ -13,6 +13,14 @@ reads idempotent: duplicate envelopes from a rerun collapse to one, and
 :meth:`ResultStore.existing_keys` lets the runner skip specs a partial
 store already holds.  :meth:`ResultStore.query` filters the decoded
 results by experiment, engine, seed or any recorded parameter value.
+
+:meth:`ResultStore.merge` is the distributed fan-in point: alongside
+local store directories it ingests ``file://`` and ``http(s)://`` shard
+URIs (:mod:`repro.fabric.remote`), so N machines can execute disjoint
+slices of one grid and merge at report time.  Campaign-level telemetry
+(cache hit/miss counters, merge spans) rides in a ``campaign-telemetry/``
+sidecar directory inside the store — outside the ``*.jsonl`` shard
+namespace, so it never masquerades as a result envelope.
 """
 
 from __future__ import annotations
@@ -31,9 +39,21 @@ from repro.api.serialization import canonical_json, decode, payload_equal
 from repro.exceptions import ConfigurationError
 from repro.obs import metrics as obs
 
-__all__ = ["MergeStats", "ResultStore", "result_key", "invocation_key", "representative"]
+__all__ = [
+    "MergeStats",
+    "ResultStore",
+    "document_content_key",
+    "result_key",
+    "invocation_key",
+    "representative",
+]
 
 _UNSET = object()
+
+#: Subdirectory (inside the store root) holding campaign telemetry
+#: documents — deliberately not ``*.jsonl`` at the root, which is the
+#: result-shard namespace.
+_CAMPAIGN_TELEMETRY_DIR = "campaign-telemetry"
 
 
 def invocation_key(
@@ -96,6 +116,14 @@ class MergeStats:
     deduped: int
     torn_lines_skipped: int
 
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON form (the ``merge --json`` machine-readable output)."""
+        return {
+            "ingested": self.ingested,
+            "deduped": self.deduped,
+            "torn_lines_skipped": self.torn_lines_skipped,
+        }
+
 
 def _document_key(document: dict[str, Any]) -> str:
     # Decode only the params (not the payload): `invocation_key` canonicalizes
@@ -107,6 +135,28 @@ def _document_key(document: dict[str, Any]) -> str:
         document["seed"],
         decode(document["params"]),
         backend=document.get("backend"),
+    )
+
+
+def document_content_key(document: dict[str, Any]) -> str | None:
+    """The envelope's content-addressed cache key, or ``None``.
+
+    ``None`` when the envelope predates the fabric and recorded no
+    driver source hash — such envelopes are invisible to the
+    ``cache="content"`` resume policy (a safe miss, never a false hit).
+    """
+    source_hash = document.get("source_hash")
+    if source_hash is None:
+        return None
+    from repro.fabric.cas import content_key
+
+    return content_key(
+        document["experiment"],
+        document["engine"],
+        document["seed"],
+        decode(document["params"]),
+        backend=document.get("backend"),
+        source_hash=source_hash,
     )
 
 
@@ -155,31 +205,96 @@ class ResultStore:
     def merge(self, other: "ResultStore | str | Path") -> MergeStats:
         """Copy envelopes from *other* that this store does not hold yet.
 
+        *other* may be another :class:`ResultStore`, a local store
+        directory, or a shard **URI** — ``file://`` (shard file or store
+        directory) or ``http(s)://`` (a JSONL resource), fetched via
+        :mod:`repro.fabric.remote` with torn-line tolerance.
+
         Duplicates (by :func:`result_key`) are skipped, so merging is
         idempotent.  Returns a :class:`MergeStats` accounting for every
         source line: ingested, deduplicated, or torn and skipped.
         """
-        source = other if isinstance(other, ResultStore) else ResultStore(other)
-        seen = self.existing_keys()
-        ingested = 0
-        deduped = 0
-        torn_before = source.torn_lines_skipped
-        for key, document in source.iter_keyed_documents():
-            if key in seen:
-                deduped += 1
-                continue
-            seen.add(key)
-            self.append_document(document)
-            ingested += 1
-        stats = MergeStats(
-            ingested=ingested,
-            deduped=deduped,
-            torn_lines_skipped=source.torn_lines_skipped - torn_before,
-        )
+        with obs.span("store.merge", source=str(other)):
+            pairs, torn = self._source_documents(other)
+            seen = self.existing_keys()
+            ingested = 0
+            deduped = 0
+            for key, document in pairs:
+                if key in seen:
+                    deduped += 1
+                    continue
+                seen.add(key)
+                self.append_document(document)
+                ingested += 1
+            stats = MergeStats(
+                ingested=ingested,
+                deduped=deduped,
+                torn_lines_skipped=torn(),
+            )
         obs.count("store.merge.ingested", stats.ingested)
         obs.count("store.merge.deduped", stats.deduped)
         obs.count("store.merge.torn_lines_skipped", stats.torn_lines_skipped)
         return stats
+
+    @staticmethod
+    def _source_documents(
+        other: "ResultStore | str | Path",
+    ) -> tuple[Iterator[tuple[str, dict[str, Any]]], Any]:
+        """A merge source as ``(keyed-document iterator, torn-count callable)``.
+
+        The torn count is a callable because a local store only knows how
+        many lines tore *after* iteration finishes, while a remote fetch
+        knows up front.
+        """
+        if isinstance(other, str) and "://" in other:
+            from repro.fabric.remote import fetch_shard
+
+            fetched = fetch_shard(other)
+            obs.count("store.merge.remote_documents", len(fetched.documents))
+            pairs = ((_document_key(document), document) for document in fetched.documents)
+            return pairs, lambda: fetched.torn_lines_skipped
+        source = other if isinstance(other, ResultStore) else ResultStore(other)
+        torn_before = source.torn_lines_skipped
+        return source.iter_keyed_documents(), lambda: source.torn_lines_skipped - torn_before
+
+    # -- campaign telemetry ------------------------------------------------
+
+    def append_campaign_telemetry(self, document: dict[str, Any]) -> None:
+        """Record one campaign-level telemetry document in the sidecar.
+
+        Campaign telemetry (content-cache hits/misses, merge spans) is
+        collected *around* a batch, not inside any single run, so it
+        cannot ride a result envelope.  It lives in
+        ``<root>/campaign-telemetry/<shard>.jsonl`` — outside the root
+        ``*.jsonl`` shard namespace — and is validated before any bytes
+        are written, like every other generated document.
+        """
+        obs.validate_telemetry(document)
+        directory = self.root / _CAMPAIGN_TELEMETRY_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(document, allow_nan=False, separators=(",", ":"))
+        with open(directory / self._shard, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def iter_campaign_telemetry(self) -> Iterator[dict[str, Any]]:
+        """Yield campaign telemetry documents, torn-line tolerant."""
+        directory = self.root / _CAMPAIGN_TELEMETRY_DIR
+        if not directory.is_dir():
+            return
+        for path in sorted(directory.glob("*.jsonl")):
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        document = json.loads(line)
+                    except json.JSONDecodeError:
+                        self.torn_lines_skipped += 1
+                        continue
+                    if isinstance(document, dict):
+                        yield document
 
     # -- reading -----------------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""``repro.fabric`` — the distributed campaign execution fabric.
+
+The single-machine campaign runner (``Runner(jobs=N)`` over a
+``ProcessPoolExecutor``) grows here into a multi-machine fabric, in
+three pieces that compose through the existing store format:
+
+* **Content-addressed caching** (:mod:`repro.fabric.cas`): cache keys
+  derived from the driver module's *normalized* source plus the
+  canonical invocation material, so stored results survive
+  parameter-preserving refactors and invalidate on behavioural edits —
+  ``run --all`` at full fidelity becomes incremental.
+* **Deterministic shard slicing** (:mod:`repro.fabric.slicing`):
+  ``specs[I::N]`` strides over the expanded batch — seeds are fixed
+  before slicing, so any (I, N) decomposition merged back together is
+  bit-identical to a serial run.  ``python -m repro run --specs grid
+  --shard-index I --shard-count N`` is the CLI surface.
+* **Remote fan-in** (:mod:`repro.fabric.remote` +
+  :mod:`repro.fabric.manifest`): ``ResultStore.merge`` ingests
+  ``file://`` and ``http(s)://`` shard URIs (stdlib only, torn-line
+  tolerant, deduplicated by result key), and the strict-JSON campaign
+  manifest proves at merge time that N shards reassemble one grid.
+
+The nightly full-fidelity workflow is the capstone consumer: an N-job
+matrix each executing one slice, a fan-in job combining manifests,
+merging stores and publishing the nightly ``EXPERIMENTS.md`` +
+``FIGURES.md`` beside the committed fast-campaign documents.
+"""
+
+from repro.fabric.cas import (
+    CACHE_POLICIES,
+    check_policy,
+    content_key,
+    driver_source_hash,
+    normalized_source_digest,
+)
+from repro.fabric.manifest import (
+    MANIFEST_VERSION,
+    CampaignManifest,
+    ShardEntry,
+    combine_manifests,
+    grid_hash,
+    read_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.fabric.remote import ShardFetch, fetch_shard, is_uri, parse_shard_lines
+from repro.fabric.slicing import read_spec_files, shard_slice, spec_identity
+
+__all__ = [
+    "CACHE_POLICIES",
+    "check_policy",
+    "content_key",
+    "driver_source_hash",
+    "normalized_source_digest",
+    "MANIFEST_VERSION",
+    "CampaignManifest",
+    "ShardEntry",
+    "combine_manifests",
+    "grid_hash",
+    "read_manifest",
+    "validate_manifest",
+    "write_manifest",
+    "ShardFetch",
+    "fetch_shard",
+    "is_uri",
+    "parse_shard_lines",
+    "read_spec_files",
+    "shard_slice",
+    "spec_identity",
+]

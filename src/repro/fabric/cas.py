@@ -1,0 +1,126 @@
+"""Content-addressed cache keys for campaign resume.
+
+The store's original resume policy matches specs against stored envelopes
+by exact *invocation* key — a hash of (experiment, engine, seed, params,
+backend).  That key is blind to the code that produced the result: edit a
+driver and a stale cache silently survives; refactor a driver without
+changing behaviour and nothing forces a re-run either way.
+
+This module derives the **content key**: the invocation material plus a
+hash of the driver module's *normalized* source.  Normalization parses
+the source to an AST and hashes its dump, so formatting, comments and
+line numbers do not participate — a whitespace/comment-only refactor
+keeps every cache entry warm, while any behavioural edit (changed
+constant, new branch, renamed call) produces a different digest and
+forces re-execution.  ``run --all`` at full fidelity thereby becomes
+incremental: only experiments whose drivers actually changed re-run.
+
+The :class:`~repro.api.runner.Runner` records
+:func:`driver_source_hash` on every envelope it writes and, under the
+``cache="content"`` policy, matches pending specs against stored
+envelopes by :func:`content_key` instead of the invocation key.
+Envelopes written before the fabric existed carry no source hash and are
+simply cache misses under the content policy — never false hits.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib
+import inspect
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
+
+from repro.api.serialization import canonical_json
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.api.registry import Experiment
+
+__all__ = [
+    "CACHE_POLICIES",
+    "check_policy",
+    "content_key",
+    "driver_source_hash",
+    "module_source",
+    "normalized_source_digest",
+]
+
+#: The resume policies the Runner and the CLI accept.
+CACHE_POLICIES = ("content", "invocation", "off")
+
+
+def check_policy(policy: str) -> str:
+    """Validate a cache policy name; returns it unchanged."""
+    if policy not in CACHE_POLICIES:
+        raise ConfigurationError(
+            f"unknown cache policy {policy!r}; choose one of {list(CACHE_POLICIES)}"
+        )
+    return policy
+
+
+def normalized_source_digest(source: str) -> str:
+    """sha256 of *source*'s AST dump — formatting and comments excluded.
+
+    Two sources that parse to the same tree (whitespace moved, comments
+    added or dropped, trailing blank lines) digest identically; any
+    change that survives parsing — a different constant, operator,
+    branch or name — does not.  ``ast.dump`` omits line/column
+    attributes by default, so pure reflow never shifts the digest.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise ConfigurationError(f"cannot normalize driver source: {exc}") from exc
+    digest = hashlib.sha256(ast.dump(tree).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def module_source(module_name: str) -> str:
+    """The raw source text of *module_name* (imported if necessary)."""
+    module = importlib.import_module(module_name)
+    return inspect.getsource(module)
+
+
+def driver_source_hash(experiment: Experiment) -> str | None:
+    """Normalized source digest of *experiment*'s driver module.
+
+    Returns ``None`` when the source is unavailable (a driver registered
+    from a REPL or an exec'd test module) — such experiments are simply
+    never content-cacheable, which fails safe: they re-execute.
+    """
+    try:
+        return normalized_source_digest(module_source(experiment.module))
+    except (OSError, TypeError, ImportError):
+        return None
+
+
+def content_key(
+    experiment: str,
+    engine: str,
+    seed: int | None,
+    params: Mapping[str, Any],
+    *,
+    backend: str | None = None,
+    source_hash: str,
+) -> str:
+    """Content hash of one invocation *and* the driver source that runs it.
+
+    Same material as :func:`repro.api.store.invocation_key` plus the
+    normalized driver source digest, so a cache keyed this way survives
+    parameter-preserving refactors and invalidates on behavioural edits.
+    ``params`` must be the decoded parameter dict, exactly as for the
+    invocation key.
+    """
+    material: dict[str, Any] = {
+        "experiment": experiment,
+        "engine": engine,
+        "seed": seed,
+        "params": dict(params),
+        "source": source_hash,
+    }
+    if backend is not None:
+        material["backend"] = backend
+    digest = hashlib.sha256(canonical_json(material).encode("utf-8"))
+    return digest.hexdigest()[:16]

@@ -1,4 +1,4 @@
-"""The repo-specific rule catalogue: six contracts, statically enforced.
+"""The repo-specific rule catalogue: seven contracts, statically enforced.
 
 Each rule turns a convention the platform's correctness rests on into an
 AST check (see ``docs/architecture.md`` § Static guarantees for the
@@ -23,6 +23,9 @@ RL005     registry-completeness every experiment driver registers
 RL006     exception-hygiene     library validation raises
                                 :mod:`repro.exceptions` types — no bare
                                 ``Exception``, no ``assert``.
+RL007     document-validation   :mod:`repro.fabric` document writers
+                                round-trip a ``validate_*`` checker before
+                                any bytes hit disk.
 ========  ====================  ==============================================
 
 Deliberate exceptions are blessed in source with ``# lint-ok: RLnnn``
@@ -54,6 +57,7 @@ __all__ = [
     "RL004",
     "RL005",
     "RL006",
+    "RL007",
 ]
 
 #: numpy attributes an ``xp`` kernel may touch directly: dtypes, scalar
@@ -477,5 +481,50 @@ RL006 = register_rule(
         check=_check_exception_hygiene,
         scope=r"repro/",
         exclude=_TEST_EXCLUDE,
+    )
+)
+
+#: Call attribute names that put document bytes on disk (or a stream).
+_WRITE_ATTRS = ("write_text", "write_bytes")
+
+
+def _check_document_validation(context: LintContext) -> Iterator[Finding]:
+    imports = ImportMap(context.tree)
+    for info in iter_functions(context.tree):
+        first_write: ast.Call | None = None
+        validates = False
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            name = func.id if isinstance(func, ast.Name) else None
+            is_write = attr in _WRITE_ATTRS or imports.dotted(func) == "json.dump"
+            if is_write and first_write is None:
+                first_write = node
+            if (attr or name or "").startswith("validate_"):
+                validates = True
+        if first_write is not None and not validates:
+            yield context.finding(
+                RL007,
+                first_write.lineno,
+                f"function {info.node.name}() writes a document without "
+                "round-tripping a validate_*() checker first",
+                anchor_lines=(info.node.lineno,),
+            )
+
+
+RL007 = register_rule(
+    Rule(
+        id="RL007",
+        category="document-validation",
+        description=(
+            "repro.fabric functions that serialize documents to disk "
+            "(write_text/write_bytes/json.dump) must call a validate_*() "
+            "checker in the same function — invalid manifests never get written"
+        ),
+        fix_hint="run the document through its validate_*() function before writing the bytes",
+        check=_check_document_validation,
+        scope=r"repro/fabric/",
     )
 )

@@ -23,7 +23,7 @@ from repro.api.analytics import Frame
 from repro.api.result import Result
 from repro.api.store import ResultStore
 
-__all__ = ["counter_totals", "span_count", "stats_frame"]
+__all__ = ["campaign_counter_totals", "counter_totals", "span_count", "stats_frame"]
 
 
 def span_count(document: dict[str, Any]) -> int:
@@ -58,6 +58,23 @@ def counter_totals(
     totals: dict[str, int] = {}
     for result in _observed(results):
         for name, value in result.telemetry["counters"].items():
+            totals[name] = totals.get(name, 0) + value
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def campaign_counter_totals(store: ResultStore) -> dict[str, int]:
+    """Campaign-level counters summed across the store's telemetry sidecar.
+
+    Per-run telemetry documents only see what happens *inside* a driver
+    call; cache hits, resume misses and merge fan-in happen in the
+    coordinating process before or between runs.  The CLI records those
+    in the store's campaign-telemetry sidecar
+    (:meth:`~repro.api.store.ResultStore.append_campaign_telemetry`);
+    this sums every sidecar counter, sorted by name.
+    """
+    totals: dict[str, int] = {}
+    for document in store.iter_campaign_telemetry():
+        for name, value in document.get("counters", {}).items():
             totals[name] = totals.get(name, 0) + value
     return {name: totals[name] for name in sorted(totals)}
 

@@ -1,0 +1,161 @@
+"""Content-addressed cache keys: normalization, policies, runner resume.
+
+The fabric's caching contract: a whitespace/comment-only driver refactor
+keeps every cache entry warm, any behavioural edit invalidates, and
+``--refresh`` (resume off) re-executes regardless.  The runner tests
+drive the real :class:`~repro.api.Runner` against a real store with the
+driver source monkeypatched, so the end-to-end resume path is what's
+under test — not just the hash function.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ResultStore, Runner
+from repro.api.spec import ExperimentSpec
+from repro.api.store import document_content_key, invocation_key
+from repro.exceptions import ConfigurationError
+from repro.fabric import cas
+
+_SOURCE = "def run(x):\n    return x + 1\n"
+_SOURCE_REFLOWED = "# a comment\n\ndef run(x):\n\n    # another comment\n    return x + 1\n"
+_SOURCE_EDITED = "def run(x):\n    return x + 2\n"
+
+
+class TestNormalizedSourceDigest:
+    def test_comment_and_whitespace_changes_do_not_shift_the_digest(self):
+        assert cas.normalized_source_digest(_SOURCE) == cas.normalized_source_digest(_SOURCE_REFLOWED)
+
+    def test_behavioural_edit_shifts_the_digest(self):
+        assert cas.normalized_source_digest(_SOURCE) != cas.normalized_source_digest(_SOURCE_EDITED)
+
+    def test_unparseable_source_raises(self):
+        with pytest.raises(ConfigurationError, match="cannot normalize"):
+            cas.normalized_source_digest("def run(:\n")
+
+
+class TestPolicies:
+    def test_known_policies_pass_through(self):
+        for policy in cas.CACHE_POLICIES:
+            assert cas.check_policy(policy) == policy
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown cache policy"):
+            cas.check_policy("always")
+
+    def test_runner_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown cache policy"):
+            Runner(cache="always")
+
+
+class TestContentKey:
+    def test_differs_from_invocation_key_and_tracks_source(self):
+        invocation = invocation_key("fig13", "batch", None, {"step_feet": 2.0})
+        source_a = cas.normalized_source_digest(_SOURCE)
+        source_b = cas.normalized_source_digest(_SOURCE_EDITED)
+        key_a = cas.content_key("fig13", "batch", None, {"step_feet": 2.0}, source_hash=source_a)
+        key_b = cas.content_key("fig13", "batch", None, {"step_feet": 2.0}, source_hash=source_b)
+        assert key_a != invocation
+        assert key_a != key_b
+
+    def test_backend_participates_only_when_present(self):
+        base = cas.content_key("mc", "batch", 7, {}, source_hash="s")
+        with_backend = cas.content_key("mc", "batch", 7, {}, backend="numpy", source_hash="s")
+        assert base != with_backend
+
+    def test_registered_driver_hashes(self):
+        spec = ExperimentSpec(experiment="fig13")
+        digest = cas.driver_source_hash(spec.resolve())
+        assert isinstance(digest, str) and len(digest) == 64
+
+    def test_unavailable_source_is_uncacheable_not_fatal(self, monkeypatch):
+        def boom(module_name):
+            raise OSError("no source")
+
+        monkeypatch.setattr(cas, "module_source", boom)
+        assert cas.driver_source_hash(ExperimentSpec(experiment="fig13").resolve()) is None
+
+
+class TestDocumentContentKey:
+    def test_envelope_without_source_hash_has_no_content_key(self):
+        result = Runner(telemetry=False).run("fig13", params={"step_feet": 4.0})
+        document = result.to_dict()
+        assert document_content_key(document) is not None
+        document.pop("source_hash")
+        assert document_content_key(document) is None
+
+
+def _spec():
+    return [ExperimentSpec(experiment="fig13", params={"step_feet": 4.0}, engine="batch")]
+
+
+def _run(runner, store, **kwargs):
+    """Run the one-spec batch and return the was-cached flag."""
+    flags = []
+    runner.run_batch(_spec(), store=store, on_result=lambda i, r, c: flags.append(c), **kwargs)
+    return flags[0]
+
+
+class TestContentResume:
+    def test_comment_refactor_hits_behavioural_edit_misses(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        runner = Runner(telemetry=False, cache="content")
+        monkeypatch.setattr(cas, "module_source", lambda name: _SOURCE)
+        assert _run(runner, store) is False  # cold store executes
+        assert _run(runner, store) is True  # identical source hits
+        monkeypatch.setattr(cas, "module_source", lambda name: _SOURCE_REFLOWED)
+        assert _run(runner, store) is True  # comment/whitespace-only refactor still hits
+        monkeypatch.setattr(cas, "module_source", lambda name: _SOURCE_EDITED)
+        assert _run(runner, store) is False  # behavioural edit misses and re-executes
+
+    def test_invocation_policy_is_blind_to_source(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        runner = Runner(telemetry=False, cache="invocation")
+        monkeypatch.setattr(cas, "module_source", lambda name: _SOURCE)
+        assert _run(runner, store) is False
+        monkeypatch.setattr(cas, "module_source", lambda name: _SOURCE_EDITED)
+        assert _run(runner, store) is True
+
+    def test_cache_off_and_refresh_always_re_execute(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert _run(Runner(telemetry=False, cache="off"), store) is False
+        assert _run(Runner(telemetry=False, cache="off"), store) is False
+        # resume=False is the CLI's --refresh: content policy, forced re-run.
+        assert _run(Runner(telemetry=False, cache="content"), store, resume=False) is False
+
+    def test_unhashable_driver_fails_safe_to_re_execution(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        runner = Runner(telemetry=False, cache="content")
+
+        def boom(module_name):
+            raise OSError("no source")
+
+        monkeypatch.setattr(cas, "module_source", boom)
+        assert _run(runner, store) is False
+        assert _run(runner, store) is False  # never a false hit
+
+    def test_pre_fabric_envelopes_are_content_misses_but_invocation_hits(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = Runner(telemetry=False).run(_spec()[0])
+        document = result.to_dict()
+        document.pop("source_hash")  # an envelope from before the fabric existed
+        store.append_document(document)
+        assert _run(Runner(telemetry=False, cache="invocation"), store) is True
+        assert _run(Runner(telemetry=False, cache="content"), store) is False
+
+
+class TestImportOrder:
+    def test_fabric_imports_standalone_before_the_api_package(self):
+        # runner.py and fabric.cas import each other's packages; a fresh
+        # interpreter that touches repro.fabric first must not trip the
+        # cycle (tests import repro.api first, which hides it).
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-c", "import repro.fabric; import repro.api"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

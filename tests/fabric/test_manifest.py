@@ -1,0 +1,124 @@
+"""Campaign manifest: validation, round trip, and fan-in combination.
+
+The fan-in safety contract: shards merge only when their manifests prove
+they are slices of one campaign — same grid hash, same counts, every
+index covered exactly once and complete.  Anything less aborts before a
+single envelope moves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.campaign import read_specs
+from repro.exceptions import ConfigurationError
+from repro.fabric.manifest import (
+    CampaignManifest,
+    ShardEntry,
+    combine_manifests,
+    grid_hash,
+    read_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from tests.fabric.test_slicing import _GRIDS
+
+_HASH = "0" * 64
+
+
+def _manifest(*entries: ShardEntry, shard_count: int = 2) -> CampaignManifest:
+    return CampaignManifest(grid_hash=_HASH, spec_count=10, shard_count=shard_count, shards=entries)
+
+
+class TestGridHash:
+    def test_tracks_the_expansion_not_the_file(self, tmp_path):
+        batch = read_specs(_GRIDS / "per_grid.json")
+        assert grid_hash(batch) == grid_hash(list(batch))
+        assert grid_hash(batch) != grid_hash(batch[:-1])
+        assert grid_hash(batch) != grid_hash(batch[::-1])  # order participates
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        manifest = _manifest(
+            ShardEntry(index=0, status="complete", uri="file:///tmp/s0", result_count=5),
+            ShardEntry(index=1, status="pending"),
+        )
+        path = tmp_path / "manifest.json"
+        write_manifest(path, manifest)
+        assert read_manifest(path) == manifest
+        assert not manifest.complete
+
+    def test_write_refuses_an_invalid_manifest(self, tmp_path):
+        bad = CampaignManifest(grid_hash="short", spec_count=1, shard_count=1)
+        with pytest.raises(ConfigurationError, match="grid_hash"):
+            write_manifest(tmp_path / "manifest.json", bad)
+        assert not (tmp_path / "manifest.json").exists()
+
+
+class TestValidation:
+    def test_rejects_unknown_version(self):
+        document = _manifest().to_dict()
+        document["manifest_version"] = 99
+        with pytest.raises(ConfigurationError, match="manifest_version"):
+            validate_manifest(document)
+
+    def test_rejects_out_of_range_and_duplicate_indices(self):
+        out_of_range = _manifest(ShardEntry(index=2, status="complete")).to_dict()
+        with pytest.raises(ConfigurationError, match="outside"):
+            validate_manifest(out_of_range)
+        duplicated = _manifest().to_dict()
+        duplicated["shards"] = [
+            {"index": 0, "status": "complete", "uri": None, "result_count": None},
+            {"index": 0, "status": "complete", "uri": None, "result_count": None},
+        ]
+        with pytest.raises(ConfigurationError, match="twice"):
+            validate_manifest(duplicated)
+
+    def test_rejects_unknown_status(self):
+        document = _manifest(ShardEntry(index=0, status="complete")).to_dict()
+        document["shards"][0]["status"] = "running"
+        with pytest.raises(ConfigurationError, match="status"):
+            validate_manifest(document)
+
+    def test_not_json_raises_a_repro_error(self, tmp_path):
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"manifest_version": 1,')
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            read_manifest(torn)
+
+
+class TestCombine:
+    def test_combines_disjoint_shard_manifests(self):
+        combined = combine_manifests(
+            [
+                _manifest(ShardEntry(index=0, status="complete", uri="file:///a", result_count=5)),
+                _manifest(ShardEntry(index=1, status="complete", uri="file:///b", result_count=5)),
+            ]
+        )
+        assert combined.complete
+        assert [entry.uri for entry in combined.shards] == ["file:///a", "file:///b"]
+
+    def test_rejects_manifests_from_different_campaigns(self):
+        other = CampaignManifest(grid_hash="1" * 64, spec_count=10, shard_count=2)
+        with pytest.raises(ConfigurationError, match="disagree on grid_hash"):
+            combine_manifests([_manifest(), other])
+
+    def test_rejects_conflicting_entries_for_one_shard(self):
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            combine_manifests(
+                [
+                    _manifest(ShardEntry(index=0, status="complete", result_count=5)),
+                    _manifest(ShardEntry(index=0, status="complete", result_count=6)),
+                ]
+            )
+
+    def test_rejects_incomplete_coverage(self):
+        with pytest.raises(ConfigurationError, match=r"shard\(s\) \[1\]"):
+            combine_manifests([_manifest(ShardEntry(index=0, status="complete"))])
+        with pytest.raises(ConfigurationError, match=r"shard\(s\) \[0\]"):
+            combine_manifests([_manifest(ShardEntry(index=0, status="failed"), ShardEntry(index=1, status="complete"))])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ConfigurationError, match="no manifests"):
+            combine_manifests([])

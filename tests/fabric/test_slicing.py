@@ -1,0 +1,75 @@
+"""Deterministic shard slicing and multi-grid spec concatenation.
+
+The fleet contract: for every shard count, the slices of an expanded
+batch are disjoint, complete, and order-stable — so N machines each
+running ``shard_slice(batch, I, N)`` reassemble exactly the serial
+batch.  The real committed grids are the fixture: whatever the fleet
+grid expands to is what gets sliced in production.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.campaign import read_specs
+from repro.exceptions import ConfigurationError
+from repro.fabric.slicing import read_spec_files, shard_slice, spec_identity
+
+_GRIDS = Path(__file__).resolve().parents[2] / "examples" / "grids"
+
+
+class TestShardSlice:
+    def test_every_decomposition_is_disjoint_and_complete(self):
+        """Exhaustive over the real fleet grid: every (I, N) up to N=8."""
+        batch = read_specs(_GRIDS / "fleet_grid.json")
+        identities = [spec_identity(spec) for spec in batch]
+        assert len(set(identities)) == len(batch)  # identity is injective here
+        for count in range(1, 9):
+            slices = [shard_slice(batch, index, count) for index in range(count)]
+            rejoined = [spec_identity(spec) for piece in slices for spec in piece]
+            assert sorted(rejoined) == sorted(identities)
+            assert len(rejoined) == len(batch)
+            sizes = [len(piece) for piece in slices]
+            assert max(sizes) - min(sizes) <= 1  # balanced to within one spec
+
+    def test_slices_preserve_batch_order(self):
+        batch = read_specs(_GRIDS / "per_grid.json")
+        piece = shard_slice(batch, 1, 3)
+        assert piece == batch[1::3]
+
+    def test_oversharded_batches_yield_empty_slices(self):
+        batch = read_specs(_GRIDS / "per_grid.json")
+        assert shard_slice(batch, len(batch) + 1, len(batch) + 5) == []
+
+    @pytest.mark.parametrize(("index", "count"), [(0, 0), (-1, 2), (2, 2), (5, 3)])
+    def test_invalid_coordinates_raise(self, index, count):
+        with pytest.raises(ConfigurationError):
+            shard_slice([], index, count)
+
+
+class TestReadSpecFiles:
+    def test_batches_concatenate_in_argument_order(self):
+        fleet = read_specs(_GRIDS / "fleet_grid.json")
+        per = read_specs(_GRIDS / "per_grid.json")
+        combined = read_spec_files([_GRIDS / "fleet_grid.json", _GRIDS / "per_grid.json"])
+        assert combined == fleet + per
+
+    def test_duplicate_specs_across_files_are_rejected(self, tmp_path):
+        duplicate = tmp_path / "dup.json"
+        duplicate.write_text(
+            json.dumps(
+                {"specs": [{"experiment": "fig13", "params": {"step_feet": 2.0}, "engine": "batch", "seed": 13}]}
+            )
+        )
+        with pytest.raises(ConfigurationError, match="duplicate spec"):
+            read_spec_files([_GRIDS / "per_grid.json", duplicate])
+
+    def test_duplicates_within_one_file_are_rejected(self, tmp_path):
+        doubled = tmp_path / "doubled.json"
+        spec = {"experiment": "fig13", "params": {"step_feet": 3.0}, "seed": 9}
+        doubled.write_text(json.dumps({"specs": [spec, spec]}))
+        with pytest.raises(ConfigurationError, match="duplicate spec"):
+            read_spec_files([doubled])

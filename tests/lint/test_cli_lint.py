@@ -71,6 +71,7 @@ class TestFindingsOutput:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
         }
 
     def test_markdown_table_for_ci_summaries(self, bad_file, tmp_path, capsys):
@@ -84,7 +85,7 @@ class TestFindingsOutput:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
             assert rule_id in out
 
     def test_unknown_rule_is_a_clean_error(self, capsys):

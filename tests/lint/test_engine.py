@@ -45,9 +45,9 @@ class TestPragmas:
 
 
 class TestRuleRegistry:
-    def test_catalogue_has_the_six_contract_rules(self):
+    def test_catalogue_has_the_seven_contract_rules(self):
         ids = [rule.id for rule in iter_rules()]
-        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
 
     def test_select_rules_none_means_all(self):
         assert [r.id for r in select_rules(None)] == [r.id for r in iter_rules()]

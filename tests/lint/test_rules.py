@@ -364,3 +364,72 @@ class TestRL006ExceptionHygiene:
         """
         assert _lint(source, "tests/wifi/test_frames.py", "RL006") == []
         assert _lint(source, "src/repro/conftest.py", "RL006") == []
+
+
+class TestRL007DocumentValidation:
+    def test_fires_on_an_unvalidated_fabric_write(self):
+        findings = _lint(
+            """
+            import json
+            from pathlib import Path
+
+            def write_ledger(path, document):
+                Path(path).write_text(json.dumps(document))
+            """,
+            "src/repro/fabric/ledger.py",
+            "RL007",
+        )
+        assert [f.rule for f in findings] == ["RL007"]
+        assert "write_ledger()" in findings[0].message
+
+    def test_silent_when_the_writer_validates_first(self):
+        source = """
+        import json
+        from pathlib import Path
+
+        def validate_ledger(document):
+            pass
+
+        def write_ledger(path, document):
+            validate_ledger(document)
+            Path(path).write_text(json.dumps(document))
+        """
+        assert _lint(source, "src/repro/fabric/ledger.py", "RL007") == []
+
+    def test_method_style_validators_count_too(self):
+        source = """
+        def publish(store, document):
+            store.validate_document(document)
+            store.path.write_bytes(b"...")
+        """
+        assert _lint(source, "src/repro/fabric/ledger.py", "RL007") == []
+
+    def test_fires_on_json_dump_but_not_ast_dump(self):
+        findings = _lint(
+            """
+            import json
+
+            def publish(handle, document):
+                json.dump(document, handle)
+            """,
+            "src/repro/fabric/ledger.py",
+            "RL007",
+        )
+        assert [f.rule for f in findings] == ["RL007"]
+        hashing = """
+        import ast
+        import hashlib
+
+        def digest(tree):
+            return hashlib.sha256(ast.dump(tree).encode()).hexdigest()
+        """
+        assert _lint(hashing, "src/repro/fabric/cas.py", "RL007") == []
+
+    def test_modules_outside_the_fabric_are_exempt(self):
+        source = """
+        from pathlib import Path
+
+        def write(path, text):
+            Path(path).write_text(text)
+        """
+        assert _lint(source, "src/repro/api/report.py", "RL007") == []
