@@ -206,7 +206,9 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="with --specs: total number of shards the batch is sliced into",
     )
-    run_parser.add_argument("--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path)")
+    run_parser.add_argument(
+        "--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path/batched/reference)"
+    )
     run_parser.add_argument("--seed", type=int, default=None, help="seed override for seedable experiments")
     run_parser.add_argument(
         "--backend", default=None, help="array backend for experiments that take one (see `backends`)"
@@ -314,7 +316,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     trace_parser = sub.add_parser("trace", help="run one experiment and print its span tree")
     trace_parser.add_argument("name", help="experiment name (see `list`)")
-    trace_parser.add_argument("--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path)")
+    trace_parser.add_argument(
+        "--engine", default=None, help="engine to dispatch to (scalar/batch/fast_path/batched/reference)"
+    )
     trace_parser.add_argument("--seed", type=int, default=None, help="seed override for seedable experiments")
     trace_parser.add_argument(
         "--backend", default=None, help="array backend for experiments that take one (see `backends`)"

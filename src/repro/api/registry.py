@@ -32,8 +32,10 @@ __all__ = [
     "load_registry",
 ]
 
-#: Engine names any experiment may declare.
-KNOWN_ENGINES = ("scalar", "batch", "fast_path")
+#: Engine names any experiment may declare.  ``batched`` is the epoch-batched
+#: netsim engine; ``reference`` its scalar epoch oracle (the differential
+#: tests' trusted twin, exposed so campaigns can cross-check engines).
+KNOWN_ENGINES = ("scalar", "batch", "fast_path", "batched", "reference")
 
 _REGISTRY: dict[str, "Experiment"] = {}
 _LOADED = False

@@ -1,0 +1,200 @@
+"""MAC density — delivery ratio vs device density on the epoch engine.
+
+The mac_scaling sweep stops at a few hundred devices because the
+continuous-time heap engine resolves every transmission individually.
+This driver rides the epoch-batched engine of
+:mod:`repro.netsim.batched` instead, so the density axis extends into the
+thousands-of-devices regime the interscatter applications imply (a
+stadium of payment cards, a ward of implants) while a single sweep stays
+interactive.
+
+Beyond raw density it exposes the contention-realism knobs of
+:class:`repro.netsim.batched.EpochMacParams` as sweepable parameters:
+imperfect CCA detection probability, the exponential-backoff retry
+ladder with its abort counter, and a per-device duty-cycle limit.  The
+headline figure is the delivery-ratio-vs-density curve per MAC policy —
+the batched analogue of the classic offered-load/throughput collapse.
+
+``engine="reference"`` runs the same epoch contract through the scalar
+oracle of the differential tests, so small densities can be cross-checked
+bit-for-bit against the vectorised engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.registry import register, resolve_engine
+from repro.netsim.batched import BatchedFleetSimulator, EpochReferenceSimulator
+from repro.netsim.fleet import FleetScenario
+from repro.plots.figure import Figure, Series
+
+__all__ = ["MacDensityResult", "run", "summarize", "DEFAULT_DENSITIES", "DEFAULT_MACS"]
+
+#: Device densities swept by default (devices sharing one carrier).
+DEFAULT_DENSITIES = (25, 50, 100, 200, 400, 800, 1600)
+
+#: MAC policies compared by default.
+DEFAULT_MACS = ("aloha", "slotted_aloha", "csma", "tdma")
+
+
+@dataclass(frozen=True)
+class MacDensityResult:
+    """Series of the density sweep.
+
+    Attributes
+    ----------
+    densities:
+        The swept fleet sizes (x-axis).
+    macs:
+        Policy names, in sweep order.
+    profile / period_s / duration_s / seed:
+        Scenario parameters shared by every run.
+    duty_cycle / cca_reliability / max_attempts:
+        Contention-realism knobs forwarded to every epoch MAC.
+    delivery_ratio / throughput_bps / attempt_per / utilization:
+        Policy name → array over densities.
+    """
+
+    densities: np.ndarray
+    macs: tuple[str, ...]
+    profile: str
+    period_s: float
+    duration_s: float
+    seed: int
+    duty_cycle: float
+    cca_reliability: float
+    max_attempts: int
+    delivery_ratio: dict[str, np.ndarray]
+    throughput_bps: dict[str, np.ndarray]
+    attempt_per: dict[str, np.ndarray]
+    utilization: dict[str, np.ndarray]
+
+
+def _simulate_batched(scenario: FleetScenario):
+    """Vectorised epoch engine (per-device MAC state in numpy arrays)."""
+    return BatchedFleetSimulator(scenario).run().aggregate()
+
+
+def _simulate_reference(scenario: FleetScenario):
+    """Scalar epoch oracle — same contract, one device at a time."""
+    return EpochReferenceSimulator(scenario).run().aggregate()
+
+
+_ENGINES = {"batched": _simulate_batched, "reference": _simulate_reference}
+
+
+def run(
+    *,
+    densities: tuple[int, ...] = DEFAULT_DENSITIES,
+    macs: tuple[str, ...] = DEFAULT_MACS,
+    profile: str = "contact_lens",
+    period_s: float = 0.25,
+    duration_s: float = 10.0,
+    seed: int = 2016,
+    duty_cycle: float = 1.0,
+    cca_reliability: float = 1.0,
+    max_attempts: int = 8,
+    engine: str = "batched",
+) -> MacDensityResult:
+    """Sweep device density × MAC policy on the epoch-batched engine.
+
+    The default contact-lens interval keeps the channel unsaturated until
+    several hundred devices, so the full default sweep shows each policy's
+    knee.  ``duty_cycle``, ``cca_reliability`` and ``max_attempts`` are
+    forwarded to every MAC via ``mac_params`` — see
+    :class:`repro.netsim.batched.EpochMacParams` for their semantics.
+    """
+    simulate = resolve_engine("mac_density", engine, _ENGINES)
+    series: dict[str, dict[str, list[float]]] = {
+        metric: {mac: [] for mac in macs}
+        for metric in ("delivery_ratio", "throughput_bps", "attempt_per", "utilization")
+    }
+    for mac in macs:
+        mac_params = {"duty_cycle": duty_cycle, "max_attempts": max_attempts}
+        if mac == "csma":  # imperfect carrier sense is a CSMA-only knob
+            mac_params["cca_reliability"] = cca_reliability
+        for density in densities:
+            scenario = FleetScenario(
+                profile=profile,
+                num_devices=density,
+                mac=mac,
+                duration_s=duration_s,
+                period_s=period_s,
+                seed=seed,
+                engine=engine,
+                mac_params=dict(mac_params),
+            )
+            aggregate = simulate(scenario)
+            series["delivery_ratio"][mac].append(aggregate.delivery_ratio)
+            series["throughput_bps"][mac].append(aggregate.throughput_bps)
+            series["attempt_per"][mac].append(aggregate.attempt_per)
+            series["utilization"][mac].append(aggregate.utilization)
+    return MacDensityResult(
+        densities=np.array(densities, dtype=int),
+        macs=tuple(macs),
+        profile=profile,
+        period_s=period_s,
+        duration_s=duration_s,
+        seed=seed,
+        duty_cycle=duty_cycle,
+        cca_reliability=cca_reliability,
+        max_attempts=max_attempts,
+        delivery_ratio={m: np.array(v) for m, v in series["delivery_ratio"].items()},
+        throughput_bps={m: np.array(v) for m, v in series["throughput_bps"].items()},
+        attempt_per={m: np.array(v) for m, v in series["attempt_per"].items()},
+        utilization={m: np.array(v) for m, v in series["utilization"].items()},
+    )
+
+
+def summarize(result: MacDensityResult) -> list[str]:
+    """Headline report lines for the CLI and the reproduction script."""
+    largest = result.densities[-1]
+    lines = [
+        f"{mac:13s}: delivery {result.delivery_ratio[mac][-1]:.2f} at {largest} devices, "
+        f"goodput {result.throughput_bps[mac][-1] / 1e3:.1f} kbps, "
+        f"attempt PER {result.attempt_per[mac][-1]:.2f}"
+        for mac in result.macs
+    ]
+    lines.append(
+        "expected: random-access policies collapse past their knee while TDMA polling degrades gracefully"
+    )
+    return lines
+
+
+def metrics(result: MacDensityResult) -> dict[str, float]:
+    """Scalar headline metrics (at the largest density) for aggregation."""
+    out: dict[str, float] = {}
+    for mac in result.macs:
+        out[f"delivery_{mac}"] = float(result.delivery_ratio[mac][-1])
+        out[f"utilization_{mac}"] = float(result.utilization[mac][-1])
+    return out
+
+
+def plot(result: MacDensityResult) -> Figure:
+    """Declarative figure: delivery ratio per MAC across device density."""
+    return Figure(
+        title="MAC density — delivery ratio vs device density (epoch engine)",
+        xlabel="Device density (devices per carrier)",
+        ylabel="Delivery ratio",
+        series=tuple(
+            Series(label=mac, x=result.densities, y=result.delivery_ratio[mac])
+            for mac in result.macs
+        ),
+        caption="Epoch-batched sweep into the thousands-of-devices regime: "
+        "random access collapses past its knee, TDMA polling degrades gracefully.",
+    )
+
+
+register(
+    name="mac_density",
+    title="MAC density — delivery vs density on the epoch-batched engine (beyond the paper)",
+    run=run,
+    engines=_ENGINES,
+    fast_params={"densities": (5, 10, 25, 50, 100), "period_s": 0.005, "duration_s": 1.0},
+    summarize=summarize,
+    metrics=metrics,
+    plot=plot,
+)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.registry import register, resolve_engine
+from repro.netsim.batched import BatchedFleetSimulator
 from repro.netsim.fleet import FleetScenario, FleetSimulator
 from repro.plots.figure import Figure, Series
 
@@ -78,7 +79,17 @@ def _simulate_fast_path(**scenario_kwargs):
     return _simulate(True, **scenario_kwargs)
 
 
-_ENGINES = {"scalar": _simulate_exact, "fast_path": _simulate_fast_path}
+def _simulate_batched(**scenario_kwargs):
+    """Epoch-batched vectorised engine (per-device state in numpy arrays)."""
+    scenario = FleetScenario(engine="batched", **scenario_kwargs)
+    return BatchedFleetSimulator(scenario).run().aggregate()
+
+
+_ENGINES = {
+    "scalar": _simulate_exact,
+    "fast_path": _simulate_fast_path,
+    "batched": _simulate_batched,
+}
 
 
 def run(

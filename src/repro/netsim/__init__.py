@@ -13,6 +13,9 @@ implants or payment cards share one single-tone carrier":
   one :class:`~repro.netsim.mac.MacProtocol` interface.
 * :mod:`repro.netsim.fleet` — scenario layer instantiating N devices from
   the :mod:`repro.apps` profiles with ring placement geometry.
+* :mod:`repro.netsim.batched` — epoch-batched execution for 10^5-device
+  fleets: per-device MAC state in numpy arrays, one vectorised medium pass
+  per epoch, plus the scalar epoch oracle the differential tests trust.
 * :mod:`repro.netsim.metrics` — per-device and aggregate throughput, PER,
   delivery ratio, medium utilization and latency percentiles.
 
@@ -50,6 +53,14 @@ from repro.netsim.fleet import (
     neural_implant_profile,
     ring_placement,
 )
+from repro.netsim.batched import (
+    EPOCH_ENGINES,
+    BatchedFleetSimulator,
+    EpochMacParams,
+    EpochReferenceSimulator,
+    resolve_epoch_mac,
+    simulate,
+)
 from repro.netsim.metrics import AggregateMetrics, DeviceStats, FleetMetrics
 
 __all__ = [
@@ -75,6 +86,12 @@ __all__ = [
     "FleetScenario",
     "FleetSimulator",
     "SimDevice",
+    "BatchedFleetSimulator",
+    "EpochReferenceSimulator",
+    "EpochMacParams",
+    "EPOCH_ENGINES",
+    "resolve_epoch_mac",
+    "simulate",
     "DeviceStats",
     "AggregateMetrics",
     "FleetMetrics",

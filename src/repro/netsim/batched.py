@@ -1,0 +1,903 @@
+"""Epoch-batched fleet execution: 10^5-device scenarios in numpy arrays.
+
+The heap engine (:class:`repro.netsim.fleet.FleetSimulator`) dispatches one
+Python callback per event, which caps fleets near 10^3 devices.  This module
+trades continuous time for *epochs* — fixed slices of the virtual clock, one
+packet air time wide by default — and keeps all per-device MAC state
+(queue depths, backoff counters, retry ladders, next-attempt epochs) in
+numpy arrays, so each epoch resolves every concurrent transmission in one
+vectorised medium pass riding the memoised
+:class:`~repro.mc.link_abstraction.LinkAbstraction` PER table plus one
+Bernoulli draw per packet.
+
+Two engines implement the *same* epoch contract:
+
+* :class:`BatchedFleetSimulator` — the vectorised production engine.
+* :class:`EpochReferenceSimulator` — an independently written per-device
+  scalar oracle (Python loops, scalar RNG draws) used by the differential
+  test suite.
+
+Because numpy ``Generator`` array draws are bit-identical to the same number
+of sequential scalar draws (``random(k)``, ``uniform(a, b, k)``,
+``integers(lo, hi_array)``), the two engines consume the identical random
+stream and must produce **bit-identical** per-device counters — that is the
+equivalence contract ``tests/netsim/test_batched_equivalence.py`` enforces
+for every MAC at N <= 64.  The continuous-time heap engine is *not* expected
+to match bit-for-bit (it resolves collisions on real overlap intervals, not
+epoch co-occupancy); it is compared statistically instead.
+
+Epoch contract
+--------------
+
+Virtual time advances in epochs of ``epoch_s`` seconds (default: one MAC
+slot, i.e. packet air time x 1.05; must be >= one air time).  The horizon is
+``floor(duration_s / epoch_s)`` epochs.  Idle epochs are skipped via a
+bucket queue keyed by epoch index, which consumes no randomness.  Within one
+processed epoch ``e`` (``t_end = (e + 1) * epoch_s``), phases run in a fixed
+order and every random draw happens in ascending device id:
+
+1. **Arrivals** — rounds over devices whose next arrival falls before
+   ``t_end``: push ``burst_size`` packets (full queues count
+   ``queue_dropped``), then one ``uniform(-1, 1)`` jitter draw per device
+   advances its next arrival by ``period_s * (1 + jitter_fraction * u)``.
+2. **Initial access** for devices whose queue went empty -> non-empty:
+   ALOHA/slotted attempt at ``e + 1``; CSMA draws ``integers(0, 2**BE)``
+   epochs of initial backoff; TDMA waits for its next owned epoch
+   (``device_id % num_slots``).
+3. **Contention** — devices whose attempt epoch arrived.  Duty-cycle-blocked
+   devices (per-device airtime > ``duty_cycle * t_end``) defer one epoch
+   without drawing.  CSMA senses busy iff epoch ``e - 1`` carried any
+   transmission: one ``random()`` detection draw per contender against
+   ``cca_reliability``; detected-busy increments the CCA counter (abort
+   above ``max_cca_attempts`` drops the head), survivors re-draw backoff
+   with BE escalation.  TDMA draws one poll per contender against the
+   device's downlink poll-decode probability.
+4. **Medium** — the k surviving transmitters each occupy exactly this epoch.
+   Interference per transmitter is ``np.sum(signal_w of all k) - own``;
+   SINR = ``10*log10(signal / (noise + interference))``; ``k >= 2`` marks
+   every packet collided and packets under the capture threshold get
+   PER = 1, everything else looks up the PER table.  One ``random()`` draw
+   per transmitter decides delivery (``rssi >= sensitivity and u > per``).
+5. **Outcomes** — delivered heads pop (latency = ``t_end - created``);
+   failed heads at ``max_attempts`` drop; the rest draw their retry ladder
+   (ALOHA ``integers(0, base * 2**min(attempts-1, 10))`` epochs; slotted
+   ``integers(1, 2**min(attempts, 10) + 1)`` slots; CSMA BE-escalated
+   backoff; TDMA waits a superframe).  Retry draws precede the initial
+   access draws of freshly exposed queue heads.
+
+The PER table is always used (the batched mode exists *because* of the fast
+path); ``FleetScenario.phy_fast_path`` is ignored here.  MAC knobs arrive
+through ``FleetScenario.mac_params`` — see :func:`resolve_epoch_mac` —
+including the contention-realism set: ``cca_reliability`` (imperfect CCA),
+``max_attempts`` (retry-ladder abort counter) and ``duty_cycle`` (fraction
+of elapsed virtual time a device may spend on air).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.channel.geometry import Position
+from repro.channel.link_budget import BackscatterLinkBudget
+from repro.channel.noise import NoiseModel
+from repro.channel.propagation import PathLossModel
+from repro.core.downlink import InterscatterDownlink
+from repro.core.timing import InterscatterTiming
+from repro.mc.link_abstraction import LinkAbstraction
+from repro.netsim.fleet import MAC_OVERHEAD_BYTES, FleetScenario, FleetSimulator, ring_placement
+from repro.netsim.mac import MAX_BACKOFF_EXPONENT, POLL_BITS
+from repro.netsim.metrics import FleetMetrics
+from repro.obs import metrics as obs
+from repro.utils.dsp import dbm_to_watts
+
+__all__ = [
+    "EpochMacParams",
+    "resolve_epoch_mac",
+    "BatchedFleetSimulator",
+    "EpochReferenceSimulator",
+    "simulate",
+    "EPOCH_ENGINES",
+]
+
+#: MAC policies the epoch engines implement.
+EPOCH_MACS = ("aloha", "slotted_aloha", "csma", "tdma")
+
+#: Capture threshold shared with :class:`repro.netsim.medium.SharedMedium`.
+CAPTURE_THRESHOLD_DB = 10.0
+
+
+@dataclass(frozen=True)
+class EpochMacParams:
+    """Resolved MAC parameters of one epoch-engine run.
+
+    Attributes
+    ----------
+    name:
+        MAC policy (one of :data:`EPOCH_MACS`).
+    max_attempts / queue_limit:
+        Retry-ladder abort counter and per-device queue capacity.
+    duty_cycle:
+        Fraction of elapsed virtual time a device may occupy the medium
+        (1.0 disables the limit; cf. LoRa regional duty-cycle caps).
+    base_backoff_epochs:
+        ALOHA first retry window in epochs (doubles per failure, capped at
+        ``2**MAX_BACKOFF_EXPONENT``).
+    min_be / max_be / max_cca_attempts / cca_reliability:
+        CSMA backoff-exponent bounds, CCA abort counter and busy-detection
+        probability (imperfect envelope-detector carrier sense).
+    num_slots:
+        TDMA superframe length; device ``i`` owns epochs where
+        ``epoch % num_slots == i % num_slots``.
+    """
+
+    name: str
+    max_attempts: int = 8
+    queue_limit: int = 64
+    duty_cycle: float = 1.0
+    base_backoff_epochs: int = 4
+    min_be: int = 3
+    max_be: int = 6
+    max_cca_attempts: int = 5
+    cca_reliability: float = 1.0
+    num_slots: int = 1
+
+
+def resolve_epoch_mac(scenario: FleetScenario, epoch_s: float) -> EpochMacParams:
+    """Map ``scenario.mac`` + ``scenario.mac_params`` onto epoch-engine knobs.
+
+    Accepts the heap engine's vocabulary where it translates naturally:
+    ``base_backoff_s`` quantises to epochs; ``slot_s`` / ``backoff_slot_s``
+    are accepted and ignored (the epoch *is* the slot / backoff unit);
+    unknown keys raise :class:`~repro.exceptions.ConfigurationError`.
+    """
+    name = scenario.mac
+    if name not in EPOCH_MACS:
+        raise ConfigurationError(f"unknown epoch MAC policy {name!r}; available: {sorted(EPOCH_MACS)}")
+    params = dict(scenario.mac_params)
+    fields: dict = {"name": name}
+    fields["max_attempts"] = int(params.pop("max_attempts", 8))
+    fields["queue_limit"] = int(params.pop("queue_limit", 64))
+    fields["duty_cycle"] = float(params.pop("duty_cycle", 1.0))
+    if fields["max_attempts"] < 1:
+        raise ConfigurationError("max_attempts must be at least 1")
+    if fields["queue_limit"] < 1:
+        raise ConfigurationError("queue_limit must be at least 1")
+    if not 0.0 < fields["duty_cycle"] <= 1.0:
+        raise ConfigurationError("duty_cycle must be in (0, 1]")
+    if name == "aloha":
+        base = params.pop("base_backoff_epochs", None)
+        if base is None and "base_backoff_s" in params:
+            base = max(1, round(float(params.pop("base_backoff_s")) / epoch_s))
+        fields["base_backoff_epochs"] = int(base) if base is not None else 4
+        if fields["base_backoff_epochs"] < 1:
+            raise ConfigurationError("base_backoff_epochs must be at least 1")
+    elif name == "slotted_aloha":
+        params.pop("slot_s", None)  # the epoch is the slot
+    elif name == "csma":
+        fields["min_be"] = int(params.pop("min_be", 3))
+        fields["max_be"] = int(params.pop("max_be", 6))
+        fields["max_cca_attempts"] = int(params.pop("max_cca_attempts", 5))
+        fields["cca_reliability"] = float(params.pop("cca_reliability", 1.0))
+        params.pop("backoff_slot_s", None)  # the epoch is the backoff unit
+        if not 0 <= fields["min_be"] <= fields["max_be"] <= 20:
+            raise ConfigurationError("need 0 <= min_be <= max_be <= 20")
+        if fields["max_cca_attempts"] < 1:
+            raise ConfigurationError("max_cca_attempts must be at least 1")
+        if not 0.0 <= fields["cca_reliability"] <= 1.0:
+            raise ConfigurationError("cca_reliability must be in [0, 1]")
+    elif name == "tdma":
+        fields["num_slots"] = int(params.pop("num_slots", scenario.num_devices))
+        params.pop("slot_s", None)
+        params.pop("slot_index", None)  # fixed to device_id % num_slots
+        if fields["num_slots"] < 1:
+            raise ConfigurationError("num_slots must be at least 1")
+    if params:
+        raise ConfigurationError(
+            f"unknown batched MAC parameters for {name!r}: {sorted(params)}"
+        )
+    return EpochMacParams(**fields)
+
+
+class _EpochSetup:
+    """Scenario constants shared by both epoch engines.
+
+    Both engines build their own instance from the same scenario, so every
+    derived float (air time, epoch width, per-device RSSI / signal power,
+    TDMA poll probabilities) is computed by the same code path and therefore
+    bit-identical between them.
+    """
+
+    def __init__(self, scenario: FleetScenario, *, epoch_s: float | None = None) -> None:
+        if scenario.num_devices < 1:
+            raise ConfigurationError("num_devices must be at least 1")
+        if scenario.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        self.scenario = scenario
+        self.profile = scenario.resolved_profile()
+        timing = InterscatterTiming(wifi_rate_mbps=self.profile.wifi_rate_mbps)
+        psdu_bytes = min(
+            self.profile.payload_bytes + MAC_OVERHEAD_BYTES, timing.max_wifi_psdu_bytes()
+        )
+        if psdu_bytes <= 0:
+            raise ConfigurationError(
+                f"no Wi-Fi payload fits at {self.profile.wifi_rate_mbps} Mbps"
+            )
+        self.psdu_bytes = psdu_bytes
+        self.air_time_s = timing.wifi_air_time_s(psdu_bytes)
+        slot_s = self.air_time_s * (1.0 + FleetSimulator.SLOT_GUARD_FRACTION)
+        self.epoch_s = float(epoch_s) if epoch_s is not None else slot_s
+        if self.epoch_s < self.air_time_s:
+            raise ConfigurationError(
+                f"epoch_s must cover one packet air time ({self.air_time_s:.6g} s)"
+            )
+        self.num_epochs = int(scenario.duration_s / self.epoch_s)
+
+        link_budget = BackscatterLinkBudget(
+            source_power_dbm=scenario.source_power_dbm,
+            tag_antenna=self.profile.tag_antenna,
+            tissue=self.profile.tissue,
+            path_loss=PathLossModel(path_loss_exponent=2.0),
+            noise=NoiseModel(bandwidth_hz=22e6),
+        )
+        self.noise_w = dbm_to_watts(link_budget.noise.noise_floor_dbm)
+        self.sensitivity_dbm = link_budget.receiver_sensitivity_dbm
+        receiver = Position(0.0, self.profile.receiver_offset_m)
+        origin = Position(0.0, 0.0)
+        positions = ring_placement(
+            scenario.num_devices,
+            inner_radius_m=self.profile.inner_radius_m,
+            ring_spacing_m=self.profile.ring_spacing_m,
+        )
+        to_origin = np.array([p.distance_to(origin) for p in positions])
+        to_receiver = np.array([p.distance_to(receiver) for p in positions])
+        self.rssi_dbm = np.asarray(
+            link_budget.evaluate_batch(to_origin, to_receiver).rssi_dbm, dtype=float
+        )
+        self.signal_w = dbm_to_watts(self.rssi_dbm)
+        self.per_table = LinkAbstraction().table(
+            rate_mbps=self.profile.wifi_rate_mbps, payload_bytes=psdu_bytes
+        )
+        if scenario.mac == "tdma":
+            downlink = InterscatterDownlink(rng=np.random.default_rng(scenario.seed))
+            self.poll_success_prob = np.array(
+                [
+                    float(
+                        (1.0 - downlink.link_bit_error_rate(p.distance_to(receiver))[0])
+                        ** POLL_BITS
+                    )
+                    for p in positions
+                ]
+            )
+        else:
+            self.poll_success_prob = None
+
+
+class BatchedFleetSimulator:
+    """Vectorised epoch engine: per-device MAC state in numpy arrays.
+
+    Parameters
+    ----------
+    scenario:
+        The fleet configuration (``phy_fast_path`` is ignored — the PER
+        table is always used).
+    epoch_s:
+        Epoch width override; defaults to one MAC slot.  Coarser epochs
+        trade collision-window fidelity for fewer epochs (any two packets
+        in the same epoch collide).
+    record_epochs:
+        When True, every processed epoch index is appended to
+        ``epoch_trace`` (the invariant tests assert strict monotonicity).
+    """
+
+    def __init__(
+        self,
+        scenario: FleetScenario,
+        *,
+        epoch_s: float | None = None,
+        record_epochs: bool = False,
+    ) -> None:
+        self.scenario = scenario
+        self.setup = _EpochSetup(scenario, epoch_s=epoch_s)
+        self.params = resolve_epoch_mac(scenario, self.setup.epoch_s)
+        self.rng = np.random.default_rng(scenario.seed)
+        n = scenario.num_devices
+        limit = self.params.queue_limit
+        self.queue_len = np.zeros(n, dtype=np.int64)
+        self.head = np.zeros(n, dtype=np.int64)
+        self.created = np.zeros((n, limit), dtype=float)
+        self.head_attempts = np.zeros(n, dtype=np.int64)
+        self.be = np.full(n, self.params.min_be, dtype=np.int64)
+        self.cca_fails = np.zeros(n, dtype=np.int64)
+        self.airtime_used = np.zeros(n, dtype=float)
+        self.next_arrival_s = np.zeros(n, dtype=float)
+        self.generated_ct = np.zeros(n, dtype=np.int64)
+        self.queue_dropped_ct = np.zeros(n, dtype=np.int64)
+        self.attempted_ct = np.zeros(n, dtype=np.int64)
+        self.collided_ct = np.zeros(n, dtype=np.int64)
+        self.delivered_ct = np.zeros(n, dtype=np.int64)
+        self.dropped_ct = np.zeros(n, dtype=np.int64)
+        self._slot_of = np.arange(n, dtype=np.int64) % self.params.num_slots
+        self._lat_ids: list[np.ndarray] = []
+        self._lat_vals: list[np.ndarray] = []
+        self._attempt_buckets: dict[int, list[np.ndarray]] = {}
+        self._arrival_buckets: dict[int, list[np.ndarray]] = {}
+        self._epoch_heap: list[int] = []
+        self._last_tx_epoch = -2
+        self.epochs_processed = 0
+        self.busy_epochs = 0
+        self.transmissions_resolved = 0
+        self.epoch_trace: list[int] = [] if record_epochs else None
+
+    # --------------------------------------------------------------- buckets
+    def _push(self, buckets: dict, epoch: int, ids: np.ndarray) -> None:
+        if epoch >= self.setup.num_epochs or ids.size == 0:
+            return
+        entry = buckets.get(epoch)
+        if entry is None:
+            buckets[epoch] = [ids]
+            heapq.heappush(self._epoch_heap, epoch)
+        else:
+            entry.append(ids)
+
+    def _push_grouped(self, buckets: dict, epochs: np.ndarray, ids: np.ndarray) -> None:
+        if ids.size == 0:
+            return
+        order = np.argsort(epochs, kind="stable")
+        epochs = epochs[order]
+        ids = ids[order]
+        uniq, starts = np.unique(epochs, return_index=True)
+        bounds = np.append(starts, epochs.size)
+        for target, lo, hi in zip(uniq.tolist(), bounds[:-1].tolist(), bounds[1:].tolist(), strict=True):
+            self._push(buckets, int(target), ids[lo:hi])
+
+    def _pop_bucket(self, buckets: dict, epoch: int) -> np.ndarray:
+        parts = buckets.pop(epoch, None)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return np.sort(merged)
+
+    def _next_epoch(self) -> int | None:
+        while self._epoch_heap:
+            epoch = heapq.heappop(self._epoch_heap)
+            if epoch in self._arrival_buckets or epoch in self._attempt_buckets:
+                return epoch
+        return None
+
+    # ------------------------------------------------------------ scheduling
+    def _schedule_access(self, epoch: int, ids: np.ndarray) -> None:
+        """Initial-access scheduling for freshly exposed queue heads."""
+        if ids.size == 0:
+            return
+        name = self.params.name
+        if name in ("aloha", "slotted_aloha"):
+            self._push(self._attempt_buckets, epoch + 1, ids)
+        elif name == "csma":
+            width = self.rng.integers(0, 2 ** self.be[ids])
+            self._push_grouped(self._attempt_buckets, epoch + 1 + width, ids)
+        else:  # tdma: wait for the next owned epoch
+            nxt = epoch + 1 + ((self._slot_of[ids] - (epoch + 1)) % self.params.num_slots)
+            self._push_grouped(self._attempt_buckets, nxt, ids)
+
+    def _pop_heads(self, ids: np.ndarray) -> np.ndarray:
+        """Remove the head packet of each device; returns still-queued ids."""
+        self.head[ids] = (self.head[ids] + 1) % self.params.queue_limit
+        self.queue_len[ids] -= 1
+        self.head_attempts[ids] = 0
+        if self.params.name == "csma":
+            self.be[ids] = self.params.min_be
+            self.cca_fails[ids] = 0
+        return ids[self.queue_len[ids] > 0]
+
+    # ----------------------------------------------------------------- phases
+    def _start(self) -> None:
+        n = self.scenario.num_devices
+        self.next_arrival_s = self.rng.uniform(0.0, self.setup.profile.period_s, n)
+        epochs = (self.next_arrival_s / self.setup.epoch_s).astype(np.int64)
+        self._push_grouped(self._arrival_buckets, epochs, np.arange(n, dtype=np.int64))
+
+    def _run_epoch(self, epoch: int) -> None:
+        if self.epoch_trace is not None:
+            self.epoch_trace.append(epoch)
+        self.epochs_processed += 1
+        p = self.params
+        setup = self.setup
+        t_end = (epoch + 1) * setup.epoch_s
+
+        # Phase 1: arrivals, in rounds of ascending device id.
+        active = self._pop_bucket(self._arrival_buckets, epoch)
+        fresh = active[self.queue_len[active] == 0]
+        profile = setup.profile
+        limit = p.queue_limit
+        while active.size:
+            t_arr = self.next_arrival_s[active].copy()
+            for _ in range(profile.burst_size):
+                self.generated_ct[active] += 1
+                room = self.queue_len[active] < limit
+                sub = active[room]
+                pos = (self.head[sub] + self.queue_len[sub]) % limit
+                self.created[sub, pos] = t_arr[room]
+                self.queue_len[sub] += 1
+                self.queue_dropped_ct[active[~room]] += 1
+            jitter = self.rng.uniform(-1.0, 1.0, active.size)
+            self.next_arrival_s[active] = t_arr + profile.period_s * (
+                1.0 + profile.jitter_fraction * jitter
+            )
+            due = self.next_arrival_s[active] < t_end
+            settled = active[~due]
+            self._push_grouped(
+                self._arrival_buckets,
+                (self.next_arrival_s[settled] / setup.epoch_s).astype(np.int64),
+                settled,
+            )
+            active = active[due]
+
+        # Phase 2: initial access for queues that went empty -> non-empty.
+        self._schedule_access(epoch, fresh)
+
+        # Phase 3: contention.
+        ready = self._pop_bucket(self._attempt_buckets, epoch)
+        if p.duty_cycle < 1.0 and ready.size:
+            allowed = self.airtime_used[ready] + setup.air_time_s <= p.duty_cycle * t_end
+            self._push(self._attempt_buckets, epoch + 1, ready[~allowed])
+            ready = ready[allowed]
+        if p.name == "csma" and ready.size and self._last_tx_epoch == epoch - 1:
+            detected = self.rng.random(ready.size) < p.cca_reliability
+            clear = ready[~detected]
+            self.cca_fails[clear] = 0
+            busy = ready[detected]
+            if busy.size:
+                self.cca_fails[busy] += 1
+                aborting = self.cca_fails[busy] > p.max_cca_attempts
+                defer = busy[~aborting]
+                if defer.size:
+                    self.be[defer] = np.minimum(self.be[defer] + 1, p.max_be)
+                    width = self.rng.integers(0, 2 ** self.be[defer])
+                    self._push_grouped(self._attempt_buckets, epoch + 1 + width, defer)
+                aborts = busy[aborting]
+                if aborts.size:
+                    self.dropped_ct[aborts] += 1
+                    self._schedule_access(epoch, self._pop_heads(aborts))
+            ready = clear
+        elif p.name == "tdma" and ready.size:
+            polled = self.rng.random(ready.size) < setup.poll_success_prob[ready]
+            lost = ready[~polled]
+            self._push_grouped(
+                self._attempt_buckets, epoch + np.full(lost.size, p.num_slots), lost
+            )
+            ready = ready[polled]
+
+        # Phase 4: one vectorised medium pass over the k transmitters.
+        k = ready.size
+        if k == 0:
+            return
+        self._last_tx_epoch = epoch
+        self.busy_epochs += 1
+        self.transmissions_resolved += k
+        self.attempted_ct[ready] += 1
+        self.head_attempts[ready] += 1
+        self.airtime_used[ready] += setup.air_time_s
+        signal = setup.signal_w[ready]
+        interference = np.maximum(float(np.sum(signal)) - signal, 0.0)
+        sinr_db = 10.0 * np.log10(signal / (setup.noise_w + interference))
+        per = np.asarray(setup.per_table.lookup(sinr_db), dtype=float)
+        if k >= 2:
+            per = np.where(sinr_db < CAPTURE_THRESHOLD_DB, 1.0, per)
+            self.collided_ct[ready] += 1
+        draws = self.rng.random(k)
+        delivered = (setup.rssi_dbm[ready] >= setup.sensitivity_dbm) & (draws > per)
+
+        # Phase 5: outcomes.
+        won = ready[delivered]
+        lost = ready[~delivered]
+        still: list[np.ndarray] = []
+        if won.size:
+            self.delivered_ct[won] += 1
+            self._lat_ids.append(won)
+            self._lat_vals.append(t_end - self.created[won, self.head[won]])
+            still.append(self._pop_heads(won))
+        if lost.size:
+            exhausted = self.head_attempts[lost] >= p.max_attempts
+            drops = lost[exhausted]
+            retries = lost[~exhausted]
+            if drops.size:
+                self.dropped_ct[drops] += 1
+                still.append(self._pop_heads(drops))
+            if retries.size:
+                if p.name == "aloha":
+                    expo = np.minimum(self.head_attempts[retries] - 1, MAX_BACKOFF_EXPONENT)
+                    width = self.rng.integers(0, p.base_backoff_epochs * 2**expo)
+                    self._push_grouped(self._attempt_buckets, epoch + 1 + width, retries)
+                elif p.name == "slotted_aloha":
+                    expo = np.minimum(self.head_attempts[retries], MAX_BACKOFF_EXPONENT)
+                    ahead = self.rng.integers(1, 2**expo + 1)
+                    self._push_grouped(self._attempt_buckets, epoch + ahead, retries)
+                elif p.name == "csma":
+                    self.be[retries] = np.minimum(self.be[retries] + 1, p.max_be)
+                    width = self.rng.integers(0, 2 ** self.be[retries])
+                    self._push_grouped(self._attempt_buckets, epoch + 1 + width, retries)
+                else:  # tdma: retry in the next owned slot
+                    self._push(self._attempt_buckets, epoch + p.num_slots, retries)
+        if still:
+            self._schedule_access(epoch, np.sort(np.concatenate(still)))
+
+    # -------------------------------------------------------------------- run
+    def pending_packets(self) -> int:
+        """Packets still queued (in flight) at the horizon."""
+        return int(self.queue_len.sum())
+
+    def run(self) -> FleetMetrics:
+        """Execute the scenario and return the collected metrics."""
+        with obs.span(
+            "netsim.batched.run",
+            profile=self.setup.profile.name,
+            devices=self.scenario.num_devices,
+            mac=self.params.name,
+            engine="batched",
+            horizon_epochs=self.setup.num_epochs,
+        ):
+            self._start()
+            while True:
+                epoch = self._next_epoch()
+                if epoch is None:
+                    break
+                self._run_epoch(epoch)
+            metrics = self._materialise()
+        obs.count("netsim.batched.epochs", self.epochs_processed)
+        obs.count("netsim.batched.resolved", self.transmissions_resolved)
+        if self.busy_epochs:
+            obs.gauge(
+                "netsim.batched.mean_tx_per_busy_epoch",
+                self.transmissions_resolved / self.busy_epochs,
+            )
+        return metrics
+
+    def _materialise(self) -> FleetMetrics:
+        metrics = FleetMetrics()
+        n = self.scenario.num_devices
+        if self._lat_ids:
+            lat_dev = np.concatenate(self._lat_ids)
+            lat_val = np.concatenate(self._lat_vals)
+            order = np.argsort(lat_dev, kind="stable")
+            lat_val = lat_val[order]
+            counts = np.bincount(lat_dev, minlength=n)
+            offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+        else:
+            lat_val = np.empty(0)
+            offsets = np.zeros(n + 1, dtype=np.int64)
+        name = self.setup.profile.name
+        psdu = self.setup.psdu_bytes
+        rssi = self.setup.rssi_dbm.tolist()
+        generated = self.generated_ct.tolist()
+        queue_dropped = self.queue_dropped_ct.tolist()
+        attempted = self.attempted_ct.tolist()
+        collided = self.collided_ct.tolist()
+        delivered = self.delivered_ct.tolist()
+        dropped = self.dropped_ct.tolist()
+        for i in range(n):
+            stats = metrics.add_device(i, name, rssi[i])
+            stats.generated = generated[i]
+            stats.queue_dropped = queue_dropped[i]
+            stats.attempted = attempted[i]
+            stats.collided = collided[i]
+            stats.delivered = delivered[i]
+            stats.dropped = dropped[i]
+            stats.bytes_delivered = delivered[i] * psdu
+            if offsets[i] != offsets[i + 1]:
+                stats.latencies_s = lat_val[offsets[i] : offsets[i + 1]].tolist()
+        metrics.finalize(
+            duration_s=self.scenario.duration_s,
+            busy_time_s=self.busy_epochs * self.setup.epoch_s,
+            airtime_s=float(self.attempted_ct.sum()) * self.setup.air_time_s,
+        )
+        return metrics
+
+
+class EpochReferenceSimulator:
+    """Scalar oracle for the epoch contract: per-device loops, scalar draws.
+
+    Written independently of :class:`BatchedFleetSimulator` on purpose — it
+    keeps per-device state in Python scalars and deques and draws from the
+    RNG one value at a time, in the documented ascending-device order.  The
+    differential suite asserts its per-device counters are bit-identical to
+    the vectorised engine's on every MAC; any contract drift between the two
+    implementations breaks that equality.
+    """
+
+    def __init__(
+        self,
+        scenario: FleetScenario,
+        *,
+        epoch_s: float | None = None,
+        record_epochs: bool = False,
+    ) -> None:
+        self.scenario = scenario
+        self.setup = _EpochSetup(scenario, epoch_s=epoch_s)
+        self.params = resolve_epoch_mac(scenario, self.setup.epoch_s)
+        self.rng = np.random.default_rng(scenario.seed)
+        n = scenario.num_devices
+        self.queues: list[deque] = [deque() for _ in range(n)]
+        self.head_attempts = [0] * n
+        self.be = [self.params.min_be] * n
+        self.cca_fails = [0] * n
+        self.airtime_used = [0.0] * n
+        self.next_arrival_s = [0.0] * n
+        self.metrics = FleetMetrics()
+        for i in range(n):
+            self.metrics.add_device(
+                i, self.setup.profile.name, float(self.setup.rssi_dbm[i])
+            )
+        self._attempt_buckets: dict[int, list[int]] = {}
+        self._arrival_buckets: dict[int, list[int]] = {}
+        self._epoch_heap: list[int] = []
+        self._last_tx_epoch = -2
+        self.epochs_processed = 0
+        self.busy_epochs = 0
+        self.transmissions_resolved = 0
+        self.epoch_trace: list[int] = [] if record_epochs else None
+
+    # --------------------------------------------------------------- buckets
+    def _push(self, buckets: dict, epoch: int, device: int) -> None:
+        if epoch >= self.setup.num_epochs:
+            return
+        entry = buckets.get(epoch)
+        if entry is None:
+            buckets[epoch] = [device]
+            heapq.heappush(self._epoch_heap, epoch)
+        else:
+            entry.append(device)
+
+    def _pop_bucket(self, buckets: dict, epoch: int) -> list[int]:
+        return sorted(buckets.pop(epoch, []))
+
+    def _next_epoch(self) -> int | None:
+        while self._epoch_heap:
+            epoch = heapq.heappop(self._epoch_heap)
+            if epoch in self._arrival_buckets or epoch in self._attempt_buckets:
+                return epoch
+        return None
+
+    # ------------------------------------------------------------ scheduling
+    def _schedule_access(self, epoch: int, device: int) -> None:
+        name = self.params.name
+        if name in ("aloha", "slotted_aloha"):
+            self._push(self._attempt_buckets, epoch + 1, device)
+        elif name == "csma":
+            width = int(self.rng.integers(0, 2 ** self.be[device]))
+            self._push(self._attempt_buckets, epoch + 1 + width, device)
+        else:
+            slot = device % self.params.num_slots
+            nxt = epoch + 1 + ((slot - (epoch + 1)) % self.params.num_slots)
+            self._push(self._attempt_buckets, nxt, device)
+
+    def _pop_head(self, device: int) -> bool:
+        """Remove the device's head packet; True when more are queued."""
+        self.queues[device].popleft()
+        self.head_attempts[device] = 0
+        if self.params.name == "csma":
+            self.be[device] = self.params.min_be
+            self.cca_fails[device] = 0
+        return bool(self.queues[device])
+
+    # ----------------------------------------------------------------- phases
+    def _start(self) -> None:
+        for i in range(self.scenario.num_devices):
+            arrival = float(self.rng.uniform(0.0, self.setup.profile.period_s))
+            self.next_arrival_s[i] = arrival
+            self._push(self._arrival_buckets, int(arrival / self.setup.epoch_s), i)
+
+    def _run_epoch(self, epoch: int) -> None:
+        if self.epoch_trace is not None:
+            self.epoch_trace.append(epoch)
+        self.epochs_processed += 1
+        p = self.params
+        setup = self.setup
+        t_end = (epoch + 1) * setup.epoch_s
+        profile = setup.profile
+
+        # Phase 1: arrivals in rounds of ascending device id.
+        active = self._pop_bucket(self._arrival_buckets, epoch)
+        fresh = [i for i in active if not self.queues[i]]
+        while active:
+            following = []
+            for i in active:
+                stats = self.metrics.devices[i]
+                t_arr = self.next_arrival_s[i]
+                for _ in range(profile.burst_size):
+                    stats.generated += 1
+                    if len(self.queues[i]) >= p.queue_limit:
+                        stats.queue_dropped += 1
+                    else:
+                        self.queues[i].append(t_arr)
+                jitter = float(self.rng.uniform(-1.0, 1.0))
+                self.next_arrival_s[i] = t_arr + profile.period_s * (
+                    1.0 + profile.jitter_fraction * jitter
+                )
+                if self.next_arrival_s[i] < t_end:
+                    following.append(i)
+                else:
+                    self._push(
+                        self._arrival_buckets,
+                        int(self.next_arrival_s[i] / setup.epoch_s),
+                        i,
+                    )
+            active = following
+
+        # Phase 2: initial access for queues that went empty -> non-empty.
+        for i in fresh:
+            self._schedule_access(epoch, i)
+
+        # Phase 3: contention.
+        ready = self._pop_bucket(self._attempt_buckets, epoch)
+        if p.duty_cycle < 1.0 and ready:
+            allowed = []
+            for i in ready:
+                if self.airtime_used[i] + setup.air_time_s <= p.duty_cycle * t_end:
+                    allowed.append(i)
+                else:
+                    self._push(self._attempt_buckets, epoch + 1, i)
+            ready = allowed
+        if p.name == "csma" and ready and self._last_tx_epoch == epoch - 1:
+            clear, defers, aborts = [], [], []
+            for i in ready:
+                if float(self.rng.random()) < p.cca_reliability:
+                    self.cca_fails[i] += 1
+                    if self.cca_fails[i] > p.max_cca_attempts:
+                        aborts.append(i)
+                    else:
+                        defers.append(i)
+                else:
+                    self.cca_fails[i] = 0
+                    clear.append(i)
+            for i in defers:
+                self.be[i] = min(self.be[i] + 1, p.max_be)
+                width = int(self.rng.integers(0, 2 ** self.be[i]))
+                self._push(self._attempt_buckets, epoch + 1 + width, i)
+            abort_heads = []
+            for i in aborts:
+                self.metrics.devices[i].dropped += 1
+                if self._pop_head(i):
+                    abort_heads.append(i)
+            for i in abort_heads:
+                self._schedule_access(epoch, i)
+            ready = clear
+        elif p.name == "tdma" and ready:
+            polled = []
+            for i in ready:
+                if float(self.rng.random()) < float(setup.poll_success_prob[i]):
+                    polled.append(i)
+                else:
+                    self._push(self._attempt_buckets, epoch + p.num_slots, i)
+            ready = polled
+
+        # Phase 4: medium resolution over the k transmitters.
+        k = len(ready)
+        if k == 0:
+            return
+        self._last_tx_epoch = epoch
+        self.busy_epochs += 1
+        self.transmissions_resolved += k
+        total_w = float(np.sum(setup.signal_w[np.asarray(ready, dtype=np.int64)]))
+        fates = []
+        for i in ready:
+            stats = self.metrics.devices[i]
+            stats.attempted += 1
+            self.head_attempts[i] += 1
+            self.airtime_used[i] += setup.air_time_s
+            signal = setup.signal_w[i]
+            interference = max(total_w - signal, 0.0)
+            sinr_db = 10.0 * np.log10(signal / (setup.noise_w + interference))
+            per = setup.per_table.lookup(sinr_db)
+            if k >= 2:
+                if sinr_db < CAPTURE_THRESHOLD_DB:
+                    per = 1.0
+                stats.collided += 1
+            fates.append((i, per))
+        won, lost = [], []
+        for i, per in fates:
+            draw = float(self.rng.random())
+            if setup.rssi_dbm[i] >= setup.sensitivity_dbm and draw > per:
+                won.append(i)
+            else:
+                lost.append(i)
+
+        # Phase 5: outcomes — delivered pops, drops, retry draws, new heads.
+        new_heads = []
+        for i in won:
+            stats = self.metrics.devices[i]
+            stats.delivered += 1
+            stats.bytes_delivered += setup.psdu_bytes
+            stats.latencies_s.append(t_end - self.queues[i][0])
+            if self._pop_head(i):
+                new_heads.append(i)
+        retries = []
+        for i in lost:
+            if self.head_attempts[i] >= p.max_attempts:
+                self.metrics.devices[i].dropped += 1
+                if self._pop_head(i):
+                    new_heads.append(i)
+            else:
+                retries.append(i)
+        for i in retries:
+            if p.name == "aloha":
+                expo = min(self.head_attempts[i] - 1, MAX_BACKOFF_EXPONENT)
+                width = int(self.rng.integers(0, p.base_backoff_epochs * 2**expo))
+                self._push(self._attempt_buckets, epoch + 1 + width, i)
+            elif p.name == "slotted_aloha":
+                expo = min(self.head_attempts[i], MAX_BACKOFF_EXPONENT)
+                ahead = int(self.rng.integers(1, 2**expo + 1))
+                self._push(self._attempt_buckets, epoch + ahead, i)
+            elif p.name == "csma":
+                self.be[i] = min(self.be[i] + 1, p.max_be)
+                width = int(self.rng.integers(0, 2 ** self.be[i]))
+                self._push(self._attempt_buckets, epoch + 1 + width, i)
+            else:
+                self._push(self._attempt_buckets, epoch + p.num_slots, i)
+        for i in sorted(new_heads):
+            self._schedule_access(epoch, i)
+
+    # -------------------------------------------------------------------- run
+    def pending_packets(self) -> int:
+        """Packets still queued (in flight) at the horizon."""
+        return sum(len(q) for q in self.queues)
+
+    def run(self) -> FleetMetrics:
+        """Execute the scenario and return the collected metrics."""
+        with obs.span(
+            "netsim.batched.run",
+            profile=self.setup.profile.name,
+            devices=self.scenario.num_devices,
+            mac=self.params.name,
+            engine="reference",
+            horizon_epochs=self.setup.num_epochs,
+        ):
+            self._start()
+            while True:
+                epoch = self._next_epoch()
+                if epoch is None:
+                    break
+                self._run_epoch(epoch)
+            attempted = sum(s.attempted for s in self.metrics.devices.values())
+            self.metrics.finalize(
+                duration_s=self.scenario.duration_s,
+                busy_time_s=self.busy_epochs * self.setup.epoch_s,
+                airtime_s=attempted * self.setup.air_time_s,
+            )
+        obs.count("netsim.batched.epochs", self.epochs_processed)
+        obs.count("netsim.batched.resolved", self.transmissions_resolved)
+        return self.metrics
+
+
+#: Engine name -> epoch simulator class (the heap engine lives in fleet.py).
+EPOCH_ENGINES = {
+    "batched": BatchedFleetSimulator,
+    "reference": EpochReferenceSimulator,
+}
+
+
+def simulate(
+    scenario: FleetScenario, *, epoch_s: float | None = None
+) -> FleetMetrics:
+    """Run *scenario* under the engine its ``engine`` field names.
+
+    ``"scalar"`` dispatches to the continuous-time heap engine
+    (:class:`~repro.netsim.fleet.FleetSimulator`); ``"batched"`` and
+    ``"reference"`` to the epoch engines of this module (``epoch_s``
+    applies only to those).
+    """
+    if scenario.engine == "scalar":
+        return FleetSimulator(scenario).run()
+    try:
+        engine = EPOCH_ENGINES[scenario.engine]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown netsim engine {scenario.engine!r}; "
+            f"available: {['scalar', *sorted(EPOCH_ENGINES)]}"
+        ) from exc
+    return engine(scenario, epoch_s=epoch_s).run()

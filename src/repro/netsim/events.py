@@ -1,10 +1,15 @@
 """Deterministic discrete-event scheduler for the fleet simulator.
 
 A classic event-queue/simulated-clock kernel: callbacks are scheduled at
-absolute simulation times and executed in time order, with insertion order
-breaking ties so that two runs of the same scenario replay the exact same
-event sequence.  All randomness lives in the callers (which draw from one
-seeded :class:`numpy.random.Generator`), so a seed fully determines a run.
+absolute simulation times and executed in time order.  Timestamp ties are
+broken first by the caller-supplied ``tie_break`` key and only then by
+insertion order, so that simultaneous events (slot boundaries, identical
+backoff draws) resolve by an explicit, documented policy rather than by
+whichever callback happened to be scheduled first.  The MAC layer passes
+its device id as the key, which makes same-instant contention a stable
+function of the scenario instead of a latent artefact of heap-insertion
+order.  All randomness lives in the callers (which draw from one seeded
+:class:`numpy.random.Generator`), so a seed fully determines a run.
 """
 
 from __future__ import annotations
@@ -25,16 +30,22 @@ class Event:
     ----------
     time_s:
         Absolute simulation time the callback fires at.
+    tie_break:
+        Caller-supplied ordering key for same-timestamp events (the MAC
+        layer passes the device id); lower keys fire first.
     seq:
-        Monotonic insertion counter, used to break timestamp ties.
+        Monotonic insertion counter, the final tie-breaker.
     cancelled:
         Whether :meth:`cancel` was called; cancelled events are skipped.
     """
 
-    __slots__ = ("time_s", "seq", "callback", "cancelled")
+    __slots__ = ("time_s", "tie_break", "seq", "callback", "cancelled")
 
-    def __init__(self, time_s: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self, time_s: float, seq: int, callback: Callable[[], None], *, tie_break: int = 0
+    ) -> None:
         self.time_s = time_s
+        self.tie_break = tie_break
         self.seq = seq
         self.callback = callback
         self.cancelled = False
@@ -44,19 +55,19 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time_s, self.seq) < (other.time_s, other.seq)
+        return (self.time_s, self.tie_break, self.seq) < (other.time_s, other.tie_break, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time_s:.6f}, seq={self.seq}, {state})"
+        return f"Event(t={self.time_s:.6f}, key={self.tie_break}, seq={self.seq}, {state})"
 
 
 class EventScheduler:
     """Event queue plus simulated clock.
 
     The scheduler never touches wall-clock time or global random state:
-    :meth:`run` pops events in ``(time, insertion order)`` order and invokes
-    their callbacks, which may schedule further events.
+    :meth:`run` pops events in ``(time, tie_break, insertion order)`` order
+    and invokes their callbacks, which may schedule further events.
     """
 
     def __init__(self) -> None:
@@ -76,19 +87,27 @@ class EventScheduler:
         return sum(1 for event in self._heap if not event.cancelled)
 
     # ------------------------------------------------------------------ API
-    def schedule(self, delay_s: float, callback: Callable[[], None]) -> Event:
+    def schedule(
+        self, delay_s: float, callback: Callable[[], None], *, tie_break: int = 0
+    ) -> Event:
         """Schedule *callback* to run ``delay_s`` seconds from now."""
         if delay_s < 0:
             raise ConfigurationError(f"cannot schedule {delay_s} s in the past")
-        return self.schedule_at(self._now + delay_s, callback)
+        return self.schedule_at(self._now + delay_s, callback, tie_break=tie_break)
 
-    def schedule_at(self, time_s: float, callback: Callable[[], None]) -> Event:
-        """Schedule *callback* at the absolute simulation time ``time_s``."""
+    def schedule_at(
+        self, time_s: float, callback: Callable[[], None], *, tie_break: int = 0
+    ) -> Event:
+        """Schedule *callback* at the absolute simulation time ``time_s``.
+
+        ``tie_break`` orders same-timestamp events (lower keys first);
+        events with equal keys keep insertion order.
+        """
         if time_s < self._now:
             raise ConfigurationError(
                 f"cannot schedule at {time_s} s; clock is already at {self._now} s"
             )
-        event = Event(time_s, self._seq, callback)
+        event = Event(time_s, self._seq, callback, tie_break=tie_break)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event

@@ -149,11 +149,23 @@ class MacProtocol(abc.ABC):
         """Hook run after a packet leaves the queue (delivered or dropped)."""
 
     # ------------------------------------------------------------- internals
+    @property
+    def _tie_break(self) -> int:
+        """Ordering key for same-instant attempts: the bound device's id.
+
+        Simultaneous MAC events (slot boundaries, equal backoff draws) used
+        to resolve in heap-insertion order — a latent bias that favoured
+        whichever device's previous event happened to run first.  Keying
+        ties on the device id makes same-instant contention an explicit,
+        documented function of the scenario.
+        """
+        return getattr(self.node, "device_id", 0)
+
     def _kick(self) -> None:
         if self._in_flight or self._pending is not None or not self._queue:
             return
         self._pending = self.scheduler.schedule(
-            self.access_delay_s(self._queue[0]), self._attempt
+            self.access_delay_s(self._queue[0]), self._attempt, tie_break=self._tie_break
         )
 
     def _attempt(self) -> None:
@@ -182,7 +194,9 @@ class MacProtocol(abc.ABC):
             self._handle_failure(packet)
 
     def _handle_failure(self, packet: Packet) -> None:
-        self._pending = self.scheduler.schedule(self.retry_delay_s(packet), self._attempt)
+        self._pending = self.scheduler.schedule(
+            self.retry_delay_s(packet), self._attempt, tie_break=self._tie_break
+        )
 
 
 class PureAloha(MacProtocol):
@@ -319,7 +333,9 @@ class CsmaBackoff(MacProtocol):
                 self._kick()
                 return
             self._be = min(self._be + 1, self.max_be)
-            self._pending = self.scheduler.schedule(self._backoff_s(), self._attempt)
+            self._pending = self.scheduler.schedule(
+                self._backoff_s(), self._attempt, tie_break=self._tie_break
+            )
             return
         self._cca_attempts = 0
         self._begin_transmission(self._queue[0])
@@ -374,10 +390,10 @@ class TdmaPolling(MacProtocol):
         return self.num_slots * self.slot_s
 
     def start(self) -> None:
-        self.scheduler.schedule(self.slot_index * self.slot_s, self._slot)
+        self.scheduler.schedule(self.slot_index * self.slot_s, self._slot, tie_break=self._tie_break)
 
     def _slot(self) -> None:
-        self.scheduler.schedule(self.superframe_s, self._slot)
+        self.scheduler.schedule(self.superframe_s, self._slot, tie_break=self._tie_break)
         if self._in_flight or not self._queue:
             return
         if self.rng.random() >= self.poll_success_prob:

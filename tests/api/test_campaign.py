@@ -212,9 +212,10 @@ class TestGridDocuments:
     def test_shipped_fleet_grid_expands_to_100_plus_heterogeneous_specs(self):
         specs = read_specs(GRIDS / "fleet_grid.json")
         assert len(specs) >= 100
-        profiles = {spec.params["profile"] for spec in specs}
+        profiles = {spec.params.get("profile", "contact_lens") for spec in specs}
         assert profiles == {"contact_lens", "neural_implant", "card_to_card"}
-        assert {spec.engine for spec in specs} == {None, "fast_path"}
+        assert {spec.engine for spec in specs} == {None, "fast_path", "batched"}
+        assert {spec.experiment for spec in specs} == {"mac_scaling", "mac_density"}
         seeds = [spec.seed for spec in specs]
         assert len(set(seeds)) == len(seeds)
 

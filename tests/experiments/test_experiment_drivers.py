@@ -21,6 +21,7 @@ from repro.experiments import (
     fig15_contact_lens,
     fig16_neural_implant,
     fig17_card_to_card,
+    mac_density,
     mac_scaling,
     table_packet_sizes,
     table_power,
@@ -161,3 +162,47 @@ class TestMacScaling:
         assert result.attempt_per["aloha"][1] > result.attempt_per["aloha"][0]
         assert result.attempt_per["tdma"][1] < 0.05
         assert result.utilization["aloha"][1] > result.utilization["aloha"][0]
+
+
+class TestMacDensity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return mac_density.run(
+            densities=(5, 25, 75), macs=("aloha", "tdma"), period_s=0.005, duration_s=1.0
+        )
+
+    def test_sweep_shapes(self, result):
+        assert result.macs == ("aloha", "tdma")
+        for series in (result.delivery_ratio, result.throughput_bps, result.utilization):
+            assert set(series) == {"aloha", "tdma"}
+            assert all(v.shape == (3,) for v in series.values())
+
+    def test_random_access_collapses_polling_degrades_gracefully(self, result):
+        aloha = result.delivery_ratio["aloha"]
+        tdma = result.delivery_ratio["tdma"]
+        assert aloha[0] > 0.9 > aloha[-1]
+        assert tdma[-1] > aloha[-1]
+
+    def test_driver_hooks_cover_every_mac(self, result):
+        lines = mac_density.summarize(result)
+        assert len(lines) == len(result.macs) + 1
+        scalars = mac_density.metrics(result)
+        assert set(scalars) == {"delivery_aloha", "delivery_tdma", "utilization_aloha", "utilization_tdma"}
+        figure = mac_density.plot(result)
+        assert len(figure.series) == len(result.macs)
+
+    def test_contention_knobs_reach_the_epoch_mac(self):
+        strict = mac_density.run(
+            densities=(25,), macs=("aloha",), period_s=0.005, duration_s=0.5, max_attempts=1
+        )
+        lax = mac_density.run(
+            densities=(25,), macs=("aloha",), period_s=0.005, duration_s=0.5, max_attempts=8
+        )
+        # A deeper retry ladder means strictly more attempts on a saturated channel.
+        assert lax.attempt_per["aloha"][0] != strict.attempt_per["aloha"][0]
+
+    def test_heap_engine_is_not_in_the_capability_table(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            mac_density.run(densities=(5,), macs=("aloha",), duration_s=0.2, engine="scalar")

@@ -1,0 +1,107 @@
+"""Configuration surface of the epoch engines: translation and rejection.
+
+`resolve_epoch_mac` is the compatibility shim between the heap engine's
+MAC vocabulary and the epoch engine's knobs; these tests pin the
+translations (seconds → epochs, accepted-and-ignored slot widths) and
+every rejection branch, so a typo in a sweep grid fails loudly instead
+of silently simulating the wrong protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.netsim.batched import (
+    EPOCH_ENGINES,
+    BatchedFleetSimulator,
+    EpochReferenceSimulator,
+    resolve_epoch_mac,
+    simulate,
+)
+from repro.netsim.fleet import FleetScenario
+
+
+def _scenario(**overrides) -> FleetScenario:
+    defaults = dict(
+        profile="contact_lens", num_devices=4, mac="aloha", duration_s=0.2, seed=1
+    )
+    defaults.update(overrides)
+    return FleetScenario(**defaults)
+
+
+def test_base_backoff_seconds_translate_to_epochs():
+    params = resolve_epoch_mac(_scenario(mac_params={"base_backoff_s": 0.01}), 1e-3)
+    assert params.base_backoff_epochs == 10
+
+
+def test_heap_engine_slot_widths_are_accepted_and_ignored():
+    slotted = resolve_epoch_mac(
+        _scenario(mac="slotted_aloha", mac_params={"slot_s": 5e-4}), 1e-3
+    )
+    assert slotted.name == "slotted_aloha"
+    csma = resolve_epoch_mac(
+        _scenario(mac="csma", mac_params={"backoff_slot_s": 1e-4}), 1e-3
+    )
+    assert csma.name == "csma"
+
+
+def test_tdma_superframe_defaults_to_fleet_size():
+    params = resolve_epoch_mac(_scenario(mac="tdma", num_devices=7), 1e-3)
+    assert params.num_slots == 7
+
+
+@pytest.mark.parametrize(
+    "mac, mac_params",
+    (
+        ("aloha", {"unknown_knob": 1}),
+        ("aloha", {"cca_reliability": 0.5}),  # CSMA-only knob
+        ("aloha", {"max_attempts": 0}),
+        ("aloha", {"queue_limit": 0}),
+        ("aloha", {"duty_cycle": 0.0}),
+        ("aloha", {"duty_cycle": 1.5}),
+        ("aloha", {"base_backoff_epochs": 0}),
+        ("csma", {"min_be": 4, "max_be": 2}),
+        ("csma", {"max_cca_attempts": 0}),
+        ("csma", {"cca_reliability": 1.5}),
+        ("tdma", {"num_slots": 0}),
+    ),
+)
+def test_invalid_mac_params_are_rejected(mac, mac_params):
+    with pytest.raises(ConfigurationError):
+        resolve_epoch_mac(_scenario(mac=mac, mac_params=mac_params), 1e-3)
+
+
+def test_unknown_mac_policy_is_rejected():
+    with pytest.raises(ConfigurationError):
+        resolve_epoch_mac(_scenario(mac="token_ring"), 1e-3)
+
+
+def test_epoch_must_cover_one_air_time():
+    with pytest.raises(ConfigurationError):
+        BatchedFleetSimulator(_scenario(), epoch_s=1e-9)
+
+
+@pytest.mark.parametrize("overrides", ({"num_devices": 0}, {"duration_s": 0.0}))
+def test_degenerate_scenarios_are_rejected(overrides):
+    with pytest.raises(ConfigurationError):
+        BatchedFleetSimulator(_scenario(**overrides))
+
+
+def test_simulate_rejects_unknown_engine():
+    with pytest.raises(ConfigurationError):
+        simulate(_scenario(engine="warp_drive"))
+
+
+def test_engine_table_names_both_epoch_engines():
+    assert EPOCH_ENGINES == {
+        "batched": BatchedFleetSimulator,
+        "reference": EpochReferenceSimulator,
+    }
+
+
+def test_epoch_trace_disabled_by_default():
+    sim = BatchedFleetSimulator(_scenario())
+    sim.run()
+    assert sim.epoch_trace is None
+    assert sim.epochs_processed > 0

@@ -1,0 +1,162 @@
+"""Differential lockdown: batched epoch engine vs its scalar oracle.
+
+The vectorised :class:`repro.netsim.batched.BatchedFleetSimulator` and the
+scalar :class:`repro.netsim.batched.EpochReferenceSimulator` implement one
+documented epoch contract (see the module docstring of
+:mod:`repro.netsim.batched`).  These tests pin the two engines to each
+other **bit-for-bit** — per-device counters, byte totals and latency sums
+via :meth:`repro.netsim.metrics.FleetMetrics.fingerprint` — across a
+seed × MAC × density matrix, MAC-knob presets (imperfect CCA, abort
+ladders, duty cycles) and the bursty card-to-card profile.  Any divergence
+is a bug in one of the engines, never tolerance noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Runner
+from repro.api.store import invocation_key
+from repro.netsim.batched import (
+    BatchedFleetSimulator,
+    EpochReferenceSimulator,
+    simulate,
+)
+from repro.netsim.fleet import FleetScenario
+
+SEEDS = (1, 7, 2016, 90210, 424242)
+
+MACS = ("aloha", "slotted_aloha", "csma", "tdma")
+
+#: (num_devices, period_s): tiny saturated fleets through light 64-device ones.
+FLEETS = ((4, 0.004), (8, 0.02), (16, 0.05), (32, 0.02), (64, 0.1))
+
+
+def _fingerprints(scenario: FleetScenario):
+    batched = BatchedFleetSimulator(scenario).run()
+    reference = EpochReferenceSimulator(scenario).run()
+    return batched.fingerprint(), reference.fingerprint()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mac", MACS)
+@pytest.mark.parametrize("fleet", FLEETS, ids=lambda f: f"n{f[0]}-p{f[1]}")
+def test_engines_bit_identical_across_matrix(seed, mac, fleet):
+    num_devices, period_s = fleet
+    scenario = FleetScenario(
+        profile="contact_lens",
+        num_devices=num_devices,
+        mac=mac,
+        duration_s=0.4,
+        period_s=period_s,
+        seed=seed,
+    )
+    batched, reference = _fingerprints(scenario)
+    assert batched == reference
+
+
+#: Contention-realism presets: every knob of EpochMacParams is exercised.
+KNOB_CASES = (
+    ("aloha", {"base_backoff_epochs": 1, "max_attempts": 3}),
+    ("aloha", {"duty_cycle": 0.05}),
+    ("aloha", {"queue_limit": 2}),
+    ("slotted_aloha", {"max_attempts": 2, "queue_limit": 3}),
+    ("slotted_aloha", {"duty_cycle": 0.1}),
+    ("csma", {"cca_reliability": 0.8}),
+    ("csma", {"max_cca_attempts": 2, "queue_limit": 4}),
+    ("csma", {"min_be": 1, "max_be": 3}),
+    ("tdma", {"num_slots": 4}),
+    ("tdma", {"duty_cycle": 0.2}),
+)
+
+
+@pytest.mark.parametrize("seed", (3, 11, 2016))
+@pytest.mark.parametrize("case", KNOB_CASES, ids=lambda c: f"{c[0]}-{'-'.join(c[1])}")
+def test_engines_bit_identical_with_contention_knobs(seed, case):
+    mac, mac_params = case
+    scenario = FleetScenario(
+        profile="contact_lens",
+        num_devices=12,
+        mac=mac,
+        duration_s=0.4,
+        period_s=0.01,
+        seed=seed,
+        mac_params=dict(mac_params),
+    )
+    batched, reference = _fingerprints(scenario)
+    assert batched == reference
+
+
+@pytest.mark.parametrize("seed", (5, 23))
+@pytest.mark.parametrize("mac", MACS)
+def test_engines_bit_identical_on_bursty_profile(seed, mac):
+    scenario = FleetScenario(
+        profile="card_to_card",
+        num_devices=10,
+        mac=mac,
+        duration_s=0.4,
+        period_s=0.05,
+        seed=seed,
+    )
+    batched, reference = _fingerprints(scenario)
+    assert batched == reference
+
+
+def test_simulate_dispatches_on_scenario_engine():
+    kwargs = dict(
+        profile="contact_lens", num_devices=6, mac="slotted_aloha", duration_s=0.3, seed=9
+    )
+    batched = simulate(FleetScenario(engine="batched", **kwargs))
+    reference = simulate(FleetScenario(engine="reference", **kwargs))
+    assert batched.fingerprint() == reference.fingerprint()
+
+
+_FAST_DENSITY = {"densities": (5, 10, 25), "period_s": 0.005, "duration_s": 0.5}
+
+
+def test_mac_density_payloads_identical_across_engines():
+    runner = Runner()
+    batched = runner.run("mac_density", params=dict(_FAST_DENSITY), engine="batched")
+    reference = runner.run("mac_density", params=dict(_FAST_DENSITY), engine="reference")
+    for mac in batched.payload.macs:
+        for metric in ("delivery_ratio", "throughput_bps", "attempt_per", "utilization"):
+            assert np.array_equal(
+                getattr(batched.payload, metric)[mac],
+                getattr(reference.payload, metric)[mac],
+            ), (mac, metric)
+
+
+def test_cross_engine_envelopes_differ_only_in_engine():
+    # The invocation identity (experiment, seed, params) of the same sweep
+    # run on two engines must agree on everything except the engine field,
+    # so stores keep both runs side by side under comparable keys.
+    runner = Runner()
+    results = [
+        runner.run("mac_density", params=dict(_FAST_DENSITY), engine=engine)
+        for engine in ("batched", "reference")
+    ]
+    keys = {
+        invocation_key(r.experiment, "<engine>", r.seed, r.params, backend=r.backend)
+        for r in results
+    }
+    assert len(keys) == 1
+    assert {r.engine for r in results} == {"batched", "reference"}
+
+
+def test_mac_scaling_envelopes_comparable_across_engines():
+    runner = Runner()
+    params = {"fleet_sizes": (2, 4), "duration_s": 0.3}
+    results = [
+        runner.run("mac_scaling", params=dict(params), engine=engine)
+        for engine in ("scalar", "batched")
+    ]
+    keys = {
+        invocation_key(r.experiment, "<engine>", r.seed, r.params, backend=r.backend)
+        for r in results
+    }
+    assert len(keys) == 1
+    for result in results:
+        for mac in result.payload.macs:
+            ratios = result.payload.delivery_ratio[mac]
+            assert np.all((0.0 <= ratios) & (ratios <= 1.0))

@@ -29,6 +29,35 @@ def test_simultaneous_events_fire_in_insertion_order():
     assert trace == ["first", "second", "third"]
 
 
+def test_tie_break_orders_simultaneous_events_regardless_of_insertion():
+    # Regression: same-timestamp events used to resolve purely by heap
+    # insertion order, so whichever device scheduled first won the slot.
+    scheduler = EventScheduler()
+    trace = []
+    for key in (5, 3, 9, 0, 7):
+        scheduler.schedule(1.0, lambda key=key: trace.append(key), tie_break=key)
+    scheduler.run()
+    assert trace == [0, 3, 5, 7, 9]
+
+
+def test_equal_tie_break_preserves_insertion_order():
+    scheduler = EventScheduler()
+    trace = []
+    for label in ("first", "second", "third"):
+        scheduler.schedule(1.0, lambda label=label: trace.append(label), tie_break=4)
+    scheduler.run()
+    assert trace == ["first", "second", "third"]
+
+
+def test_tie_break_only_applies_within_a_timestamp():
+    scheduler = EventScheduler()
+    trace = []
+    scheduler.schedule(0.2, lambda: trace.append("late-low-key"), tie_break=0)
+    scheduler.schedule(0.1, lambda: trace.append("early-high-key"), tie_break=99)
+    scheduler.run()
+    assert trace == ["early-high-key", "late-low-key"]
+
+
 def test_callbacks_can_schedule_more_events():
     scheduler = EventScheduler()
     trace = []
